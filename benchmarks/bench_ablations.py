@@ -1,0 +1,131 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* cache on/off — how much the delegation/infra caches matter for scan
+  throughput (the "start at the deepest known zone cut" optimization);
+* EDE on/off — the wire-size cost of carrying extended errors;
+* validation on/off — what DNSSEC processing adds to a resolution.
+"""
+
+from repro.dns.edns import Edns
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.resolver.iterative import IterativeEngine
+from repro.resolver.profiles import CLOUDFLARE
+from repro.resolver.recursive import RecursiveResolver
+
+
+def _make_resolver(testbed, validate=True):
+    return RecursiveResolver(
+        fabric=testbed.fabric, profile=CLOUDFLARE,
+        root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+        validate=validate,
+    )
+
+
+def test_ablation_resolution_with_validation(benchmark, testbed_ctx):
+    resolver = _make_resolver(testbed_ctx.testbed, validate=True)
+    deployed = testbed_ctx.testbed.cases["valid"]
+
+    def run():
+        resolver.flush_caches()
+        return resolver.resolve(deployed.query_name, RdataType.A)
+
+    assert benchmark(run).rcode == 0
+
+
+def test_ablation_resolution_without_validation(benchmark, testbed_ctx):
+    resolver = _make_resolver(testbed_ctx.testbed, validate=False)
+    deployed = testbed_ctx.testbed.cases["valid"]
+
+    def run():
+        resolver.flush_caches()
+        return resolver.resolve(deployed.query_name, RdataType.A)
+
+    assert benchmark(run).rcode == 0
+
+
+def test_ablation_warm_delegation_cache(benchmark, testbed_ctx):
+    """Engine restarts at the deepest known cut instead of the root."""
+    testbed = testbed_ctx.testbed
+    engine = IterativeEngine(testbed.fabric, testbed.root_hints)
+    target = testbed.cases["valid"].query_name
+    engine.resolve(target, RdataType.A, [])  # warm the delegation cache
+
+    def warm():
+        return engine.resolve(target, RdataType.A, [])
+
+    result = benchmark(warm)
+    assert result.ok
+
+
+def test_ablation_cold_delegation_cache(benchmark, testbed_ctx):
+    testbed = testbed_ctx.testbed
+    target = testbed.cases["valid"].query_name
+
+    def cold():
+        engine = IterativeEngine(testbed.fabric, testbed.root_hints)
+        return engine.resolve(target, RdataType.A, [])
+
+    result = benchmark(cold)
+    assert result.ok
+
+
+def _response(n_ede: int) -> Message:
+    message = Message.make_query("www.extended-dns-errors.com.", want_dnssec=True)
+    message.qr = True
+    message.edns = Edns()
+    message.answer.append(
+        RRset.of(
+            Name.from_text("www.extended-dns-errors.com."),
+            RdataType.A,
+            A(address="93.184.216.34"),
+        )
+    )
+    texts = [
+        "",
+        "185.199.0.53:53 rcode=REFUSED for www.extended-dns-errors.com. A",
+        "failed to verify an insecure referral proof",
+    ]
+    for index in range(n_ede):
+        message.add_ede(22 + index % 2, texts[index % len(texts)])
+    return message
+
+
+def test_ablation_wire_size_without_ede(benchmark):
+    message = _response(0)
+    wire = benchmark(message.to_wire)
+    assert len(wire) < 120
+
+
+def test_ablation_wire_size_with_ede(benchmark):
+    message = _response(3)
+    wire = benchmark(message.to_wire)
+    baseline = len(_response(0).to_wire())
+    overhead = len(wire) - baseline
+    # EDE is cheap: a handful of octets per option plus the EXTRA-TEXT.
+    assert 0 < overhead < 200
+
+
+def test_ablation_serve_stale_disabled(benchmark, testbed_ctx):
+    """Without serve-stale, an outage is a hard SERVFAIL (no EDE 3)."""
+    import dataclasses
+
+    from repro.resolver.cache import CacheConfig
+
+    testbed = testbed_ctx.testbed
+    profile = dataclasses.replace(CLOUDFLARE, cache=CacheConfig(serve_stale=False))
+    resolver = RecursiveResolver(
+        fabric=testbed.fabric, profile=profile,
+        root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+    )
+    deployed = testbed.cases["valid"]
+
+    def run():
+        resolver.flush_caches()
+        return resolver.resolve(deployed.query_name, RdataType.A)
+
+    response = benchmark(run)
+    assert 3 not in response.ede_codes

@@ -1,0 +1,106 @@
+"""Benchmarks for the extension subsystems: Section 3.2 selection, the
+forwarder tier, multi-vendor scanning, policy, and error reporting."""
+
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.experiments.harness import experiment_section32
+from repro.resolver.forwarder import ForwardingResolver
+from repro.resolver.policy import LocalPolicy, PolicyAction
+from repro.resolver.profiles import CLOUDFLARE
+from repro.resolver.recursive import RecursiveResolver
+from repro.scan.comparison import compare_vendors
+from repro.scan.population import Profile
+
+
+def test_section32_resolver_selection(benchmark, testbed_ctx):
+    """Probing ten public resolvers keeps exactly Cloudflare/Quad9/OpenDNS."""
+
+    def probe():
+        return experiment_section32(testbed_ctx)
+
+    report = benchmark.pedantic(probe, rounds=1, iterations=1)
+    assert report.all_ok, report.render()
+
+
+def test_vendor_comparison_on_sample(benchmark, scan_ctx):
+    """'What if the paper had scanned with another vendor?' — Cloudflare
+    must come out as the most revealing, as Section 3 concludes."""
+    sample = [
+        d for d in scan_ctx.population.domains
+        if Profile(d.profile) not in (Profile.VALID_UNSIGNED, Profile.VALID_SIGNED)
+    ][:300]
+
+    def compare():
+        return compare_vendors(scan_ctx.wild, sample)
+
+    comparison = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert comparison.richest_vendor() == "cloudflare"
+    assert comparison.detection_rate("cloudflare") > comparison.detection_rate("unbound")
+
+
+def test_policy_evaluation_speed(benchmark):
+    policy = LocalPolicy()
+    for index in range(2000):
+        policy.add(f"bad{index:05d}.example.", PolicyAction.BLOCK, reason="Malware")
+    qname = Name.from_text("www.bad01234.example.")
+
+    decision = benchmark(policy.evaluate, qname)
+    assert decision is not None
+
+
+def test_zone_lint_speed(benchmark, testbed_ctx):
+    """Offline linting of a fully signed zone (the operator-side check)."""
+    from repro.zones.lint import lint_zone
+
+    deployed = testbed_ctx.testbed.cases["valid"]
+    now = int(testbed_ctx.testbed.fabric.clock.now())
+
+    def lint():
+        return lint_zone(
+            deployed.built.zone, now=now, parent_ds=deployed.built.ds_rdatas
+        )
+
+    findings = benchmark(lint)
+    assert not [f for f in findings if f.severity.value == "error"]
+
+
+def test_ablation_qname_minimization_overhead(benchmark, testbed_ctx):
+    """RFC 9156 costs extra queries per resolution; measure how many."""
+    from repro.resolver.iterative import EngineConfig, IterativeEngine
+
+    testbed = testbed_ctx.testbed
+    target = testbed.cases["valid"].query_name
+
+    def minimized():
+        engine = IterativeEngine(
+            testbed.fabric, testbed.root_hints, EngineConfig(qname_minimization=True)
+        )
+        return engine.resolve(target, RdataType.A, [])
+
+    result = benchmark(minimized)
+    assert result.ok
+
+
+def test_forwarder_relay_cost(benchmark, testbed_ctx):
+    testbed = testbed_ctx.testbed
+    upstream = RecursiveResolver(
+        fabric=testbed.fabric, profile=CLOUDFLARE,
+        root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+    )
+    address = "192.0.9.200"
+    try:
+        testbed.fabric.register(address, upstream)
+    except ValueError:
+        pass
+    forwarder = ForwardingResolver(fabric=testbed.fabric, upstreams=[address])
+    deployed = testbed.cases["valid"]
+    # warm the upstream cache so the bench isolates the relay hop
+    forwarder.resolve(deployed.query_name, RdataType.A)
+
+    def relay():
+        forwarder.cache.flush()
+        return forwarder.resolve(deployed.query_name, RdataType.A)
+
+    response = benchmark(relay)
+    assert response.rcode == Rcode.NOERROR

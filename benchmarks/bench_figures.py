@@ -1,0 +1,33 @@
+"""Figures 1 and 2 — per-TLD and per-rank distributions of EDE domains."""
+
+from repro.experiments.harness import experiment_figure1, experiment_figure2
+from repro.scan.analysis import tld_ratios, tranco_overlap
+
+
+def test_figure1_tld_cdf(benchmark, scan_ctx):
+    """Regenerates the Figure 1 input series (per-TLD EDE ratios)."""
+    ratios = benchmark(tld_ratios, scan_ctx.result, scan_ctx.population)
+    assert ratios.gtld_ratios and ratios.cctld_ratios
+    # Structural invariants that hold at any scale: the 13 fully-broken
+    # TLDs produce ratio-1.0 entries, and zero-EDE TLDs exist.
+    assert ratios.full_count(cc=False) >= 1
+    assert ratios.zero_fraction(cc=False) > 0.0
+
+
+def test_figure1_report(benchmark, scan_ctx):
+    report = benchmark(experiment_figure1, scan_ctx)
+    assert "gTLDs" in report.body and "ccTLDs" in report.body
+
+
+def test_figure2_tranco_cdf(benchmark, scan_ctx):
+    """Regenerates the Figure 2 series (EDE domains across ranks)."""
+    overlap = benchmark(tranco_overlap, scan_ctx.result)
+    assert overlap.tranco_size > 0
+    series = overlap.rank_cdf()
+    ys = [y for _, y in series]
+    assert ys == sorted(ys)  # a proper CDF
+
+
+def test_figure2_report(benchmark, scan_ctx):
+    report = benchmark(experiment_figure2, scan_ctx)
+    assert report.comparisons

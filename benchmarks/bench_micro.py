@@ -1,0 +1,128 @@
+"""Micro-benchmarks: the substrate operations everything else pays for."""
+
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.dnssec import rsa
+from repro.dnssec.keys import KeyPair, ZSK_FLAGS, verify_signature
+from repro.dnssec.nsec3 import nsec3_hash
+from repro.dnssec.signer import SigningPolicy, sign_rrset, signed_data
+
+NOW = 1_684_108_800
+
+
+def _response_wire() -> bytes:
+    message = Message.make_query("www.extended-dns-errors.com.", want_dnssec=True)
+    message.qr = True
+    for i in range(4):
+        message.answer.append(
+            RRset.of(
+                Name.from_text("www.extended-dns-errors.com."),
+                RdataType.A,
+                A(address=f"93.184.216.{i + 1}"),
+            )
+        )
+    message.add_ede(22)
+    message.add_ede(23, "192.0.2.1:53 rcode=REFUSED for x.com. A")
+    return message.to_wire()
+
+
+def test_message_parse(benchmark):
+    wire = _response_wire()
+    message = benchmark(Message.from_wire, wire)
+    assert message.ede_codes == (22, 23)
+
+
+def test_message_encode(benchmark):
+    wire = _response_wire()
+    message = Message.from_wire(wire)
+    out = benchmark(message.to_wire)
+    assert len(out) == len(wire)
+
+
+def test_name_parse(benchmark):
+    name = benchmark(Name.from_text, "a.very.deep.subdomain.example.com.")
+    assert name.label_count() == 7
+
+
+def test_nsec3_hash_zero_iterations(benchmark):
+    name = Name.from_text("www.example.com.")
+    digest = benchmark(nsec3_hash, name, b"", 0)
+    assert len(digest) == 20
+
+
+def test_nsec3_hash_ten_iterations(benchmark):
+    name = Name.from_text("www.example.com.")
+    digest = benchmark(nsec3_hash, name, b"\xab\xcd", 10)
+    assert len(digest) == 20
+
+
+def test_rsa_1024_sign(benchmark):
+    key = rsa.generate_keypair(1024, seed=1)
+    signature = benchmark(rsa.sign, key, b"x" * 200)
+    assert rsa.verify(key.public, b"x" * 200, signature)
+
+
+def test_rsa_1024_verify(benchmark):
+    key = rsa.generate_keypair(1024, seed=1)
+    signature = rsa.sign(key, b"x" * 200)
+    assert benchmark(rsa.verify, key.public, b"x" * 200, signature)
+
+
+def test_simulated_ecdsa_sign(benchmark):
+    key = KeyPair.generate(13, ZSK_FLAGS, seed=1)
+    signature = benchmark(key.sign, b"x" * 200)
+    assert verify_signature(key.dnskey(), b"x" * 200, signature)
+
+
+def test_rrset_sign_and_verify(benchmark):
+    key = KeyPair.generate(13, ZSK_FLAGS, seed=2)
+    zone = Name.from_text("example.com.")
+    rrset = RRset.of(
+        Name.from_text("www.example.com."), RdataType.A, A(address="192.0.2.1")
+    )
+    policy = SigningPolicy.window(NOW)
+
+    def sign_verify():
+        sig = sign_rrset(rrset, key, zone, policy)
+        return verify_signature(key.dnskey(), signed_data(rrset, sig), sig.signature)
+
+    assert benchmark(sign_verify)
+
+
+def test_end_to_end_resolution(benchmark, testbed_ctx):
+    """One full validated resolution through fabric + engine + validator."""
+    from repro.resolver.profiles import CLOUDFLARE
+    from repro.resolver.recursive import RecursiveResolver
+
+    testbed = testbed_ctx.testbed
+    resolver = RecursiveResolver(
+        fabric=testbed.fabric, profile=CLOUDFLARE,
+        root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+    )
+    deployed = testbed.cases["valid"]
+
+    def resolve_uncached():
+        resolver.flush_caches()
+        return resolver.resolve(deployed.query_name, RdataType.A)
+
+    response = benchmark(resolve_uncached)
+    assert response.rcode == 0
+
+
+def test_cached_resolution(benchmark, testbed_ctx):
+    from repro.resolver.profiles import CLOUDFLARE
+    from repro.resolver.recursive import RecursiveResolver
+
+    testbed = testbed_ctx.testbed
+    resolver = RecursiveResolver(
+        fabric=testbed.fabric, profile=CLOUDFLARE,
+        root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+    )
+    deployed = testbed.cases["valid"]
+    resolver.resolve(deployed.query_name, RdataType.A)
+
+    response = benchmark(resolver.resolve, deployed.query_name, RdataType.A)
+    assert response.rcode == 0

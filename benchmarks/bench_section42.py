@@ -1,0 +1,62 @@
+"""Section 4.2 — the Internet-wide scan and its category table."""
+
+from repro.experiments.harness import (
+    experiment_section42,
+    experiment_section42_ns,
+    seeded_code_counts,
+)
+from repro.scan.analysis import analyze, pipeline_accuracy
+from repro.scan.scanner import WildScanner
+from repro.scan.wild import WildInternet
+
+
+def test_section42_category_recovery(benchmark, scan_ctx):
+    """The pipeline must recover the seeded category counts exactly."""
+    report = benchmark(experiment_section42, scan_ctx)
+    seeded_rows = [c for c in report.comparisons if "(seeded)" in c.metric]
+    assert seeded_rows and all(c.ok for c in seeded_rows), report.render()
+    accuracy, wrong = pipeline_accuracy(scan_ctx.result)
+    assert accuracy == 1.0, [w.name for w in wrong[:5]]
+
+
+def test_section42_category_ranking(benchmark, scan_ctx):
+    """Lame delegation (22, 23) and RRSIGs Missing (10) dominate, as in
+    the paper's ranked category list."""
+
+    def rank():
+        return [c.code for c in scan_ctx.analysis.categories[:4]]
+
+    top = benchmark(rank)
+    assert top[:2] == [22, 23]
+    assert 10 in top
+
+
+def test_section42_analysis_cost(benchmark, scan_ctx):
+    analysis = benchmark(analyze, scan_ctx.result, scan_ctx.population)
+    assert analysis.ede_domains == scan_ctx.analysis.ede_domains
+
+
+def test_section42_seeded_counts_match_measured(benchmark, scan_ctx):
+    seeded = benchmark(seeded_code_counts, scan_ctx.population)
+    measured = {c.code: c.domains for c in scan_ctx.analysis.categories}
+    assert measured == {code: n for code, n in seeded.items() if n}
+
+
+def test_section42_ns_concentration(benchmark, scan_ctx):
+    """Broken-nameserver statistics (267k REFUSED / fixing-20k-covers-81%)."""
+    report = benchmark(experiment_section42_ns, scan_ctx)
+    ns = scan_ctx.analysis.nameservers
+    assert ns.by_kind.get("refused", 0) >= ns.by_kind.get("servfail", 0)
+    assert 0.5 <= ns.coverage_at_paper_fraction <= 1.0
+
+
+def test_scan_throughput(benchmark, scan_ctx):
+    """Domains scanned per second through the full resolver stack."""
+    sample = scan_ctx.population.domains[:256]
+
+    def rescan():
+        scanner = WildScanner(scan_ctx.wild, seed=123)
+        return scanner.scan(domains=sample)
+
+    result = benchmark.pedantic(rescan, rounds=1, iterations=1)
+    assert len(result.records) == len(sample)

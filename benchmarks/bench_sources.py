@@ -1,0 +1,34 @@
+"""Section 4.1 — input-list assembly (AXFR, CZDS, Tranco, pDNS, CT)."""
+
+from repro.experiments.harness import experiment_section41
+from repro.resolver.transfer import axfr, axfr_domains
+from repro.scan.sources import InputListBuilder
+
+
+def test_section41_input_assembly(benchmark, scan_ctx):
+    """The 488M→303M funnel reproduces at scale (ratio within 15%)."""
+
+    def assemble():
+        return experiment_section41(scan_ctx)
+
+    report = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    assert report.all_ok, report.render()
+
+
+def test_axfr_transfer_speed(benchmark, scan_ctx):
+    """One real RFC 5936 transfer of an open ccTLD zone."""
+    wild = scan_ctx.wild
+    address = wild.tld_addresses["se"]
+
+    def transfer():
+        return axfr(wild.fabric, address, "se.")
+
+    zone = benchmark(transfer)
+    expected = [d.name for d in wild.population.domains if d.tld == "se"]
+    assert sorted(axfr_domains(zone)) == sorted(expected)
+
+
+def test_czds_dump_speed(benchmark, scan_ctx):
+    builder = InputListBuilder(scan_ctx.wild)
+    entries = benchmark(builder.czds_dump)
+    assert entries

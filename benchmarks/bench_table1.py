@@ -1,0 +1,50 @@
+"""Table 1 — the EDE registry, and the cost of carrying EDE on the wire."""
+
+from repro.dns.ede import EDE_DESCRIPTIONS, EdeCode, ExtendedError, describe
+from repro.dns.edns import Edns
+from repro.dns.message import Message
+from repro.experiments.harness import experiment_table1
+
+
+def test_table1_registry(benchmark):
+    """Regenerates Table 1 and verifies it against the paper."""
+    report = benchmark(experiment_table1)
+    assert report.all_ok
+    assert len(EDE_DESCRIPTIONS) == 30
+
+
+def test_ede_option_encode(benchmark):
+    option = ExtendedError.make(
+        EdeCode.NETWORK_ERROR, "203.0.113.1:53 rcode=REFUSED for example.com. A"
+    )
+    data = benchmark(option.to_wire_data)
+    assert data[:2] == b"\x00\x17"
+
+
+def test_ede_option_decode(benchmark):
+    data = ExtendedError.make(EdeCode.DNSSEC_BOGUS, "chain of trust broken").to_wire_data()
+    option = benchmark(ExtendedError.from_wire_data, data)
+    assert option.info_code == 6
+
+
+def test_full_registry_lookup(benchmark):
+    def lookup_all():
+        return [describe(code) for code in range(30)]
+
+    descriptions = benchmark(lookup_all)
+    assert descriptions[22] == "No Reachable Authority"
+
+
+def test_message_with_three_ede_round_trip(benchmark):
+    message = Message.make_query("extended-dns-errors.com.", want_dnssec=True)
+    message.qr = True
+    message.edns = Edns()
+    message.add_ede(9)
+    message.add_ede(22)
+    message.add_ede(23, "192.0.2.1:53 rcode=REFUSED for x.com. A")
+
+    def round_trip():
+        return Message.from_wire(message.to_wire())
+
+    decoded = benchmark(round_trip)
+    assert decoded.ede_codes == (9, 22, 23)

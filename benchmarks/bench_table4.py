@@ -1,0 +1,53 @@
+"""Tables 2-4 and Section 3.3 — the testbed experiment end to end."""
+
+import pytest
+
+from repro.experiments.harness import (
+    experiment_section33,
+    experiment_table2_3,
+    experiment_table4,
+)
+from repro.testbed.expected import EXPECTED_TABLE4
+from repro.testbed.infra import build_testbed
+from repro.testbed.runner import run_matrix
+
+
+def test_table2_3_testbed_inventory(benchmark, testbed_ctx):
+    """Verifies the 63-case inventory (Tables 2-3) against the paper."""
+    report = benchmark(experiment_table2_3, testbed_ctx)
+    assert report.all_ok, report.render()
+
+
+def test_table4_matrix_regeneration(benchmark, testbed_ctx):
+    """Re-runs all 63x7 queries and compares every cell with Table 4."""
+
+    def regenerate():
+        return run_matrix(testbed_ctx.testbed)
+
+    matrix = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert matrix.diff_against_paper() == []
+    assert matrix.agreement_with_paper() == 1.0
+
+
+def test_table4_report(benchmark, testbed_ctx):
+    report = benchmark(experiment_table4, testbed_ctx)
+    assert report.all_ok, report.render()
+
+
+def test_section33_consistency_stats(benchmark, testbed_ctx):
+    """The 94%-inconsistency and 12-unique-codes statistics."""
+    report = benchmark(experiment_section33, testbed_ctx)
+    assert report.all_ok, report.render()
+    ratio = testbed_ctx.matrix.inconsistency_ratio()
+    assert ratio == pytest.approx(59 / 63)
+
+
+def test_testbed_build_cost(benchmark):
+    """Cost of standing up the full infrastructure (63 signed RSA zones)."""
+
+    def build():
+        return build_testbed()
+
+    testbed = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(testbed.cases) == 63
+    assert set(EXPECTED_TABLE4) == set(testbed.cases)

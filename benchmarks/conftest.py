@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+The scan-based benchmarks share one universe; its scale comes from the
+``REPRO_SCAN_SCALE`` environment variable (default 1:20000, which keeps
+the whole suite around two minutes — the paper-faithful 1:1000 run is
+documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import ScanContext, TestbedContext
+
+SCAN_SCALE = int(os.environ.get("REPRO_SCAN_SCALE", "20000"))
+
+
+@pytest.fixture(scope="session")
+def testbed_ctx() -> TestbedContext:
+    return TestbedContext.create()
+
+
+@pytest.fixture(scope="session")
+def scan_ctx() -> ScanContext:
+    return ScanContext.create(scale=SCAN_SCALE)

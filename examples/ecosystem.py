@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""The EDE ecosystem beyond the paper's measurements.
+
+The paper's Section 2 sketches how EDE is spreading through the DNS
+ecosystem: forwarders relaying codes, the Spamhaus firewall emitting
+Blocked (15), the DNS Error Reporting draft building on it.  This
+example wires all of those together on one fabric:
+
+  stub client
+    -> home-router FORWARDER (blocklist + stale cache, annotates EDE)
+    -> Cloudflare-profile RECURSIVE resolver (validates, emits EDE,
+       reports failures to the zone's monitoring AGENT via RFC 9567)
+    -> the misconfigured extended-dns-errors.com testbed
+
+then lints a broken zone offline and AXFRs a testbed zone — the whole
+troubleshooting toolchain in one run.
+
+Run:  python examples/ecosystem.py
+"""
+
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.rdata import A, NS
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.resolver import (
+    CLOUDFLARE,
+    ForwardingResolver,
+    LocalPolicy,
+    PolicyAction,
+    RecursiveResolver,
+    ReportingAgent,
+    StubResolver,
+)
+from repro.testbed import build_testbed
+from repro.zones import Severity, lint_zone
+
+RECURSIVE_IP = "192.0.9.150"
+FORWARDER_IP = "192.0.9.151"
+AGENT_IP = "192.0.9.152"
+
+
+def main() -> None:
+    print("building the testbed...")
+    testbed = build_testbed()
+    fabric = testbed.fabric
+    now = int(fabric.clock.now())
+
+    # -- a monitoring agent, advertised by the parent zone's server --------
+    agent_domain = Name.from_text("agent.extended-dns-errors.com.")
+    agent = ReportingAgent(agent_domain, fabric.clock)
+    fabric.register(AGENT_IP, agent)
+    parent_server = fabric._endpoints[("185.199.0.53", 53)]
+    parent_server.report_agent = agent_domain
+    parent_built_zone = parent_server.zones()[0]
+    parent_built_zone.add(
+        RRset.of(agent_domain, RdataType.NS,
+                 NS(target=Name.from_text("ns1", origin=agent_domain)), ttl=300)
+    )
+    parent_built_zone.add(
+        RRset.of(Name.from_text("ns1", origin=agent_domain), RdataType.A,
+                 A(address=AGENT_IP), ttl=300)
+    )
+
+    # -- the recursive resolver (with RFC 9567 reporting enabled) -----------
+    recursive = RecursiveResolver(
+        fabric=fabric, profile=CLOUDFLARE,
+        root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+        error_reporting=True,
+    )
+    fabric.register(RECURSIVE_IP, recursive)
+
+    # -- the home-router forwarder with a Spamhaus-style blocklist ----------
+    blocklist = LocalPolicy()
+    blocklist.add("malware.example.", PolicyAction.BLOCK, reason="Malware")
+    forwarder = ForwardingResolver(
+        fabric=fabric, upstreams=[RECURSIVE_IP],
+        annotate_forwarded=True, local_policy=blocklist,
+    )
+    fabric.register(FORWARDER_IP, forwarder)
+
+    stub = StubResolver(fabric, FORWARDER_IP)
+
+    print("\n1) blocked by the forwarder's local policy:")
+    answer = stub.query("evil.malware.example.", RdataType.A)
+    print(f"   rcode={Rcode(answer.rcode).name} EDE={[str(o) for o in answer.ede]}")
+
+    print("\n2) DNSSEC-broken domain, EDE relayed and annotated:")
+    answer = stub.query("rrsig-exp-all.extended-dns-errors.com.", RdataType.A)
+    print(f"   rcode={Rcode(answer.rcode).name}")
+    for option in answer.ede:
+        print(f"   {option}")
+
+    print("\n3) the zone's monitoring agent heard about it (RFC 9567):")
+    for record in agent.reports:
+        print(f"   report: {record.qname} type {record.rdtype} "
+              f"info-code {record.info_code} from {record.reporter}")
+
+    print("\n4) the operator lints the same zone offline:")
+    deployed = testbed.cases["rrsig-exp-all"]
+    findings = lint_zone(
+        deployed.built.zone, now=now, parent_ds=deployed.built.ds_rdatas
+    )
+    for finding in findings:
+        if finding.severity is Severity.ERROR:
+            print(f"   {finding}")
+
+    print("\n5) and pulls the valid zone by AXFR for comparison:")
+    from repro.resolver import axfr
+    from repro.server.acl import Acl
+
+    valid = testbed.cases["valid"]
+    server = fabric._endpoints[(valid.server_address, 53)]
+    server.allow_transfer = Acl.any()
+    zone = axfr(fabric, valid.server_address, str(valid.zone_name))
+    clean = lint_zone(zone, now=now, parent_ds=valid.built.ds_rdatas)
+    errors = [f for f in clean if f.severity is Severity.ERROR]
+    print(f"   transferred {len(zone)} RRsets; lint errors: {len(errors)}")
+
+
+if __name__ == "__main__":
+    main()

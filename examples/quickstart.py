@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Quickstart: build a broken zone, resolve it, read the Extended DNS Errors.
+
+This walks the library's core loop end to end in ~60 lines:
+
+1. build a simulated Internet (root -> com -> example zone) where the
+   example zone's RRSIGs are expired;
+2. attach two vendor-profile resolvers (Unbound and Cloudflare) to it;
+3. resolve the domain and print the RCODE and the RFC 8914 extended
+   errors each vendor returns.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dns import A, NS, Name, RRset, Rcode, RdataType
+from repro.dnssec.ds import make_ds
+from repro.net import NetworkFabric
+from repro.resolver import CLOUDFLARE, UNBOUND, RecursiveResolver
+from repro.server import AuthoritativeServer
+from repro.zones import Window, ZoneBuilder, ZoneMutation
+
+NOW = 1_684_108_800  # 2023-05-15, the paper's measurement window
+ROOT_IP, COM_IP, EXAMPLE_IP = "198.41.0.4", "192.5.6.30", "185.199.1.1"
+
+
+def build_zone(origin: str, server_ip: str, mutation: ZoneMutation, fabric, extra=()):
+    """Build one signed zone and host it on the fabric."""
+    origin_name = Name.from_text(origin)
+    builder = ZoneBuilder(origin_name, now=NOW, mutation=mutation)
+    ns_name = Name.from_text("ns1", origin=origin_name)
+    builder.add(RRset.of(origin_name, RdataType.NS, NS(target=ns_name)))
+    builder.add(RRset.of(ns_name, RdataType.A, A(address=server_ip)))
+    builder.ensure_soa()
+    for rrset in extra:
+        builder.add(rrset)
+    built = builder.build()
+    server = AuthoritativeServer(name=f"ns1.{origin}")
+    server.add_zone(built.zone)
+    fabric.register(server_ip, server)
+    return built
+
+
+def main() -> None:
+    fabric = NetworkFabric()
+    algo = ZoneMutation(algorithm=13)  # fast simulated ECDSA P-256
+
+    # The broken leaf: every RRSIG in the zone is expired.
+    example = build_zone(
+        "broken-example.com.", EXAMPLE_IP,
+        ZoneMutation(algorithm=13, window_all=Window.EXPIRED), fabric,
+        extra=[RRset.of(Name.from_text("broken-example.com."), RdataType.A,
+                        A(address="93.184.216.34"))],
+    )
+
+    # A healthy com zone delegating to it (with the child's DS)...
+    example_name = Name.from_text("broken-example.com.")
+    com = build_zone(
+        "com.", COM_IP, algo, fabric,
+        extra=[
+            RRset.of(example_name, RdataType.NS,
+                     NS(target=Name.from_text("ns1.broken-example.com."))),
+            RRset.of(Name.from_text("ns1.broken-example.com."), RdataType.A,
+                     A(address=EXAMPLE_IP)),
+            *(RRset.of(example_name, RdataType.DS, ds) for ds in example.ds_rdatas),
+        ],
+    )
+
+    # ...and a root zone delegating to com.
+    root = build_zone(
+        ".", ROOT_IP, algo, fabric,
+        extra=[
+            RRset.of(Name.from_text("com."), RdataType.NS,
+                     NS(target=Name.from_text("ns.com."))),
+            RRset.of(Name.from_text("ns.com."), RdataType.A, A(address=COM_IP)),
+            *(RRset.of(Name.from_text("com."), RdataType.DS, ds) for ds in com.ds_rdatas),
+        ],
+    )
+    trust_anchor = make_ds(Name.root(), root.ksk.dnskey(), 2)
+
+    print(f"query: broken-example.com. A   (zone signatures expired)\n")
+    for profile in (UNBOUND, CLOUDFLARE):
+        resolver = RecursiveResolver(
+            fabric=fabric, profile=profile, root_hints=[ROOT_IP],
+            trust_anchors=[trust_anchor],
+        )
+        response = resolver.resolve("broken-example.com.", RdataType.A)
+        print(f"{profile.name}:")
+        print(f"  rcode: {Rcode(response.rcode).name}")
+        if response.extended_errors:
+            for option in response.extended_errors:
+                print(f"  {option}")
+        else:
+            print("  (no extended errors)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""EDE-powered troubleshooting, the way the paper's conclusion envisions.
+
+A mini "dig + diagnosis" tool: give it one of the testbed's subdomain
+labels (e.g. ``rrsig-exp-all``, ``v6-localhost``, ``allow-query-none``),
+and it queries the domain through every vendor profile, decodes the
+extended errors, and prints a human diagnosis of the root cause —
+no DNSViz, no external services, just RFC 8914 data from the responses.
+
+Run:  python examples/troubleshoot.py rrsig-exp-all
+      python examples/troubleshoot.py --list
+"""
+
+import argparse
+import sys
+
+from repro.dns.ede import EDE_CATEGORIES, EdeCategory, EdeCode, describe
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.testbed import ALL_CASES, CASES_BY_LABEL, build_testbed, make_resolvers
+
+#: What an operator should *do* for each category of INFO-CODE.
+ADVICE = {
+    EdeCategory.DNSSEC_VALIDATION: (
+        "DNSSEC chain problem: re-run your signer, check key rollover state,"
+        " and compare the DS at the parent with the DNSKEYs at the child."
+    ),
+    EdeCategory.CACHING: (
+        "The resolver answered from cache (possibly stale); the authoritative"
+        " servers were not freshly consulted. Check their availability."
+    ),
+    EdeCategory.RESOLVER_POLICY: (
+        "The resolver applied local policy (blocking/filtering); this is not"
+        " a misconfiguration of the domain itself."
+    ),
+    EdeCategory.SOFTWARE_OPERATION: (
+        "The resolver could not complete the resolution: check that every"
+        " delegated nameserver is reachable and answers authoritatively."
+    ),
+    EdeCategory.OTHER: "Unusual condition; inspect the EXTRA-TEXT for details.",
+}
+
+
+def diagnose(codes: tuple[int, ...]) -> str:
+    if not codes:
+        return "no extended errors: nothing to diagnose from this vendor"
+    categories = []
+    for code in codes:
+        try:
+            category = EDE_CATEGORIES[EdeCode(code)]
+        except ValueError:
+            category = EdeCategory.OTHER
+        if category not in categories:
+            categories.append(category)
+    return " | ".join(ADVICE[c] for c in categories)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("label", nargs="?", help="testbed subdomain label")
+    parser.add_argument("--list", action="store_true", help="list all 63 labels")
+    args = parser.parse_args()
+
+    if args.list or not args.label:
+        for case in ALL_CASES:
+            print(f"{case.label:28s} {case.description}")
+        return 0
+
+    case = CASES_BY_LABEL.get(args.label)
+    if case is None:
+        print(f"unknown label {args.label!r}; try --list", file=sys.stderr)
+        return 1
+
+    print(f"domain: {case.subdomain}")
+    print(f"configured fault: {case.description}\n")
+    print("building infrastructure...")
+    testbed = build_testbed()
+    resolvers = make_resolvers(testbed)
+    deployed = testbed.cases[case.label]
+
+    print(f"querying {deployed.query_name} A through all vendors:\n")
+    seen_codes: set[int] = set()
+    for name, resolver in resolvers.items():
+        response = resolver.resolve(deployed.query_name, RdataType.A)
+        seen_codes.update(response.ede_codes)
+        codes = ", ".join(
+            f"{o.info_code} ({o.description})"
+            + (f' "{o.extra_text}"' if o.extra_text else "")
+            for o in response.extended_errors
+        ) or "none"
+        print(f"  {resolver.profile.name:26s} rcode={Rcode(response.rcode).name:8s} EDE: {codes}")
+
+    print("\n-- diagnosis --")
+    print(diagnose(tuple(sorted(seen_codes))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

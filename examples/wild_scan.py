@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Section 4 of the paper: the Internet-wide scan, scaled down.
+
+Generates a synthetic registered-domain universe calibrated to the
+paper's measured misconfiguration distribution, deploys it as a
+simulated Internet (virtual TLD servers, lazy hosting, broken
+nameserver pools), scans every domain through a Cloudflare-profile
+resolver, and prints:
+
+* the 14-category table of Section 4.2 (per-INFO-CODE domain counts),
+* the broken-nameserver concentration statistics,
+* ASCII sketches of Figure 1 (per-TLD CDF) and Figure 2 (Tranco CDF).
+
+Run:  python examples/wild_scan.py [--scale N]   (default 1:20000, fast;
+      use --scale 1000 for the paper-faithful 303k-domain run, ~10 min)
+"""
+
+import argparse
+import time
+
+from repro.dns.rcode import Rcode
+from repro.experiments.report import render_cdf, render_table
+from repro.scan import (
+    PopulationConfig,
+    WildInternet,
+    WildScanner,
+    analyze,
+    generate_population,
+    pipeline_accuracy,
+    tld_ratios,
+    tranco_overlap,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=20_000,
+                        help="population divisor (paper-faithful: 1000)")
+    parser.add_argument("--seed", type=int, default=20230524)
+    args = parser.parse_args()
+
+    config = PopulationConfig(scale=args.scale, seed=args.seed)
+    print(f"generating the universe at 1:{args.scale} "
+          f"(~{config.total_domains:,} domains)...")
+    population = generate_population(config)
+    print(f"  {len(population.domains):,} domains, {len(population.tlds)} TLDs, "
+          f"{len(population.broken_ns)} broken nameservers")
+
+    print("deploying the wild Internet...")
+    started = time.time()
+    wild = WildInternet(population)
+    print(f"  {len(wild.fabric.endpoints())} endpoints in {time.time() - started:.1f}s")
+
+    print("scanning (A queries through the Cloudflare profile)...")
+    started = time.time()
+    scanner = WildScanner(wild)
+    result = scanner.scan(
+        progress=lambda done, total: print(f"  {done:,}/{total:,}", end="\r")
+    )
+    elapsed = time.time() - started
+    print(f"  {len(result.records):,} domains, {result.queries_sent:,} fabric "
+          f"queries in {elapsed:.1f}s ({len(result.records) / elapsed:,.0f} dom/s)")
+
+    accuracy, wrong = pipeline_accuracy(result)
+    print(f"  ground-truth pipeline accuracy: {accuracy * 100:.2f}% "
+          f"({len(wrong)} deviations)\n")
+
+    analysis = analyze(result, population)
+    rows = [
+        (c.code, c.description, f"{c.domains:,}", c.sample_extra_text[:44])
+        for c in analysis.categories
+    ]
+    print(render_table(("code", "category", "domains", "sample EXTRA-TEXT"), rows,
+                       title="-- Section 4.2: EDE categories --"))
+    print(f"\nEDE-triggering domains: {analysis.ede_domains:,} of "
+          f"{analysis.total_domains:,} ({analysis.ede_rate * 100:.2f}%; paper 5.8%)")
+    print(f"lame delegation |22 u 23|: {analysis.lame_union:,} "
+          f"(paper: 14.8M at full scale)")
+
+    ns = analysis.nameservers
+    print(f"\n-- nameserver concentration --")
+    print(f"unique broken nameservers: {ns.unique_broken:,} {dict(sorted(ns.by_kind.items()))}")
+    print(f"servers hosting >{ns.mega_threshold} domains: {ns.mega_servers} (paper: 6 over 100k)")
+    print(f"fixing the top {ns.fix_count_for_81pct} "
+          f"({ns.fix_fraction_for_81pct * 100:.1f}% of the pool) covers 81% of "
+          f"lame domains (paper: 20k of 293k = 6.8%)")
+
+    ratios = tld_ratios(result, population)
+
+    def cdf(values):
+        ordered = sorted(values)
+        return [(v * 100, (i + 1) / len(ordered)) for i, v in enumerate(ordered)]
+
+    print("\n-- Figure 1: ratio of EDE domains per TLD --")
+    print(render_cdf(cdf(ratios.gtld_ratios), title="gTLDs",
+                     xlabel="ratio of domains (%)"))
+    print(render_cdf(cdf(ratios.cctld_ratios), title="ccTLDs",
+                     xlabel="ratio of domains (%)"))
+    print(f"zero-EDE TLDs: {ratios.zero_fraction(cc=False) * 100:.0f}% of gTLDs, "
+          f"{ratios.zero_fraction(cc=True) * 100:.0f}% of ccTLDs "
+          f"(paper: 38% / 4% at full scale)")
+
+    overlap = tranco_overlap(result)
+    print("\n-- Figure 2: EDE domains across the Tranco-like top list --")
+    print(render_cdf(overlap.rank_cdf(), title="CDF over ranks",
+                     xlabel="normalized rank"))
+    noerror = overlap.noerror_overlap
+    print(f"overlap: {overlap.overlap} of {overlap.tranco_size} ranked domains, "
+          f"{noerror} of them still NOERROR (paper: 22.1k / 1M, 12.2k NOERROR)")
+
+
+if __name__ == "__main__":
+    main()

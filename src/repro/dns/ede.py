@@ -1,0 +1,182 @@
+"""Extended DNS Errors (RFC 8914).
+
+Implements the EDE EDNS option (OPTION-CODE 15): a 16-bit INFO-CODE plus
+an optional UTF-8 EXTRA-TEXT, and the IANA "Extended DNS Error Codes"
+registry as of the paper's measurement (codes 0–29; Table 1 of the
+paper).  Extended errors are *supplementary*: they never change the
+RCODE, and any combination of RCODE and INFO-CODE is legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from .edns import EdnsOption, OptionCode
+from .exceptions import OptionError
+
+
+class EdeCode(IntEnum):
+    """INFO-CODE values from the IANA registry (paper Table 1)."""
+
+    OTHER = 0
+    UNSUPPORTED_DNSKEY_ALGORITHM = 1
+    UNSUPPORTED_DS_DIGEST_TYPE = 2
+    STALE_ANSWER = 3
+    FORGED_ANSWER = 4
+    DNSSEC_INDETERMINATE = 5
+    DNSSEC_BOGUS = 6
+    SIGNATURE_EXPIRED = 7
+    SIGNATURE_NOT_YET_VALID = 8
+    DNSKEY_MISSING = 9
+    RRSIGS_MISSING = 10
+    NO_ZONE_KEY_BIT_SET = 11
+    NSEC_MISSING = 12
+    CACHED_ERROR = 13
+    NOT_READY = 14
+    BLOCKED = 15
+    CENSORED = 16
+    FILTERED = 17
+    PROHIBITED = 18
+    STALE_NXDOMAIN_ANSWER = 19
+    NOT_AUTHORITATIVE = 20
+    NOT_SUPPORTED = 21
+    NO_REACHABLE_AUTHORITY = 22
+    NETWORK_ERROR = 23
+    INVALID_DATA = 24
+    SIGNATURE_EXPIRED_BEFORE_VALID = 25
+    TOO_EARLY = 26
+    UNSUPPORTED_NSEC3_ITERATIONS_VALUE = 27
+    UNABLE_TO_CONFORM_TO_POLICY = 28
+    SYNTHESIZED = 29
+
+
+#: Human-readable purposes, exactly as listed in the paper's Table 1.
+EDE_DESCRIPTIONS: dict[EdeCode, str] = {
+    EdeCode.OTHER: "Other",
+    EdeCode.UNSUPPORTED_DNSKEY_ALGORITHM: "Unsupported DNSKEY Algorithm",
+    EdeCode.UNSUPPORTED_DS_DIGEST_TYPE: "Unsupported DS Digest Type",
+    EdeCode.STALE_ANSWER: "Stale Answer",
+    EdeCode.FORGED_ANSWER: "Forged Answer",
+    EdeCode.DNSSEC_INDETERMINATE: "DNSSEC Indeterminate",
+    EdeCode.DNSSEC_BOGUS: "DNSSEC Bogus",
+    EdeCode.SIGNATURE_EXPIRED: "Signature Expired",
+    EdeCode.SIGNATURE_NOT_YET_VALID: "Signature Not Yet Valid",
+    EdeCode.DNSKEY_MISSING: "DNSKEY Missing",
+    EdeCode.RRSIGS_MISSING: "RRSIGs Missing",
+    EdeCode.NO_ZONE_KEY_BIT_SET: "No Zone Key Bit Set",
+    EdeCode.NSEC_MISSING: "NSEC Missing",
+    EdeCode.CACHED_ERROR: "Cached Error",
+    EdeCode.NOT_READY: "Not Ready",
+    EdeCode.BLOCKED: "Blocked",
+    EdeCode.CENSORED: "Censored",
+    EdeCode.FILTERED: "Filtered",
+    EdeCode.PROHIBITED: "Prohibited",
+    EdeCode.STALE_NXDOMAIN_ANSWER: "Stale NXDOMAIN Answer",
+    EdeCode.NOT_AUTHORITATIVE: "Not Authoritative",
+    EdeCode.NOT_SUPPORTED: "Not Supported",
+    EdeCode.NO_REACHABLE_AUTHORITY: "No Reachable Authority",
+    EdeCode.NETWORK_ERROR: "Network Error",
+    EdeCode.INVALID_DATA: "Invalid Data",
+    EdeCode.SIGNATURE_EXPIRED_BEFORE_VALID: "Signature Expired before Valid",
+    EdeCode.TOO_EARLY: "Too Early",
+    EdeCode.UNSUPPORTED_NSEC3_ITERATIONS_VALUE: "Unsupported NSEC3 Iter. Value",
+    EdeCode.UNABLE_TO_CONFORM_TO_POLICY: "Unable to conform to policy",
+    EdeCode.SYNTHESIZED: "Synthesized",
+}
+
+#: Codes defined directly by RFC 8914 (the first 25, i.e. 0..24).
+RFC8914_CODES = frozenset(EdeCode(code) for code in range(25))
+
+#: Later IANA additions discussed by the paper (25..29).
+POST_RFC_CODES = frozenset(EdeCode(code) for code in range(25, 30))
+
+
+class EdeCategory:
+    """Paper Section 2 taxonomy of INFO-CODEs by DNS operational aspect."""
+
+    DNSSEC_VALIDATION = "dnssec-validation"
+    CACHING = "caching"
+    RESOLVER_POLICY = "resolver-policy"
+    SOFTWARE_OPERATION = "software-operation"
+    OTHER = "other"
+
+
+#: Section 2 of the paper: i) DNSSEC validation (1, 2, 5-12, 25, 27),
+#: ii) caching (3, 13, 19, 29), iii) resolver policies (4, 15-18, 20),
+#: iv) software operation (14, 21-23), v) others (0, 24, 26, 28).
+EDE_CATEGORIES: dict[EdeCode, str] = {
+    **{
+        EdeCode(code): EdeCategory.DNSSEC_VALIDATION
+        for code in (1, 2, 5, 6, 7, 8, 9, 10, 11, 12, 25, 27)
+    },
+    **{EdeCode(code): EdeCategory.CACHING for code in (3, 13, 19, 29)},
+    **{EdeCode(code): EdeCategory.RESOLVER_POLICY for code in (4, 15, 16, 17, 18, 20)},
+    **{EdeCode(code): EdeCategory.SOFTWARE_OPERATION for code in (14, 21, 22, 23)},
+    **{EdeCode(code): EdeCategory.OTHER for code in (0, 24, 26, 28)},
+}
+
+
+def describe(code: int) -> str:
+    """Registry description for ``code``; unassigned codes get a placeholder."""
+    try:
+        return EDE_DESCRIPTIONS[EdeCode(code)]
+    except ValueError:
+        return f"Unassigned EDE code {code}"
+
+
+@dataclass(frozen=True)
+class ExtendedError(EdnsOption):
+    """One Extended DNS Error option instance.
+
+    ``info_code`` is kept as a plain int so unassigned codes round-trip;
+    use :attr:`known_code` for the registry enum when it exists.
+    """
+
+    code: int = OptionCode.EDE
+    data: bytes = b""
+    info_code: int = 0
+    extra_text: str = ""
+
+    @classmethod
+    def make(cls, info_code: "int | EdeCode", extra_text: str = "") -> "ExtendedError":
+        return cls(info_code=int(info_code), extra_text=extra_text)
+
+    @property
+    def known_code(self) -> EdeCode | None:
+        try:
+            return EdeCode(self.info_code)
+        except ValueError:
+            return None
+
+    @property
+    def description(self) -> str:
+        return describe(self.info_code)
+
+    @property
+    def category(self) -> str:
+        known = self.known_code
+        if known is None:
+            return EdeCategory.OTHER
+        return EDE_CATEGORIES[known]
+
+    def to_wire_data(self) -> bytes:
+        return self.info_code.to_bytes(2, "big") + self.extra_text.encode("utf-8")
+
+    @classmethod
+    def from_wire_data(cls, data: bytes) -> "ExtendedError":
+        if len(data) < 2:
+            raise OptionError("EDE option shorter than 2 octets")
+        info_code = int.from_bytes(data[:2], "big")
+        # RFC 8914: EXTRA-TEXT is UTF-8, may be absent, not NUL-terminated;
+        # a trailing NUL from sloppy encoders is tolerated and stripped.
+        text = data[2:].rstrip(b"\x00").decode("utf-8", errors="replace")
+        return cls(info_code=info_code, extra_text=text)
+
+    def __str__(self) -> str:
+        if self.extra_text:
+            return f"EDE {self.info_code} ({self.description}): {self.extra_text}"
+        return f"EDE {self.info_code} ({self.description})"
+
+
+EdnsOption.register(OptionCode.EDE, ExtendedError.from_wire_data)

@@ -1,0 +1,334 @@
+"""DNS messages: header, question, and the three record sections.
+
+Encoding groups records into RRsets on parse and flattens them on write;
+the OPT pseudo-record is lifted out of the additional section into a
+:class:`repro.dns.edns.Edns` object (and re-synthesized on encode), so
+EDE options are always reached via ``message.edns``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from . import rcode as rcode_mod
+from .edns import Edns
+from .ede import ExtendedError, OptionCode
+from .exceptions import FormError
+from .name import Name
+from .rdata import Rdata
+from .rrset import RRset
+from .types import Opcode, RdataClass, RdataType
+from .wire import WireReader, WireWriter
+
+HEADER_LENGTH = 12
+
+# header flag bit masks (within the 16-bit flags word)
+FLAG_QR = 0x8000
+FLAG_AA = 0x0400
+FLAG_TC = 0x0200
+FLAG_RD = 0x0100
+FLAG_RA = 0x0080
+FLAG_AD = 0x0020
+FLAG_CD = 0x0010
+
+
+@dataclass(frozen=True)
+class Question:
+    name: Name
+    rdtype: RdataType
+    rdclass: RdataClass = RdataClass.IN
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.rdclass} {self.rdtype}"
+
+
+@dataclass
+class Message:
+    """A DNS message in decoded form."""
+
+    id: int = 0
+    qr: bool = False
+    opcode: Opcode = Opcode.QUERY
+    aa: bool = False
+    tc: bool = False
+    rd: bool = True
+    ra: bool = False
+    ad: bool = False
+    cd: bool = False
+    rcode: int = rcode_mod.Rcode.NOERROR
+    question: list[Question] = field(default_factory=list)
+    answer: list[RRset] = field(default_factory=list)
+    authority: list[RRset] = field(default_factory=list)
+    additional: list[RRset] = field(default_factory=list)
+    edns: Edns | None = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def make_query(
+        cls,
+        qname: Name | str,
+        rdtype: RdataType | str = RdataType.A,
+        rdclass: RdataClass = RdataClass.IN,
+        *,
+        want_dnssec: bool = False,
+        use_edns: bool = True,
+        recursion_desired: bool = True,
+        payload: int = 1232,
+        msg_id: int | None = None,
+    ) -> "Message":
+        if isinstance(qname, str):
+            qname = Name.from_text(qname)
+        if not qname.is_absolute():
+            # Queries are always for absolute names; be dig-like about it.
+            qname = Name(qname.labels + (b"",))
+        rdtype = RdataType.make(rdtype)
+        message = cls(
+            id=msg_id if msg_id is not None else random.randrange(0x10000),
+            rd=recursion_desired,
+        )
+        message.question.append(Question(qname, rdtype, rdclass))
+        if use_edns or want_dnssec:
+            message.edns = Edns(payload=payload, dnssec_ok=want_dnssec)
+        return message
+
+    def make_response(self, recursion_available: bool = True) -> "Message":
+        """Skeleton response to this query, echoing id/question/EDNS."""
+        response = Message(
+            id=self.id,
+            qr=True,
+            opcode=self.opcode,
+            rd=self.rd,
+            ra=recursion_available,
+            cd=self.cd,
+        )
+        response.question = list(self.question)
+        if self.edns is not None:
+            response.edns = Edns(dnssec_ok=self.edns.dnssec_ok)
+        return response
+
+    # -- EDE helpers -----------------------------------------------------------
+
+    @property
+    def extended_errors(self) -> list[ExtendedError]:
+        """All EDE options present on this message (possibly empty)."""
+        if self.edns is None:
+            return []
+        return [
+            opt
+            for opt in self.edns.options
+            if isinstance(opt, ExtendedError) and opt.code == OptionCode.EDE
+        ]
+
+    @property
+    def ede_codes(self) -> tuple[int, ...]:
+        """Sorted, de-duplicated INFO-CODEs on this message."""
+        return tuple(sorted({e.info_code for e in self.extended_errors}))
+
+    def add_ede(self, info_code: int, extra_text: str = "") -> None:
+        """Attach an EDE option, creating the OPT record if needed."""
+        if self.edns is None:
+            self.edns = Edns()
+        existing = {(e.info_code, e.extra_text) for e in self.extended_errors}
+        if (int(info_code), extra_text) not in existing:
+            self.edns.options.append(ExtendedError.make(info_code, extra_text))
+
+    # -- section helpers -----------------------------------------------------
+
+    def find_answer(self, name: Name, rdtype: RdataType) -> RRset | None:
+        for rrset in self.answer:
+            if rrset.match(name, rdtype):
+                return rrset
+        return None
+
+    def section_rrsets(self) -> list[RRset]:
+        return [*self.answer, *self.authority, *self.additional]
+
+    # -- wire ---------------------------------------------------------------------
+
+    def to_wire(self, max_size: int = 0) -> bytes:
+        """Encode; if ``max_size`` > 0 and exceeded, truncate and set TC."""
+        writer = WireWriter()
+        flags = 0
+        if self.qr:
+            flags |= FLAG_QR
+        flags |= (int(self.opcode) & 0xF) << 11
+        if self.aa:
+            flags |= FLAG_AA
+        if self.tc:
+            flags |= FLAG_TC
+        if self.rd:
+            flags |= FLAG_RD
+        if self.ra:
+            flags |= FLAG_RA
+        if self.ad:
+            flags |= FLAG_AD
+        if self.cd:
+            flags |= FLAG_CD
+        flags |= rcode_mod.header_bits(self.rcode)
+
+        writer.write_u16(self.id)
+        writer.write_u16(flags)
+        writer.write_u16(len(self.question))
+        ancount_at = writer.offset
+        writer.write_u16(0)
+        nscount_at = writer.offset
+        writer.write_u16(0)
+        arcount_at = writer.offset
+        writer.write_u16(0)
+
+        for question in self.question:
+            writer.write_name(question.name)
+            writer.write_u16(int(question.rdtype))
+            writer.write_u16(int(question.rdclass))
+
+        ancount = sum(rrset.write(writer) for rrset in self.answer)
+        writer.patch_u16(ancount_at, ancount)
+        nscount = sum(rrset.write(writer) for rrset in self.authority)
+        writer.patch_u16(nscount_at, nscount)
+        arcount = sum(rrset.write(writer) for rrset in self.additional)
+
+        if self.edns is not None:
+            edns = self.edns
+            edns.extended_rcode_bits = rcode_mod.extended_bits(self.rcode)
+            edns.write(writer)
+            arcount += 1
+        writer.patch_u16(arcount_at, arcount)
+
+        wire = writer.getvalue()
+        if max_size and len(wire) > max_size:
+            truncated = Message(
+                id=self.id,
+                qr=self.qr,
+                opcode=self.opcode,
+                aa=self.aa,
+                tc=True,
+                rd=self.rd,
+                ra=self.ra,
+                rcode=self.rcode,
+                question=list(self.question),
+                edns=self.edns,
+            )
+            return truncated.to_wire()
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: bytes) -> "Message":
+        reader = WireReader(wire)
+        if len(wire) < HEADER_LENGTH:
+            raise FormError("message shorter than header")
+        msg_id = reader.read_u16()
+        flags = reader.read_u16()
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+
+        opcode_value = (flags >> 11) & 0xF
+        try:
+            opcode = Opcode(opcode_value)
+        except ValueError as exc:
+            raise FormError(f"unknown opcode {opcode_value}") from exc
+        message = cls(
+            id=msg_id,
+            qr=bool(flags & FLAG_QR),
+            opcode=opcode,
+            aa=bool(flags & FLAG_AA),
+            tc=bool(flags & FLAG_TC),
+            rd=bool(flags & FLAG_RD),
+            ra=bool(flags & FLAG_RA),
+            ad=bool(flags & FLAG_AD),
+            cd=bool(flags & FLAG_CD),
+            rcode=flags & 0xF,
+        )
+
+        for _ in range(qdcount):
+            qname = reader.read_name()
+            qtype = reader.read_u16()
+            qclass = reader.read_u16()
+            try:
+                rdtype = RdataType(qtype)
+                rdclass = RdataClass(qclass)
+            except ValueError as exc:
+                raise FormError(f"unknown question type/class {qtype}/{qclass}") from exc
+            message.question.append(Question(qname, rdtype, rdclass))
+
+        message.answer = _read_section(reader, ancount, message, is_additional=False)
+        message.authority = _read_section(reader, nscount, message, is_additional=False)
+        message.additional = _read_section(reader, arcount, message, is_additional=True)
+
+        if message.edns is not None:
+            message.rcode = rcode_mod.join(
+                message.rcode, message.edns.extended_rcode_bits
+            )
+        return message
+
+    def __str__(self) -> str:
+        lines = [
+            f";; id {self.id} opcode {self.opcode.name}"
+            f" rcode {rcode_mod.Rcode(self.rcode).name if self.rcode in rcode_mod.Rcode._value2member_map_ else self.rcode}"
+            f" flags {'qr ' if self.qr else ''}{'aa ' if self.aa else ''}"
+            f"{'rd ' if self.rd else ''}{'ra ' if self.ra else ''}"
+            f"{'ad ' if self.ad else ''}{'cd' if self.cd else ''}".rstrip()
+        ]
+        for question in self.question:
+            lines.append(f";; QUESTION\n{question}")
+        for title, section in (
+            ("ANSWER", self.answer),
+            ("AUTHORITY", self.authority),
+            ("ADDITIONAL", self.additional),
+        ):
+            if section:
+                lines.append(f";; {title}")
+                lines.extend(str(rrset) for rrset in section)
+        for ede in self.extended_errors:
+            lines.append(f";; {ede}")
+        return "\n".join(lines)
+
+
+def _read_section(
+    reader: WireReader, count: int, message: Message, is_additional: bool
+) -> list[RRset]:
+    rrsets: list[RRset] = []
+    for _ in range(count):
+        name = reader.read_name()
+        rdtype_value = reader.read_u16()
+        rdclass_value = reader.read_u16()
+        ttl = reader.read_u32()
+        rdlength = reader.read_u16()
+        if is_additional and rdtype_value == int(RdataType.OPT):
+            if message.edns is not None:
+                raise FormError("more than one OPT record")
+            rdata = reader.read_bytes(rdlength)
+            message.edns = Edns.from_opt_fields(rdclass_value, ttl, rdata)
+            continue
+        try:
+            rdtype = RdataType(rdtype_value)
+        except ValueError:
+            rdtype = rdtype_value  # type: ignore[assignment]
+        rdata = Rdata.parse(rdtype, reader, rdlength)
+        for rrset in rrsets:
+            if (
+                rrset.name == name
+                and int(rrset.rdtype) == int(rdtype)
+                and int(rrset.rdclass) == rdclass_value
+            ):
+                rrset.add(rdata)
+                rrset.ttl = min(rrset.ttl, ttl)
+                break
+        else:
+            try:
+                rdclass = RdataClass(rdclass_value)
+            except ValueError as exc:
+                raise FormError(f"unknown RR class {rdclass_value}") from exc
+            rrsets.append(
+                RRset(
+                    name=name,
+                    rdtype=rdtype if isinstance(rdtype, RdataType) else RdataType.NONE,
+                    ttl=ttl,
+                    rdclass=rdclass,
+                    rdatas=[rdata],
+                )
+            )
+    return rrsets

@@ -1,0 +1,63 @@
+"""DNS response codes (RCODEs).
+
+The header carries only 4 bits; EDNS(0) extends the RCODE to 12 bits by
+contributing its upper 8 bits from the OPT TTL field (RFC 6891).  The
+helpers here split and join the two parts, which is exactly the mechanism
+whose insufficiency (even at 12 bits, one code must describe the whole
+failure) motivated RFC 8914.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Rcode(IntEnum):
+    """Response codes from the IANA DNS RCODE registry."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+    YXDOMAIN = 6
+    YXRRSET = 7
+    NXRRSET = 8
+    NOTAUTH = 9  # also BADVERS=16 ambiguity discussed in the paper (RFC 6895)
+    NOTZONE = 10
+    DSOTYPENI = 11
+    BADVERS = 16
+    BADKEY = 17
+    BADTIME = 18
+    BADMODE = 19
+    BADNAME = 20
+    BADALG = 21
+    BADTRUNC = 22
+    BADCOOKIE = 23
+
+    @classmethod
+    def make(cls, value: "int | str | Rcode") -> "Rcode":
+        if isinstance(value, Rcode):
+            return value
+        if isinstance(value, str):
+            return cls[value.upper()]
+        return cls(value)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def header_bits(rcode: int) -> int:
+    """The low 4 bits carried in the message header."""
+    return rcode & 0x0F
+
+
+def extended_bits(rcode: int) -> int:
+    """The high 8 bits carried in the OPT TTL field (EDNS extended RCODE)."""
+    return (rcode >> 4) & 0xFF
+
+
+def join(header: int, extended: int) -> int:
+    """Recombine header bits and the EDNS extension into a full RCODE."""
+    return ((extended & 0xFF) << 4) | (header & 0x0F)

@@ -1,0 +1,118 @@
+"""RRsets: all records sharing (owner name, class, type) and a TTL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .name import Name
+from .rdata import Rdata
+from .types import RdataClass, RdataType
+from .wire import WireWriter
+
+
+@dataclass
+class RRset:
+    """An RRset in the RFC 2181 sense.
+
+    Rdatas keep insertion order but compare as sets; duplicates are
+    silently ignored on add, matching server behaviour.
+    """
+
+    name: Name
+    rdtype: RdataType
+    ttl: int = 300
+    rdclass: RdataClass = RdataClass.IN
+    rdatas: list[Rdata] = field(default_factory=list)
+
+    @classmethod
+    def of(
+        cls,
+        name: Name,
+        rdtype: RdataType,
+        *rdatas: Rdata,
+        ttl: int = 300,
+        rdclass: RdataClass = RdataClass.IN,
+    ) -> "RRset":
+        rrset = cls(name=name, rdtype=rdtype, ttl=ttl, rdclass=rdclass)
+        for rdata in rdatas:
+            rrset.add(rdata)
+        return rrset
+
+    def add(self, rdata: Rdata) -> None:
+        if rdata not in self.rdatas:
+            self.rdatas.append(rdata)
+
+    def key(self) -> tuple[Name, RdataClass, RdataType]:
+        return (self.name, self.rdclass, self.rdtype)
+
+    def __iter__(self) -> Iterator[Rdata]:
+        return iter(self.rdatas)
+
+    def __len__(self) -> int:
+        return len(self.rdatas)
+
+    def __bool__(self) -> bool:
+        return bool(self.rdatas)
+
+    def match(self, name: Name, rdtype: RdataType, rdclass: RdataClass = RdataClass.IN) -> bool:
+        return self.name == name and self.rdtype == rdtype and self.rdclass == rdclass
+
+    def same_rrset(self, other: "RRset") -> bool:
+        """Equal owner/class/type and equal rdata *sets* (TTL ignored)."""
+        return (
+            self.key() == other.key()
+            and frozenset(self.rdatas) == frozenset(other.rdatas)
+        )
+
+    def copy(self, ttl: int | None = None) -> "RRset":
+        return RRset(
+            name=self.name,
+            rdtype=self.rdtype,
+            ttl=self.ttl if ttl is None else ttl,
+            rdclass=self.rdclass,
+            rdatas=list(self.rdatas),
+        )
+
+    # -- wire --------------------------------------------------------------
+
+    def write(self, writer: WireWriter) -> int:
+        """Write every RR of this set; returns the record count."""
+        for rdata in self.rdatas:
+            writer.write_name(self.name)
+            writer.write_u16(int(self.rdtype))
+            writer.write_u16(int(self.rdclass))
+            writer.write_u32(self.ttl)
+            rdlen_at = writer.offset
+            writer.write_u16(0)
+            start = writer.offset
+            rdata.write(writer)
+            writer.patch_u16(rdlen_at, writer.offset - start)
+        return len(self.rdatas)
+
+    def canonical_rdatas(self) -> list[bytes]:
+        """Canonically-encoded rdatas, sorted (RFC 4034 section 6.3)."""
+        return sorted(rdata.to_wire(canonical=True) for rdata in self.rdatas)
+
+    def to_text(self) -> str:
+        lines = [
+            f"{self.name} {self.ttl} {self.rdclass} {self.rdtype} {rdata.to_text()}"
+            for rdata in self.rdatas
+        ]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def find_rrset(
+    rrsets: Iterable[RRset],
+    name: Name,
+    rdtype: RdataType,
+    rdclass: RdataClass = RdataClass.IN,
+) -> RRset | None:
+    """First RRset in ``rrsets`` matching the triple, or None."""
+    for rrset in rrsets:
+        if rrset.match(name, rdtype, rdclass):
+            return rrset
+    return None

@@ -1,0 +1,96 @@
+"""RR type, class, and opcode registries."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class RdataType(IntEnum):
+    """Resource record TYPE values (IANA DNS parameters registry)."""
+
+    NONE = 0
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    OPT = 41
+    DS = 43
+    RRSIG = 46
+    NSEC = 47
+    DNSKEY = 48
+    NSEC3 = 50
+    NSEC3PARAM = 51
+    AXFR = 252  # QTYPE only: full zone transfer (RFC 5936)
+    CAA = 257
+    ANY = 255
+
+    @classmethod
+    def make(cls, value: "int | str | RdataType") -> "RdataType":
+        if isinstance(value, RdataType):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls[value.upper()]
+            except KeyError:
+                if value.upper().startswith("TYPE"):
+                    return cls(int(value[4:]))
+                raise
+        return cls(value)
+
+    def __str__(self) -> str:  # presentation format
+        return self.name
+
+
+class RdataClass(IntEnum):
+    """Resource record CLASS values."""
+
+    RESERVED0 = 0
+    IN = 1
+    CH = 3
+    HS = 4
+    NONE = 254
+    ANY = 255
+
+    @classmethod
+    def make(cls, value: "int | str | RdataClass") -> "RdataClass":
+        if isinstance(value, RdataClass):
+            return value
+        if isinstance(value, str):
+            return cls[value.upper()]
+        return cls(value)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Opcode(IntEnum):
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+    DSO = 6
+
+
+#: Types whose rdata embeds domain names that must never be compressed and
+#: must be lowercased in DNSSEC canonical form (RFC 4034 section 6.2).
+CANONICAL_NAME_TYPES = frozenset(
+    {
+        RdataType.NS,
+        RdataType.CNAME,
+        RdataType.SOA,
+        RdataType.PTR,
+        RdataType.MX,
+        RdataType.SRV,
+        RdataType.RRSIG,
+        RdataType.NSEC,
+    }
+)
+
+#: Metadata / pseudo types that can never appear in zone data.
+PSEUDO_TYPES = frozenset({RdataType.OPT, RdataType.ANY})

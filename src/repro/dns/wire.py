@@ -1,0 +1,182 @@
+"""Wire-format buffer primitives.
+
+:class:`WireWriter` builds a DNS message with RFC 1035 name compression;
+:class:`WireReader` parses one, following (and validating) compression
+pointers.  Both operate on plain ``bytes`` so they are reusable for rdata
+encoding as well as whole messages.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .exceptions import BadLabelType, BadPointer, TruncatedMessage
+from .name import MAX_NAME_LENGTH, Name
+
+_POINTER_FLAG = 0xC0
+_MAX_POINTER_TARGET = 0x3FFF
+
+
+class WireWriter:
+    """Accumulates wire data and compresses domain names.
+
+    Compression targets are remembered per *folded* (lowercase) suffix so
+    equal names differing only in case share pointers, as real servers do.
+    """
+
+    def __init__(self, enable_compression: bool = True):
+        self._buf = bytearray()
+        self._offsets: dict[tuple[bytes, ...], int] = {}
+        self._compress = enable_compression
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def offset(self) -> int:
+        return len(self._buf)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    # -- scalars -------------------------------------------------------------
+
+    def write_u8(self, value: int) -> None:
+        self._buf.append(value & 0xFF)
+
+    def write_u16(self, value: int) -> None:
+        self._buf += struct.pack("!H", value & 0xFFFF)
+
+    def write_u32(self, value: int) -> None:
+        self._buf += struct.pack("!I", value & 0xFFFFFFFF)
+
+    def write_bytes(self, data: bytes) -> None:
+        self._buf += data
+
+    def patch_u16(self, offset: int, value: int) -> None:
+        """Overwrite a previously written 16-bit field (e.g. RDLENGTH)."""
+        struct.pack_into("!H", self._buf, offset, value & 0xFFFF)
+
+    # -- names ----------------------------------------------------------------
+
+    def write_name(self, name: Name, compress: bool | None = None) -> None:
+        """Write ``name``, emitting a compression pointer when possible.
+
+        DNSSEC rdata names must not be compressed (RFC 3597 / 4034); pass
+        ``compress=False`` for those.
+        """
+        if not name.is_absolute():
+            raise ValueError("can only encode absolute names")
+        do_compress = self._compress if compress is None else compress
+        labels = name.labels
+        folded = tuple(label.lower() for label in labels)
+        for index in range(len(labels)):
+            suffix = folded[index:]
+            if suffix == (b"",):
+                break
+            if do_compress and suffix in self._offsets:
+                pointer = self._offsets[suffix]
+                self.write_u16(0xC000 | pointer)
+                return
+            if self.offset <= _MAX_POINTER_TARGET:
+                self._offsets.setdefault(suffix, self.offset)
+            label = labels[index]
+            self.write_u8(len(label))
+            self.write_bytes(label)
+        self.write_u8(0)
+
+
+class WireReader:
+    """Sequential reader over a DNS wire buffer with pointer chasing."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._pos = offset
+
+    @property
+    def pos(self) -> int:
+        return self._pos
+
+    def seek(self, offset: int) -> None:
+        self._pos = offset
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)
+
+    # -- scalars ---------------------------------------------------------------
+
+    def read_u8(self) -> int:
+        if self._pos + 1 > len(self._data):
+            raise TruncatedMessage("u8 past end of buffer")
+        value = self._data[self._pos]
+        self._pos += 1
+        return value
+
+    def read_u16(self) -> int:
+        if self._pos + 2 > len(self._data):
+            raise TruncatedMessage("u16 past end of buffer")
+        (value,) = struct.unpack_from("!H", self._data, self._pos)
+        self._pos += 2
+        return value
+
+    def read_u32(self) -> int:
+        if self._pos + 4 > len(self._data):
+            raise TruncatedMessage("u32 past end of buffer")
+        (value,) = struct.unpack_from("!I", self._data, self._pos)
+        self._pos += 4
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        if count < 0 or self._pos + count > len(self._data):
+            raise TruncatedMessage(f"{count} bytes past end of buffer")
+        data = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return data
+
+    # -- names ------------------------------------------------------------------
+
+    def read_name(self) -> Name:
+        """Read a possibly compressed name starting at the current position.
+
+        Pointers must point strictly backwards; cycles and forward pointers
+        raise :class:`BadPointer`.
+        """
+        labels: list[bytes] = []
+        total = 0
+        pos = self._pos
+        jumped = False
+        seen: set[int] = set()
+        while True:
+            if pos >= len(self._data):
+                raise TruncatedMessage("name runs past end of buffer")
+            length = self._data[pos]
+            kind = length & _POINTER_FLAG
+            if kind == _POINTER_FLAG:
+                if pos + 2 > len(self._data):
+                    raise TruncatedMessage("pointer past end of buffer")
+                target = ((length & 0x3F) << 8) | self._data[pos + 1]
+                if not jumped:
+                    self._pos = pos + 2
+                    jumped = True
+                if target >= pos or target in seen:
+                    raise BadPointer(f"bad compression pointer to {target}")
+                seen.add(target)
+                pos = target
+                continue
+            if kind != 0:
+                raise BadLabelType(f"unsupported label type {kind >> 6:#04b}")
+            if length == 0:
+                labels.append(b"")
+                if not jumped:
+                    self._pos = pos + 1
+                return Name(labels)
+            if pos + 1 + length > len(self._data):
+                raise TruncatedMessage("label runs past end of buffer")
+            labels.append(self._data[pos + 1 : pos + 1 + length])
+            total += length + 1
+            if total > MAX_NAME_LENGTH:
+                raise BadPointer("name exceeds 255 octets while decompressing")
+            pos += 1 + length

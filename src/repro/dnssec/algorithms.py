@@ -1,0 +1,150 @@
+"""DNSSEC algorithm and DS-digest registries (IANA numbers).
+
+Mirrors the "DNS Security Algorithm Numbers" and "DS RR Type Digest
+Algorithms" IANA registries as of the paper's measurement (May 2023),
+including the reserved and unassigned code points the testbed abuses
+(``ds-unassigned-key-algo`` uses 100, ``ds-reserved-key-algo`` 200, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Algorithm(IntEnum):
+    """DNSKEY/RRSIG algorithm numbers."""
+
+    DELETE = 0
+    RSAMD5 = 1
+    DH = 2
+    DSA = 3
+    RSASHA1 = 5
+    DSA_NSEC3_SHA1 = 6
+    RSASHA1_NSEC3_SHA1 = 7
+    RSASHA256 = 8
+    RSASHA512 = 10
+    ECC_GOST = 12
+    ECDSAP256SHA256 = 13
+    ECDSAP384SHA384 = 14
+    ED25519 = 15
+    ED448 = 16
+    INDIRECT = 252
+    PRIVATEDNS = 253
+    PRIVATEOID = 254
+
+
+#: Unassigned / reserved code points used by the testbed (Table 3).
+UNASSIGNED_ALGORITHM = 100
+RESERVED_ALGORITHM = 200
+
+
+class AlgorithmStatus:
+    """Registry status of an algorithm number."""
+
+    ACTIVE = "active"
+    DEPRECATED = "deprecated"  # MUST NOT use (e.g. RSAMD5)
+    NOT_RECOMMENDED = "not-recommended"  # e.g. DSA/SHA1
+    UNASSIGNED = "unassigned"
+    RESERVED = "reserved"
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    number: int
+    mnemonic: str
+    status: str
+    zone_signing: bool
+
+
+_REGISTRY: dict[int, AlgorithmInfo] = {}
+
+
+def _register(number: int, mnemonic: str, status: str, zone_signing: bool) -> None:
+    _REGISTRY[number] = AlgorithmInfo(number, mnemonic, status, zone_signing)
+
+
+_register(0, "DELETE", AlgorithmStatus.RESERVED, False)
+_register(1, "RSAMD5", AlgorithmStatus.DEPRECATED, True)
+_register(2, "DH", AlgorithmStatus.ACTIVE, False)
+_register(3, "DSA", AlgorithmStatus.NOT_RECOMMENDED, True)
+_register(5, "RSASHA1", AlgorithmStatus.NOT_RECOMMENDED, True)
+_register(6, "DSA-NSEC3-SHA1", AlgorithmStatus.NOT_RECOMMENDED, True)
+_register(7, "RSASHA1-NSEC3-SHA1", AlgorithmStatus.NOT_RECOMMENDED, True)
+_register(8, "RSASHA256", AlgorithmStatus.ACTIVE, True)
+_register(10, "RSASHA512", AlgorithmStatus.ACTIVE, True)
+_register(12, "ECC-GOST", AlgorithmStatus.DEPRECATED, True)
+_register(13, "ECDSAP256SHA256", AlgorithmStatus.ACTIVE, True)
+_register(14, "ECDSAP384SHA384", AlgorithmStatus.ACTIVE, True)
+_register(15, "ED25519", AlgorithmStatus.ACTIVE, True)
+_register(16, "ED448", AlgorithmStatus.ACTIVE, True)
+_register(252, "INDIRECT", AlgorithmStatus.RESERVED, False)
+_register(253, "PRIVATEDNS", AlgorithmStatus.ACTIVE, True)
+_register(254, "PRIVATEOID", AlgorithmStatus.ACTIVE, True)
+_register(255, "RESERVED", AlgorithmStatus.RESERVED, False)
+
+
+def algorithm_info(number: int) -> AlgorithmInfo:
+    """Registry entry for ``number``; unknown numbers come back UNASSIGNED."""
+    info = _REGISTRY.get(number)
+    if info is not None:
+        return info
+    status = (
+        AlgorithmStatus.RESERVED
+        if 123 <= number <= 251 or number in (0, 255) or number >= 200
+        else AlgorithmStatus.UNASSIGNED
+    )
+    return AlgorithmInfo(number, f"ALG{number}", status, False)
+
+
+def is_zone_signing_algorithm(number: int) -> bool:
+    return algorithm_info(number).zone_signing
+
+
+def mnemonic(number: int) -> str:
+    return algorithm_info(number).mnemonic
+
+
+class DsDigest(IntEnum):
+    """DS digest type numbers."""
+
+    SHA1 = 1
+    SHA256 = 2
+    GOST_R_34_11_94 = 3
+    SHA384 = 4
+
+
+#: Unassigned DS digest code point used by the testbed.
+UNASSIGNED_DIGEST = 100
+
+#: Digest types every validator is required to implement (RFC 8624).
+MANDATORY_DIGESTS = frozenset({DsDigest.SHA1, DsDigest.SHA256})
+OPTIONAL_DIGESTS = frozenset({DsDigest.GOST_R_34_11_94, DsDigest.SHA384})
+
+
+def digest_is_assigned(number: int) -> bool:
+    return number in DsDigest._value2member_map_
+
+
+#: Algorithm support sets for validators.  A resolver that sees a zone whose
+#: only DS/DNSKEY algorithms fall outside its support set must treat the
+#: zone as insecure (unsigned), per RFC 4035 section 5.2 — the behaviour the
+#: paper observes for ed448/rsamd5/dsa (NOERROR, optionally with EDE 1/0).
+BASELINE_SUPPORTED = frozenset(
+    {
+        Algorithm.RSASHA1,
+        Algorithm.RSASHA1_NSEC3_SHA1,
+        Algorithm.RSASHA256,
+        Algorithm.RSASHA512,
+        Algorithm.ECDSAP256SHA256,
+        Algorithm.ECDSAP384SHA384,
+        Algorithm.ED25519,
+    }
+)
+
+#: Everything the common open-source validators support (incl. Ed448).
+FULL_SUPPORTED = BASELINE_SUPPORTED | {Algorithm.ED448}
+
+#: Cloudflare's set at measurement time: no Ed448, no GOST (paper section 3.3
+#: and section 4.2 item 7).
+CLOUDFLARE_SUPPORTED = frozenset(BASELINE_SUPPORTED)

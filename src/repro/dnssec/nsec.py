@@ -1,0 +1,39 @@
+"""Plain NSEC denial of existence (RFC 4034/4035).
+
+Many TLDs (and the root) use NSEC rather than NSEC3; the builder can
+produce either chain.  These helpers implement the canonical-order
+interval logic validators apply to NSEC records, including the chain's
+wrap-around at the zone apex.
+"""
+
+from __future__ import annotations
+
+from ..dns.name import Name
+
+
+def canonical_key(name: Name) -> tuple[bytes, ...]:
+    """Reversed lowercase labels: the RFC 4034 section 6.1 sort key."""
+    return tuple(reversed([label.lower() for label in name.labels if label != b""]))
+
+
+def nsec_covers(owner: Name, next_name: Name, qname: Name, apex: Name) -> bool:
+    """True when ``qname`` falls in the open interval (owner, next).
+
+    The last NSEC of a chain has ``next_name == apex``; its interval
+    wraps around and covers everything after ``owner``.
+    """
+    owner_key = canonical_key(owner)
+    next_key = canonical_key(next_name)
+    target = canonical_key(qname)
+    if target == owner_key or target == next_key:
+        return False
+    if next_key == canonical_key(apex) and owner_key >= next_key:
+        # wrap-around interval: (owner, +inf) within the zone
+        return target > owner_key
+    if owner_key < next_key:
+        return owner_key < target < next_key
+    return target > owner_key or target < next_key
+
+
+def nsec_matches(owner: Name, qname: Name) -> bool:
+    return canonical_key(owner) == canonical_key(qname)

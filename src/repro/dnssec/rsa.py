@@ -1,0 +1,175 @@
+"""Pure-Python RSA with PKCS#1 v1.5 signatures (RFC 8017, RFC 3110).
+
+Implements everything DNSSEC's RSA algorithms need: probabilistic prime
+generation (Miller–Rabin), signing/verification with EMSA-PKCS1-v1_5
+encoding, and the RFC 3110 DNSKEY public-key wire format (exponent
+length prefix + exponent + modulus).
+
+Key sizes are a simulation knob: the testbed defaults to 1024-bit keys
+(fast enough to sign dozens of zones), the wild-scan tier shares a pool
+of 512-bit keys.  Both exercise the identical code path as 2048-bit
+production keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+# DigestInfo DER prefixes for EMSA-PKCS1-v1_5 (RFC 8017 section 9.2 notes).
+_DIGEST_INFO_PREFIX = {
+    "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
+    "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
+    "sha512": bytes.fromhex("3051300d060960864801650304020305000440"),
+    "md5": bytes.fromhex("3020300c06082a864886f70d020505000410"),
+}
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+]
+
+
+def _is_probable_prime(candidate: int, rng: random.Random, rounds: int = 24) -> bool:
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate % prime == 0:
+            return candidate == prime
+    # Miller-Rabin
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, candidate - 1)
+        x = pow(a, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, rng: random.Random) -> int:
+    # Top two bits set so the product of two such primes always has
+    # exactly 2*bits bits (validators check modulus sizes).
+    high = (1 << (bits - 1)) | (1 << (bits - 2))
+    while True:
+        candidate = rng.getrandbits(bits) | high | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def to_dnskey_format(self) -> bytes:
+        """RFC 3110 wire format: exponent length, exponent, modulus."""
+        exp = self.e.to_bytes((self.e.bit_length() + 7) // 8 or 1, "big")
+        mod = self.n.to_bytes(self.byte_length, "big")
+        if len(exp) <= 255:
+            return bytes([len(exp)]) + exp + mod
+        return b"\x00" + len(exp).to_bytes(2, "big") + exp + mod
+
+    @classmethod
+    def from_dnskey_format(cls, data: bytes) -> "RsaPublicKey":
+        if not data:
+            raise ValueError("empty RSA public key")
+        if data[0] != 0:
+            exp_len = data[0]
+            offset = 1
+        else:
+            if len(data) < 3:
+                raise ValueError("truncated RSA exponent length")
+            exp_len = int.from_bytes(data[1:3], "big")
+            offset = 3
+        if offset + exp_len > len(data):
+            raise ValueError("truncated RSA exponent")
+        e = int.from_bytes(data[offset : offset + exp_len], "big")
+        n = int.from_bytes(data[offset + exp_len :], "big")
+        if n == 0:
+            raise ValueError("zero RSA modulus")
+        return cls(n=n, e=e)
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return RsaPublicKey(n=self.n, e=self.e)
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+
+def generate_keypair(bits: int = 1024, seed: int | None = None) -> RsaPrivateKey:
+    """Generate an RSA keypair.  Deterministic for a given ``seed``."""
+    rng = random.Random(seed)
+    e = 65537
+    while True:
+        p = _generate_prime(bits // 2, rng)
+        q = _generate_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue
+        if n.bit_length() == bits:
+            return RsaPrivateKey(n=n, e=e, d=d)
+
+
+def _emsa_pkcs1_v15(digest_name: str, message: bytes, em_len: int) -> bytes:
+    prefix = _DIGEST_INFO_PREFIX[digest_name]
+    digest = hashlib.new(digest_name, message).digest()
+    t = prefix + digest
+    if em_len < len(t) + 11:
+        raise ValueError("RSA modulus too small for digest")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def sign(key: RsaPrivateKey, message: bytes, digest_name: str = "sha256") -> bytes:
+    """RSASSA-PKCS1-v1_5 signature over ``message``."""
+    em = _emsa_pkcs1_v15(digest_name, message, key.byte_length)
+    m = int.from_bytes(em, "big")
+    s = pow(m, key.d, key.n)
+    return s.to_bytes(key.byte_length, "big")
+
+
+def verify(
+    key: RsaPublicKey, message: bytes, signature: bytes, digest_name: str = "sha256"
+) -> bool:
+    """Verify an RSASSA-PKCS1-v1_5 signature; never raises on bad input."""
+    if len(signature) != key.byte_length:
+        return False
+    try:
+        s = int.from_bytes(signature, "big")
+        if s >= key.n:
+            return False
+        m = pow(s, key.e, key.n)
+        em = m.to_bytes(key.byte_length, "big")
+        expected = _emsa_pkcs1_v15(digest_name, message, key.byte_length)
+    except (ValueError, KeyError):
+        return False
+    return em == expected

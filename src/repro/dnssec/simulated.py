@@ -1,0 +1,85 @@
+"""Simulated signature backend for non-RSA algorithms.
+
+The paper's testbed uses DSA, Ed448, RSAMD5, GOST, and ECDSA keys only to
+probe *algorithm support* in validators ("treat as unsigned", EDE 1/2) —
+the cryptographic internals of those schemes never influence an EDE
+code.  Implementing Ed448 or GOST from scratch would add thousands of
+lines without changing any observable, so this backend substitutes a
+deterministic keyed-hash scheme (documented in DESIGN.md):
+
+* a "private key" is 32 random octets;
+* the "public key" is SHA-256(private key), prefixed with the algorithm
+  number so keys of different algorithms never collide;
+* a "signature" is SHA-512(public key || algorithm || message) truncated
+  to a plausible length for the algorithm.
+
+A validator that *supports* the algorithm recomputes the keyed hash and
+compares — so good signatures verify and tampered data fails, exactly
+like real asymmetric crypto from the resolver's perspective.  (It is of
+course forgeable by anyone holding the public key; acceptable inside a
+closed simulation.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+#: Believable signature lengths so message sizes stay realistic.
+_SIG_LENGTHS = {
+    1: 128,  # RSAMD5 (1024-bit look-alike)
+    3: 40,  # DSA
+    6: 40,  # DSA-NSEC3-SHA1
+    12: 64,  # ECC-GOST
+    13: 64,  # ECDSAP256SHA256
+    14: 96,  # ECDSAP384SHA384
+    15: 64,  # ED25519
+    16: 114,  # ED448
+}
+
+DEFAULT_SIG_LENGTH = 64
+
+
+def signature_length(algorithm: int) -> int:
+    return _SIG_LENGTHS.get(algorithm, DEFAULT_SIG_LENGTH)
+
+
+@dataclass(frozen=True)
+class SimulatedPrivateKey:
+    algorithm: int
+    secret: bytes
+
+    @property
+    def public(self) -> "SimulatedPublicKey":
+        digest = hashlib.sha256(bytes([self.algorithm & 0xFF]) + self.secret).digest()
+        return SimulatedPublicKey(algorithm=self.algorithm, key=digest)
+
+
+@dataclass(frozen=True)
+class SimulatedPublicKey:
+    algorithm: int
+    key: bytes
+
+
+def generate_keypair(algorithm: int, seed: int | None = None) -> SimulatedPrivateKey:
+    rng = random.Random(seed)
+    secret = bytes(rng.getrandbits(8) for _ in range(32))
+    return SimulatedPrivateKey(algorithm=algorithm, secret=secret)
+
+
+def _mac(public_key: bytes, algorithm: int, message: bytes) -> bytes:
+    material = public_key + bytes([algorithm & 0xFF]) + message
+    digest = hashlib.sha512(material).digest()
+    length = signature_length(algorithm)
+    while len(digest) < length:
+        digest += hashlib.sha512(digest).digest()
+    return digest[:length]
+
+
+def sign(key: SimulatedPrivateKey, message: bytes) -> bytes:
+    return _mac(key.public.key, key.algorithm, message)
+
+
+def verify(key: SimulatedPublicKey, message: bytes, signature: bytes) -> bool:
+    return _mac(key.key, key.algorithm, message) == signature

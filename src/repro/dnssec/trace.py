@@ -1,0 +1,213 @@
+"""Validation traces: *what* failed, decoupled from *which EDE to emit*.
+
+The paper's central observation is that resolvers agree on detecting a
+misconfiguration but disagree on the INFO-CODE describing it.  We model
+that split explicitly: the validator (and the resolution engine) emit a
+:class:`FailureReason` / :class:`ResolutionEvent` trace describing the
+underlying fault, and each vendor profile owns a mapping from traces to
+EDE codes (:mod:`repro.resolver.profiles`).
+
+The reason vocabulary is exactly fine-grained enough for Table 4: two
+testbed cases share a reason only when *all seven* tested systems
+returned identical codes for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from ..dns.name import Name
+
+
+class ValidationState(Enum):
+    """RFC 4035 security states of a response."""
+
+    SECURE = "secure"
+    INSECURE = "insecure"  # provably unsigned, or unsupported-algorithm downgrade
+    BOGUS = "bogus"  # validation attempted and failed -> SERVFAIL
+    INDETERMINATE = "indeterminate"
+
+
+class Role(Enum):
+    """Which RRset (or phase) a validation failure concerns."""
+
+    DS = auto()
+    DNSKEY = auto()
+    LEAF = auto()  # the RRset actually asked for
+    DENIAL = auto()  # NSEC/NSEC3 proof
+    TRANSPORT = auto()  # could not even fetch the data
+
+
+class FailureReason(Enum):
+    """Fine-grained cause of a validation failure or downgrade."""
+
+    # -- DS problems (group 2 of the testbed) ---------------------------------
+    DS_DNSKEY_MISMATCH = auto()  # no DNSKEY matches DS tag/algorithm
+    DS_DIGEST_MISMATCH = auto()  # tag+algorithm match, digest value does not
+    DS_UNASSIGNED_KEY_ALGO = auto()  # DS algorithm is an unassigned number
+    DS_RESERVED_KEY_ALGO = auto()  # DS algorithm is a reserved number
+    DS_UNASSIGNED_DIGEST = auto()  # DS digest type unassigned
+    DS_UNSUPPORTED_DIGEST = auto()  # assigned digest the validator lacks (GOST)
+
+    # -- signature timing/presence at the DNSKEY apex (group 3, "-all") --------
+    DNSKEY_SIG_EXPIRED = auto()
+    DNSKEY_SIG_NOT_YET_VALID = auto()
+    DNSKEY_SIG_INVERTED = auto()  # expired before inception
+    DNSKEY_RRSIG_MISSING = auto()  # no RRSIG over the DNSKEY RRset at all
+    KSK_SIG_MISSING = auto()  # only the DS-matched key's signature is gone
+    KSK_SIG_INVALID = auto()  # DS-matched key's signature does not verify
+    DNSKEY_SIG_INVALID = auto()  # all DNSKEY RRset signatures bogus
+
+    # -- signature timing/presence at the leaf (group 3, "-a") ------------------
+    LEAF_SIG_EXPIRED = auto()
+    LEAF_SIG_NOT_YET_VALID = auto()
+    LEAF_SIG_INVERTED = auto()
+    LEAF_RRSIG_MISSING = auto()
+    LEAF_SIG_INVALID = auto()
+
+    # -- DNSKEY RRset content (group 5) ------------------------------------------
+    ZSK_MISSING = auto()  # leaf sig matches no key; zone has no ZSK at all
+    ZSK_BAD = auto()  # a ZSK exists but matches/verifies nothing
+    ZSK_ALGO_MISMATCH = auto()  # ZSK algorithm number altered
+    ZSK_ALGO_UNASSIGNED = auto()
+    ZSK_ALGO_RESERVED = auto()
+    ZONE_KEY_BITS_CLEAR = auto()  # no DNSKEY in the RRset has the zone-key bit
+
+    # -- denial of existence (group 4) ---------------------------------------------
+    NSEC3_RECORDS_MISSING = auto()  # negative answer without NSEC3 records
+    NSEC3_BAD_HASH = auto()  # owner hashes do not match the zone contents
+    NSEC3_BAD_NEXT = auto()  # chain intervals fail to cover the name
+    NSEC3_BAD_RRSIG = auto()  # signatures over NSEC3 bogus
+    NSEC3_RRSIG_MISSING = auto()
+    NSEC3PARAM_MISSING = auto()
+    NSEC3PARAM_SALT_MISMATCH = auto()
+    NSEC3_CHAIN_ABSENT = auto()  # zone has neither NSEC3 nor NSEC3PARAM
+    NSEC_MISSING = auto()  # plain-NSEC absence (wild scan category 9)
+    NSEC3_ITERATIONS_TOO_HIGH = auto()
+
+    # -- algorithm support (group 8) ---------------------------------------------------
+    ALGO_UNSUPPORTED = auto()  # validator lacks the (assigned, active) algorithm
+    ALGO_DEPRECATED = auto()  # RSAMD5 / DSA: must be treated as unsigned
+    KEY_SIZE_UNSUPPORTED = auto()  # e.g. 512-bit RSA rejected by Cloudflare
+
+    # -- transport-coupled (groups 6/7 and ACLs) ------------------------------------------
+    DNSKEY_UNFETCHABLE = auto()  # DS exists but DNSKEY query got no usable answer
+    DS_UNFETCHABLE = auto()
+
+    # -- misc ---------------------------------------------------------------------------------
+    MISMATCHED_ANSWER = auto()  # answer did not match the question (wild scan cat. 6)
+    #: Warning, not an error: a stand-by SEP key is published without any
+    #: covering RRSIG (wild-scan RRSIGs Missing category, paper 4.2 item 3).
+    STANDBY_KSK_UNSIGNED = auto()
+    OTHER = auto()
+
+
+class ResolutionEvent(Enum):
+    """Transport-level observations made while iterating."""
+
+    SERVER_UNREACHABLE = auto()  # no route / special-purpose address
+    SERVER_TIMEOUT = auto()
+    SERVER_REFUSED = auto()
+    SERVER_SERVFAIL = auto()
+    SERVER_NOTAUTH = auto()
+    SERVER_FORMERR = auto()
+    SERVER_NO_EDNS = auto()  # OPT dropped instead of FORMERR
+    MISMATCHED_QUESTION = auto()
+    ALL_SERVERS_FAILED = auto()  # every authority exhausted
+    STALE_ANSWER_SERVED = auto()
+    STALE_NXDOMAIN_SERVED = auto()
+    CACHED_ERROR_SERVED = auto()
+    ITERATION_LIMIT_EXCEEDED = auto()
+    CNAME_CHASED = auto()
+
+
+@dataclass
+class EventRecord:
+    """One transport observation with enough detail for EXTRA-TEXT."""
+
+    event: ResolutionEvent
+    server: str = ""  # "ip:port" of the authority involved
+    qname: Name | None = None
+    rdtype: str = ""
+    detail: str = ""
+
+    def __str__(self) -> str:
+        parts = [self.event.name]
+        if self.server:
+            parts.append(self.server)
+        if self.qname is not None:
+            parts.append(str(self.qname))
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+@dataclass
+class ValidationTrace:
+    """Complete validation outcome for one response."""
+
+    state: ValidationState = ValidationState.INSECURE
+    reason: FailureReason | None = None
+    role: Role | None = None
+    zone: Name | None = None  # zone cut where the failure happened
+    #: supplementary details used for EXTRA-TEXT rendering
+    algorithm: int | None = None
+    key_size: int | None = None
+    expired_at: int | None = None
+    detail: str = ""
+    #: Non-fatal observations made along the chain (e.g. stand-by keys);
+    #: these survive even when the final state is SECURE.
+    warnings: list["FailureReason"] = field(default_factory=list)
+
+    @classmethod
+    def secure(cls) -> "ValidationTrace":
+        return cls(state=ValidationState.SECURE)
+
+    @classmethod
+    def insecure(
+        cls,
+        reason: FailureReason | None = None,
+        zone: Name | None = None,
+        **extra: object,
+    ) -> "ValidationTrace":
+        return cls(state=ValidationState.INSECURE, reason=reason, zone=zone, **extra)  # type: ignore[arg-type]
+
+    @classmethod
+    def bogus(
+        cls,
+        reason: FailureReason,
+        role: Role,
+        zone: Name | None = None,
+        **extra: object,
+    ) -> "ValidationTrace":
+        return cls(
+            state=ValidationState.BOGUS, reason=reason, role=role, zone=zone, **extra  # type: ignore[arg-type]
+        )
+
+    @property
+    def is_bogus(self) -> bool:
+        return self.state is ValidationState.BOGUS
+
+    @property
+    def is_secure(self) -> bool:
+        return self.state is ValidationState.SECURE
+
+
+@dataclass
+class ResolutionOutcome:
+    """Everything a resolver front-end needs to build its response."""
+
+    rcode: int = 0
+    answer_rrsets: list = field(default_factory=list)
+    authority_rrsets: list = field(default_factory=list)
+    validation: ValidationTrace = field(default_factory=ValidationTrace.secure)
+    events: list[EventRecord] = field(default_factory=list)
+    from_cache: bool = False
+    stale: bool = False
+
+    def events_of(self, *kinds: ResolutionEvent) -> list[EventRecord]:
+        return [record for record in self.events if record.event in kinds]
+
+    def has_event(self, *kinds: ResolutionEvent) -> bool:
+        return any(record.event in kinds for record in self.events)

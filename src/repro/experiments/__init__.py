@@ -1,0 +1,44 @@
+"""Per-table/figure experiment harnesses and reports."""
+
+from .harness import (
+    PAPER_CATEGORY_COUNTS,
+    PAPER_EDE_TOTAL,
+    PAPER_LAME_UNION,
+    ScanContext,
+    TestbedContext,
+    experiment_figure1,
+    experiment_figure2,
+    experiment_section32,
+    experiment_section33,
+    experiment_section42,
+    experiment_section42_ns,
+    experiment_table1,
+    experiment_table2_3,
+    experiment_table4,
+)
+from .registry import EXPERIMENTS, ExperimentSpec, run_experiments
+from .report import Comparison, ExperimentReport, render_cdf, render_table
+
+__all__ = [
+    "Comparison",
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "ExperimentSpec",
+    "PAPER_CATEGORY_COUNTS",
+    "PAPER_EDE_TOTAL",
+    "PAPER_LAME_UNION",
+    "ScanContext",
+    "TestbedContext",
+    "experiment_figure1",
+    "experiment_figure2",
+    "experiment_section32",
+    "experiment_section33",
+    "experiment_section42",
+    "experiment_section42_ns",
+    "experiment_table1",
+    "experiment_table2_3",
+    "experiment_table4",
+    "render_cdf",
+    "render_table",
+    "run_experiments",
+]

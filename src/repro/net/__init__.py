@@ -1,0 +1,35 @@
+"""Simulated network: virtual clock, address registries, and the fabric."""
+
+from .addresses import AddressClass, TESTBED_GLUE, classify, is_globally_routable
+from .clock import Clock, SimulatedClock
+from .fabric import (
+    DNS_PORT,
+    Endpoint,
+    FabricStats,
+    LinkProperties,
+    NetworkFabric,
+    Timeout,
+    TransportError,
+    Unreachable,
+)
+from .udp import UdpServer, serve_and_query, udp_query
+
+__all__ = [
+    "AddressClass",
+    "Clock",
+    "DNS_PORT",
+    "Endpoint",
+    "FabricStats",
+    "LinkProperties",
+    "NetworkFabric",
+    "SimulatedClock",
+    "TESTBED_GLUE",
+    "Timeout",
+    "TransportError",
+    "UdpServer",
+    "Unreachable",
+    "classify",
+    "is_globally_routable",
+    "serve_and_query",
+    "udp_query",
+]

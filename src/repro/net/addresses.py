@@ -1,0 +1,107 @@
+"""Special-purpose IP address classification.
+
+Implements the IANA IPv4 and IPv6 Special-Purpose Address Registries
+(RFC 6890 and successors) to the extent the paper's testbed groups 6-7
+exercise them: every glue address drawn from these ranges is not
+globally routable, so the simulated fabric treats packets sent there as
+silently lost — the exact observable behind Cloudflare's
+*No Reachable Authority (22)*.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from functools import lru_cache
+
+_IPV4_SPECIAL: list[tuple[str, str]] = [
+    ("0.0.0.0/8", "this host on this network"),
+    ("10.0.0.0/8", "private-use"),
+    ("100.64.0.0/10", "shared address space"),
+    ("127.0.0.0/8", "loopback"),
+    ("169.254.0.0/16", "link local"),
+    ("172.16.0.0/12", "private-use"),
+    ("192.0.0.0/24", "IETF protocol assignments"),
+    ("192.0.2.0/24", "documentation (TEST-NET-1)"),
+    ("192.88.99.0/24", "6to4 relay anycast (deprecated)"),
+    ("192.168.0.0/16", "private-use"),
+    ("198.18.0.0/15", "benchmarking"),
+    ("198.51.100.0/24", "documentation (TEST-NET-2)"),
+    ("203.0.113.0/24", "documentation (TEST-NET-3)"),
+    ("240.0.0.0/4", "reserved"),
+    ("255.255.255.255/32", "limited broadcast"),
+]
+
+_IPV6_SPECIAL: list[tuple[str, str]] = [
+    ("::/128", "unspecified"),
+    ("::1/128", "loopback"),
+    ("::ffff:0:0/96", "IPv4-mapped"),
+    ("::/96", "IPv4-compatible (deprecated)"),
+    ("64:ff9b::/96", "NAT64 well-known prefix"),
+    ("100::/64", "discard-only"),
+    ("2001:db8::/32", "documentation"),
+    ("fc00::/7", "unique-local"),
+    ("fe80::/10", "link-local"),
+    ("ff00::/8", "multicast"),
+]
+
+
+@dataclass(frozen=True)
+class AddressClass:
+    special: bool
+    purpose: str = ""
+
+
+_IPV4_NETWORKS = [(ipaddress.ip_network(p), d) for p, d in _IPV4_SPECIAL]
+_IPV6_NETWORKS = [(ipaddress.ip_network(p), d) for p, d in _IPV6_SPECIAL]
+
+
+@lru_cache(maxsize=65536)
+def classify(address: str) -> AddressClass:
+    """Classify an IPv4/IPv6 address against the special-purpose registries."""
+    parsed = ipaddress.ip_address(address)
+    table = _IPV4_NETWORKS if parsed.version == 4 else _IPV6_NETWORKS
+    # Longest-prefix match so ::1 wins over ::/96 and the like.
+    best: tuple[int, str] | None = None
+    for network, purpose in table:
+        if parsed in network:
+            if best is None or network.prefixlen > best[0]:
+                best = (network.prefixlen, purpose)
+    if best is not None:
+        return AddressClass(special=True, purpose=best[1])
+    return AddressClass(special=False)
+
+
+def is_globally_routable(address: str) -> bool:
+    """True when traffic to ``address`` could reach a real server.
+
+    The fabric allows traffic only between registered, routable
+    endpoints; anything special-purpose is a black hole (loopback
+    included: the resolver is not the nameserver it is looking for).
+    """
+    return not classify(address).special
+
+
+#: The exact glue addresses used by testbed groups 6 and 7 (paper Table 3).
+TESTBED_GLUE = {
+    # group 6 — invalid AAAA glue
+    "v6-mapped": "::ffff:192.0.2.1",
+    "v6-multicast": "ff02::1",
+    "v6-unspecified": "::",
+    "v4-hex": "::c000:0201",  # an IPv4 address in hex form (v4-compatible)
+    "v6-unique-local": "fd00::1234",
+    "v6-doc": "2001:db8::53",
+    "v6-link-local": "fe80::53",
+    "v6-localhost": "::1",
+    "v6-mapped-dep": "::192.0.2.77",
+    "v6-nat64": "64:ff9b::c000:221",
+    # group 7 — invalid A glue
+    "v4-private-10": "10.53.53.53",
+    "v4-doc": "192.0.2.53",
+    "v4-private-172": "172.16.53.53",
+    "v4-loopback": "127.0.0.53",
+    "v4-private-192": "192.168.53.53",
+    "v4-reserved": "240.0.0.53",
+    "v4-this-host": "0.0.0.0",
+    "v4-link-local": "169.254.53.53",
+}

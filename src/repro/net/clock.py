@@ -1,0 +1,47 @@
+"""Virtual time.
+
+Everything time-dependent — signature windows, cache TTLs, stale-answer
+decisions, timeouts — reads a :class:`Clock`, so whole experiments are
+deterministic and can fast-forward years in microseconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Base interface; also usable as the wall clock."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def advance(self, seconds: float) -> None:  # pragma: no cover - wall clock
+        raise NotImplementedError("cannot advance the wall clock")
+
+
+class SimulatedClock(Clock):
+    """A manually advanced clock starting at a fixed epoch.
+
+    The default epoch is 2023-05-15 (the paper's measurement month) so
+    signature validity windows in test fixtures read naturally.
+    """
+
+    #: 2023-05-15 00:00:00 UTC
+    PAPER_EPOCH = 1684108800
+
+    def __init__(self, start: float = PAPER_EPOCH):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += seconds
+
+    def set(self, timestamp: float) -> None:
+        if timestamp < self._now:
+            raise ValueError("time only moves forward")
+        self._now = float(timestamp)

@@ -1,0 +1,189 @@
+"""The simulated Internet: endpoints addressed by (ip, port).
+
+A :class:`NetworkFabric` is a synchronous message switch.  A *send* to a
+registered, routable endpoint invokes that endpoint's handler and
+returns its response (subject to configured latency, loss, and the
+endpoint's own scripted behaviour).  A send to an unregistered or
+special-purpose address raises :class:`Unreachable` or :class:`Timeout`
+— the two transport observables the resolver converts into
+``SERVER_UNREACHABLE`` / ``SERVER_TIMEOUT`` events and, ultimately,
+into the EDE codes of the paper's groups 6-7 and the wild scan's
+*No Reachable Authority* / *Network Error* categories.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from .clock import Clock, SimulatedClock
+
+DNS_PORT = 53
+
+
+class TransportError(Exception):
+    """Base class for fabric-level delivery failures."""
+
+
+class Unreachable(TransportError):
+    """No route to host (special-purpose or unknown address)."""
+
+
+class Timeout(TransportError):
+    """The peer never answered within the query timeout."""
+
+
+class Endpoint(Protocol):
+    """Anything that can answer a DNS datagram.
+
+    Endpoints may additionally implement ``handle_stream(wire, source)``
+    for TCP semantics (no size limit, no truncation); the fabric falls
+    back to ``handle_datagram`` when they don't.
+    """
+
+    def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        """Return a response datagram, or None to drop the query."""
+        ...
+
+
+@dataclass
+class LinkProperties:
+    """Per-endpoint delivery characteristics."""
+
+    latency: float = 0.010  # seconds added to the clock per round trip
+    loss_rate: float = 0.0  # fraction of datagrams silently dropped
+    #: When True the endpoint is administratively down (always times out).
+    down: bool = False
+
+
+@dataclass
+class FabricStats:
+    datagrams_sent: int = 0
+    datagrams_delivered: int = 0
+    datagrams_lost: int = 0
+    unreachable: int = 0
+    timeouts: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    tcp_queries: int = 0
+
+
+class NetworkFabric:
+    """Synchronous in-process packet switch with a virtual clock."""
+
+    def __init__(self, clock: Clock | None = None, seed: int = 20230524):
+        self.clock = clock or SimulatedClock()
+        self._rng = random.Random(seed)
+        self._endpoints: dict[tuple[str, int], Endpoint] = {}
+        self._links: dict[tuple[str, int], LinkProperties] = {}
+        self._route_filter: Callable[[str], bool] | None = None
+        self.stats = FabricStats()
+
+    # -- topology ------------------------------------------------------------
+
+    def register(
+        self,
+        address: str,
+        endpoint: Endpoint,
+        port: int = DNS_PORT,
+        link: LinkProperties | None = None,
+    ) -> None:
+        from .addresses import is_globally_routable
+
+        if not is_globally_routable(address):
+            raise ValueError(
+                f"{address} is a special-purpose address; nothing can be hosted there"
+            )
+        self._endpoints[(address, port)] = endpoint
+        self._links[(address, port)] = link or LinkProperties()
+
+    def unregister(self, address: str, port: int = DNS_PORT) -> None:
+        self._endpoints.pop((address, port), None)
+        self._links.pop((address, port), None)
+
+    def link(self, address: str, port: int = DNS_PORT) -> LinkProperties:
+        key = (address, port)
+        if key not in self._links:
+            raise KeyError(f"no endpoint at {address}:{port}")
+        return self._links[key]
+
+    def set_route_filter(self, predicate: Callable[[str], bool] | None) -> None:
+        """Extra reachability policy (e.g. partition experiments)."""
+        self._route_filter = predicate
+
+    def endpoints(self) -> list[tuple[str, int]]:
+        return sorted(self._endpoints)
+
+    # -- delivery ----------------------------------------------------------------
+
+    def send(
+        self,
+        destination: str,
+        wire: bytes,
+        source: str = "192.0.2.0",
+        port: int = DNS_PORT,
+        timeout: float = 2.0,
+        transport: str = "udp",
+    ) -> bytes:
+        """Round-trip one datagram; raises Unreachable/Timeout on failure.
+
+        ``transport="tcp"`` routes to the endpoint's ``handle_stream``
+        when it has one (for truncation retries); delivery semantics are
+        otherwise identical — this fabric does not model TCP setup cost
+        beyond one extra round-trip of latency.
+
+        Successful or not, the virtual clock advances: by the link latency
+        on success, by ``timeout`` when the query goes unanswered.
+        """
+        from .addresses import is_globally_routable
+
+        self.stats.datagrams_sent += 1
+        if transport == "tcp":
+            self.stats.tcp_queries += 1
+        self.stats.bytes_sent += len(wire)
+
+        if not is_globally_routable(destination) or (
+            self._route_filter is not None and not self._route_filter(destination)
+        ):
+            self.stats.unreachable += 1
+            # An ICMP "no route" comes back quickly; model a small delay.
+            self.clock.advance(0.001)
+            raise Unreachable(destination)
+
+        endpoint = self._endpoints.get((destination, port))
+        if endpoint is None:
+            # Routable prefix but nothing listening: queries time out.
+            self.stats.timeouts += 1
+            self.clock.advance(timeout)
+            raise Timeout(f"{destination}:{port}")
+
+        link = self._links[(destination, port)]
+        if link.down:
+            self.stats.timeouts += 1
+            self.clock.advance(timeout)
+            raise Timeout(f"{destination}:{port}")
+        if link.loss_rate and self._rng.random() < link.loss_rate:
+            self.stats.datagrams_lost += 1
+            self.clock.advance(timeout)
+            raise Timeout(f"{destination}:{port}")
+
+        self.clock.advance(link.latency)
+        if transport == "tcp":
+            # TCP costs an extra round trip for the handshake.
+            self.clock.advance(link.latency)
+            handler = getattr(endpoint, "handle_stream", None)
+            response = (
+                handler(wire, source)
+                if handler is not None
+                else endpoint.handle_datagram(wire, source)
+            )
+        else:
+            response = endpoint.handle_datagram(wire, source)
+        if response is None:
+            self.stats.timeouts += 1
+            self.clock.advance(timeout)
+            raise Timeout(f"{destination}:{port}")
+        self.stats.datagrams_delivered += 1
+        self.stats.bytes_received += len(response)
+        return response

@@ -1,0 +1,194 @@
+"""Resolver caching: RRsets, negative answers, and failed resolutions.
+
+Three cooperating stores, all driven by the virtual clock:
+
+* an RRset cache (positive data, TTL-bounded) that also supports
+  *serve-stale* (RFC 8767): expired entries are retained for a grace
+  window and can be served when fresh resolution fails — the paper's
+  Stale Answer (3) / Stale NXDOMAIN Answer (19) categories;
+* a negative cache for NXDOMAIN/NODATA (RFC 2308);
+* an error cache remembering recent SERVFAILs so repeated failures are
+  answered locally — the Cached Error (13) category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.name import Name
+from ..dns.rrset import RRset
+from ..dns.types import RdataType
+from ..net.clock import Clock
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stale_hits: int = 0
+    negative_hits: int = 0
+    error_hits: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class _PositiveEntry:
+    rrset: RRset
+    stored_at: float
+    expires_at: float
+
+
+@dataclass
+class _NegativeEntry:
+    rcode: int
+    authority: list[RRset]
+    expires_at: float
+    stored_at: float = 0.0
+
+
+@dataclass
+class _ErrorEntry:
+    rcode: int
+    expires_at: float
+    detail: str = ""
+
+
+@dataclass
+class CacheConfig:
+    max_entries: int = 100_000
+    #: RFC 8767 suggests serving stale data for up to 1-3 days.
+    serve_stale: bool = False
+    stale_window: float = 86_400.0
+    negative_ttl_cap: float = 900.0
+    error_ttl: float = 30.0
+
+
+class ResolverCache:
+    """TTL cache for one resolver instance."""
+
+    def __init__(self, clock: Clock, config: CacheConfig | None = None):
+        self._clock = clock
+        self.config = config or CacheConfig()
+        self._positive: dict[tuple[Name, int], _PositiveEntry] = {}
+        self._negative: dict[tuple[Name, int], _NegativeEntry] = {}
+        self._errors: dict[tuple[Name, int], _ErrorEntry] = {}
+        self.stats = CacheStats()
+
+    # -- positive -----------------------------------------------------------------
+
+    def put_rrset(self, rrset: RRset) -> None:
+        now = self._clock.now()
+        key = (rrset.name, int(rrset.rdtype))
+        self._positive[key] = _PositiveEntry(
+            rrset=rrset.copy(), stored_at=now, expires_at=now + rrset.ttl
+        )
+        self.stats.insertions += 1
+        self._evict_if_needed()
+
+    def get_rrset(self, name: Name, rdtype: RdataType) -> RRset | None:
+        """Fresh entry or None; updates the entry's remaining TTL."""
+        entry = self._positive.get((name, int(rdtype)))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        now = self._clock.now()
+        if now >= entry.expires_at:
+            if not self.config.serve_stale or now >= entry.expires_at + self.config.stale_window:
+                del self._positive[(name, int(rdtype))]
+                self.stats.evictions += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        remaining = max(1, int(entry.expires_at - now))
+        return entry.rrset.copy(ttl=remaining)
+
+    def get_stale_rrset(self, name: Name, rdtype: RdataType) -> RRset | None:
+        """Expired-but-retained entry for serve-stale, or None."""
+        if not self.config.serve_stale:
+            return None
+        entry = self._positive.get((name, int(rdtype)))
+        if entry is None:
+            return None
+        now = self._clock.now()
+        if entry.expires_at <= now < entry.expires_at + self.config.stale_window:
+            self.stats.stale_hits += 1
+            # RFC 8767: serve stale data with a TTL of 30 seconds.
+            return entry.rrset.copy(ttl=30)
+        return None
+
+    # -- negative -------------------------------------------------------------------
+
+    def put_negative(
+        self, name: Name, rdtype: RdataType, rcode: int, authority: list[RRset], ttl: float
+    ) -> None:
+        ttl = min(ttl, self.config.negative_ttl_cap)
+        now = self._clock.now()
+        self._negative[(name, int(rdtype))] = _NegativeEntry(
+            rcode=rcode,
+            authority=[rrset.copy() for rrset in authority],
+            expires_at=now + ttl,
+            stored_at=now,
+        )
+
+    def get_negative(self, name: Name, rdtype: RdataType) -> _NegativeEntry | None:
+        entry = self._negative.get((name, int(rdtype)))
+        if entry is None:
+            return None
+        now = self._clock.now()
+        if now >= entry.expires_at:
+            if not self.config.serve_stale or now >= entry.expires_at + self.config.stale_window:
+                del self._negative[(name, int(rdtype))]
+            return None
+        self.stats.negative_hits += 1
+        return entry
+
+    def get_stale_negative(self, name: Name, rdtype: RdataType) -> _NegativeEntry | None:
+        """Expired negative entry retained for serve-stale (RFC 8767 also
+        applies to NXDOMAIN — the paper's Stale NXDOMAIN Answer (19))."""
+        if not self.config.serve_stale:
+            return None
+        entry = self._negative.get((name, int(rdtype)))
+        if entry is None:
+            return None
+        now = self._clock.now()
+        if entry.expires_at <= now < entry.expires_at + self.config.stale_window:
+            self.stats.stale_hits += 1
+            return entry
+        return None
+
+    # -- errors ------------------------------------------------------------------------
+
+    def put_error(self, name: Name, rdtype: RdataType, rcode: int, detail: str = "") -> None:
+        self._errors[(name, int(rdtype))] = _ErrorEntry(
+            rcode=rcode, expires_at=self._clock.now() + self.config.error_ttl, detail=detail
+        )
+
+    def get_error(self, name: Name, rdtype: RdataType) -> _ErrorEntry | None:
+        entry = self._errors.get((name, int(rdtype)))
+        if entry is None:
+            return None
+        if self._clock.now() >= entry.expires_at:
+            del self._errors[(name, int(rdtype))]
+            return None
+        self.stats.error_hits += 1
+        return entry
+
+    # -- bookkeeping -----------------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._positive.clear()
+        self._negative.clear()
+        self._errors.clear()
+
+    def __len__(self) -> int:
+        return len(self._positive) + len(self._negative) + len(self._errors)
+
+    def _evict_if_needed(self) -> None:
+        if len(self._positive) <= self.config.max_entries:
+            return
+        # Drop the entries closest to expiry (cheap approximation of LRU).
+        by_expiry = sorted(self._positive.items(), key=lambda item: item[1].expires_at)
+        for key, _entry in by_expiry[: len(by_expiry) // 10 or 1]:
+            del self._positive[key]
+            self.stats.evictions += 1

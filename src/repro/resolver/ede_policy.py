@@ -1,0 +1,136 @@
+"""Vendor EDE policy: mapping failure traces and events to INFO-CODEs.
+
+The paper's core result (Section 3.3) is that implementations of
+RFC 8914 disagree on *which* extended error describes a given failure,
+even though they detect the failure itself consistently.  An
+:class:`EdePolicy` captures one vendor's mapping:
+
+* ``reason_codes`` — validation :class:`FailureReason` → INFO-CODEs;
+* ``event_codes`` — transport :class:`ResolutionEvent` → INFO-CODEs;
+* extra-text templates for the vendors that populate EXTRA-TEXT.
+
+Profiles for the seven tested systems live in
+:mod:`repro.resolver.profiles`; their tables are derived from the
+paper's Table 4 and verified against it by ``experiments.table4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.ede import EdeCode
+from ..dnssec.trace import (
+    EventRecord,
+    FailureReason,
+    ResolutionEvent,
+    ResolutionOutcome,
+)
+
+
+@dataclass(frozen=True)
+class EdeEmission:
+    """One EDE option to attach to a client response."""
+
+    code: int
+    extra_text: str = ""
+
+    def key(self) -> tuple[int, str]:
+        return (self.code, self.extra_text)
+
+
+@dataclass
+class EdePolicy:
+    """One vendor's RFC 8914 behaviour."""
+
+    name: str
+    reason_codes: dict[FailureReason, tuple[int, ...]] = field(default_factory=dict)
+    event_codes: dict[ResolutionEvent, tuple[int, ...]] = field(default_factory=dict)
+    #: Emit EDE 22 when every authority for some zone was exhausted.
+    emit_no_reachable_authority: bool = False
+    #: Attach rich EXTRA-TEXT strings (Cloudflare style).
+    verbose_extra_text: bool = False
+    #: Text attached to EDE 0 emissions (Knot's "LSLC: ..." messages).
+    other_text: str = ""
+    #: Cap on the number of EDE options attached to one response.
+    max_options: int = 8
+    #: Resolver-policy INFO-CODEs this vendor emits when local policy
+    #: (RPZ-style blocking) intervenes: Forged Answer (4), Blocked (15),
+    #: Censored (16), Filtered (17), Prohibited (18).  BIND shipped these
+    #: first (paper section 2); the default grants the full set.
+    policy_codes: frozenset[int] = frozenset({4, 15, 16, 17, 18})
+
+    def policy_emission(self, info_code: int, reason: str = "") -> EdeEmission | None:
+        """The option to attach when local policy produced the answer."""
+        if info_code not in self.policy_codes:
+            return None
+        return EdeEmission(code=info_code, extra_text=reason)
+
+    def emissions(self, outcome: ResolutionOutcome) -> list[EdeEmission]:
+        """All EDE options this vendor would attach for ``outcome``."""
+        out: list[EdeEmission] = []
+        seen: set[tuple[int, str]] = set()
+
+        def push(code: int, text: str = "") -> None:
+            emission = EdeEmission(code=code, extra_text=text)
+            if emission.key() not in seen and len(out) < self.max_options:
+                seen.add(emission.key())
+                out.append(emission)
+
+        reason = outcome.validation.reason
+        if reason is not None:
+            for code in self.reason_codes.get(reason, ()):
+                push(code, self._reason_text(code, outcome))
+        for warning in outcome.validation.warnings:
+            for code in self.reason_codes.get(warning, ()):
+                text = ""
+                if self.verbose_extra_text and warning is FailureReason.STANDBY_KSK_UNSIGNED:
+                    text = "no RRSIG covering a stand-by DNSKEY"
+                push(code, text)
+
+        for record in outcome.events:
+            for code in self.event_codes.get(record.event, ()):
+                push(code, self._event_text(code, record))
+
+        if self.emit_no_reachable_authority and outcome.has_event(
+            ResolutionEvent.ALL_SERVERS_FAILED
+        ):
+            push(int(EdeCode.NO_REACHABLE_AUTHORITY))
+
+        return out
+
+    # -- extra-text rendering --------------------------------------------------------
+
+    def _reason_text(self, code: int, outcome: ResolutionOutcome) -> str:
+        if code == int(EdeCode.OTHER) and self.other_text:
+            return self.other_text
+        if not self.verbose_extra_text:
+            return ""
+        trace = outcome.validation
+        if trace.detail:
+            return trace.detail
+        if code == int(EdeCode.UNSUPPORTED_DNSKEY_ALGORITHM):
+            if trace.key_size is not None:
+                return "unsupported key size"
+            if trace.reason is FailureReason.ALGO_DEPRECATED:
+                return "no supported DNSKEY algorithm"
+            if trace.algorithm is not None:
+                return f"unsupported DNSKEY algorithm {trace.algorithm}"
+        if code == int(EdeCode.UNSUPPORTED_DS_DIGEST_TYPE) and trace.algorithm is not None:
+            return f"unsupported DS digest type {trace.algorithm}"
+        if code == int(EdeCode.SIGNATURE_EXPIRED) and trace.expired_at is not None:
+            return f"signature expired at {trace.expired_at}"
+        return ""
+
+    def _event_text(self, code: int, record: EventRecord) -> str:
+        if not self.verbose_extra_text:
+            return ""
+        if code == int(EdeCode.NETWORK_ERROR):
+            what = record.detail or "unreachable"
+            suffix = f" for {record.qname} {record.rdtype}".rstrip()
+            return f"{record.server} {what}{suffix}"
+        if code == int(EdeCode.INVALID_DATA):
+            server = record.server.split(":")[0]
+            return f"Mismatched question from the authoritative server {server}"
+        if code == int(EdeCode.OTHER) and record.event is ResolutionEvent.ITERATION_LIMIT_EXCEEDED:
+            return "iteration limit exceeded"
+        return ""

@@ -1,0 +1,196 @@
+"""A forwarding resolver (CPE / enterprise style).
+
+RFC 8914 is explicit that *forwarders* may generate, forward, and parse
+EDE options, and warns that a forwarder relaying upstream errors can
+confuse clients unless it marks its own contributions.  This forwarder:
+
+* relays recursive queries to one or more upstream resolvers over the
+  fabric (failover in order);
+* **forwards** upstream EDE options verbatim;
+* optionally annotates them (``annotate_forwarded``) by prefixing the
+  EXTRA-TEXT with the upstream address — the disambiguation the RFC
+  suggests;
+* generates its *own* EDE when every upstream is unreachable
+  (No Reachable Authority 22 / Network Error 23) or when serving from
+  its small answer cache after upstream loss (Stale Answer 3);
+* applies an optional :class:`~repro.resolver.policy.LocalPolicy`
+  before forwarding (the home-router blocklist case), emitting the
+  policy codes itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.ede import EdeCode
+from ..dns.message import Message
+from ..dns.name import Name
+from ..dns.rcode import Rcode
+from ..dns.types import RdataType
+from ..net.fabric import NetworkFabric, TransportError
+from .cache import CacheConfig, ResolverCache
+from .policy import ACTION_EDE, LocalPolicy, PolicyAction
+
+
+@dataclass
+class ForwarderStats:
+    queries: int = 0
+    forwarded: int = 0
+    upstream_failovers: int = 0
+    upstream_exhausted: int = 0
+    ede_forwarded: int = 0
+    ede_generated: int = 0
+    policy_hits: int = 0
+
+
+class ForwardingResolver:
+    """Relays queries to upstream recursive resolvers, EDE included."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        upstreams: list[str],
+        source_ip: str = "203.0.113.53",
+        annotate_forwarded: bool = False,
+        local_policy: LocalPolicy | None = None,
+        cache_config: CacheConfig | None = None,
+        timeout: float = 3.0,
+    ):
+        if not upstreams:
+            raise ValueError("a forwarder needs at least one upstream")
+        self.fabric = fabric
+        self.upstreams = list(upstreams)
+        self.source_ip = source_ip
+        self.annotate_forwarded = annotate_forwarded
+        self.local_policy = local_policy
+        self.cache = ResolverCache(
+            fabric.clock, cache_config or CacheConfig(serve_stale=True)
+        )
+        self.timeout = timeout
+        self.stats = ForwarderStats()
+
+    # -- fabric endpoint ------------------------------------------------------
+
+    def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
+        return self.handle_query(query, source).to_wire()
+
+    # -- main path ----------------------------------------------------------------
+
+    def resolve(self, qname: Name | str, rdtype: RdataType | str = RdataType.A) -> Message:
+        query = Message.make_query(qname, rdtype, want_dnssec=False)
+        return self.handle_query(query)
+
+    def handle_query(self, query: Message, source: str = "") -> Message:
+        self.stats.queries += 1
+        question = query.question[0]
+        qname, rdtype = question.name, question.rdtype
+
+        if self.local_policy is not None:
+            decision = self.local_policy.evaluate(qname)
+            if decision is not None:
+                self.stats.policy_hits += 1
+                return self._policy_response(query, qname, rdtype, decision)
+
+        cached = self.cache.get_rrset(qname, rdtype)
+        if cached is not None:
+            response = query.make_response()
+            response.answer.append(cached)
+            return response
+
+        upstream_response = self._ask_upstreams(query)
+        if upstream_response is None:
+            return self._all_upstreams_down(query, qname, rdtype)
+
+        response = self._relay(query, upstream_response)
+        if response.rcode == Rcode.NOERROR:
+            for rrset in response.answer:
+                if rrset.rdtype == rdtype:
+                    self.cache.put_rrset(rrset)
+        return response
+
+    # -- internals --------------------------------------------------------------------
+
+    def _ask_upstreams(self, query: Message) -> "tuple[str, Message] | None":
+        for upstream in self.upstreams:
+            relay = Message.make_query(
+                query.question[0].name,
+                query.question[0].rdtype,
+                want_dnssec=query.edns.dnssec_ok if query.edns else False,
+                recursion_desired=True,
+            )
+            try:
+                raw = self.fabric.send(
+                    upstream, relay.to_wire(), source=self.source_ip,
+                    timeout=self.timeout,
+                )
+            except TransportError:
+                self.stats.upstream_failovers += 1
+                continue
+            try:
+                response = Message.from_wire(raw)
+            except Exception:
+                self.stats.upstream_failovers += 1
+                continue
+            return upstream, response
+        self.stats.upstream_exhausted += 1
+        return None
+
+    def _relay(self, query: Message, upstream_result: tuple[str, Message]) -> Message:
+        upstream, upstream_response = upstream_result
+        self.stats.forwarded += 1
+        response = query.make_response()
+        response.rcode = upstream_response.rcode
+        response.answer = [r.copy() for r in upstream_response.answer]
+        response.authority = [r.copy() for r in upstream_response.authority]
+        if query.edns is not None:
+            for option in upstream_response.extended_errors:
+                text = option.extra_text
+                if self.annotate_forwarded:
+                    prefix = f"[from {upstream}] "
+                    text = prefix + text if text else prefix.strip()
+                response.add_ede(option.info_code, text)
+                self.stats.ede_forwarded += 1
+        return response
+
+    def _all_upstreams_down(
+        self, query: Message, qname: Name, rdtype: RdataType
+    ) -> Message:
+        response = query.make_response()
+        stale = self.cache.get_stale_rrset(qname, rdtype)
+        if stale is not None:
+            response.answer.append(stale)
+            if query.edns is not None:
+                response.add_ede(EdeCode.STALE_ANSWER)
+                self.stats.ede_generated += 1
+            return response
+        response.rcode = Rcode.SERVFAIL
+        if query.edns is not None:
+            response.add_ede(EdeCode.NO_REACHABLE_AUTHORITY)
+            response.add_ede(
+                EdeCode.NETWORK_ERROR,
+                f"no upstream resolver reachable ({', '.join(self.upstreams)})",
+            )
+            self.stats.ede_generated += 2
+        return response
+
+    def _policy_response(self, query: Message, qname, rdtype, decision) -> Message:
+        from ..dns.rdata import A as ARdata
+        from ..dns.rrset import RRset
+
+        response = query.make_response()
+        response.rcode = decision.rcode
+        if decision.action is PolicyAction.FORGE and rdtype == RdataType.A:
+            response.answer.append(
+                RRset.of(
+                    qname, RdataType.A,
+                    ARdata(address=decision.rule.forged_address), ttl=30,
+                )
+            )
+        if query.edns is not None:
+            response.add_ede(ACTION_EDE[decision.action], decision.rule.reason)
+            self.stats.ede_generated += 1
+        return response

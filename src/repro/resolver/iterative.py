@@ -1,0 +1,462 @@
+"""Iterative (recursive-resolver-side) resolution over the fabric.
+
+Walks referrals from the root hints down to an authoritative answer,
+chasing CNAMEs and out-of-bailiwick nameserver addresses, recording a
+:class:`ResolutionEvent` for every transport or server anomaly it
+observes.  The engine also remembers which servers host which zone so
+the DNSSEC validator can fetch DS/DNSKEY/NSEC3PARAM records from the
+right place, and whether each delegation was signed (a DS was present)
+— the signal behind Cloudflare's ``DNSKEY Missing`` on unreachable
+signed zones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.message import Message
+from ..dns.name import Name
+from ..dns.rcode import Rcode
+from ..dns.rdata import A, CNAME, NS
+from ..dns.rrset import RRset
+from ..dns.types import RdataType
+from ..dnssec.trace import EventRecord, ResolutionEvent
+from ..net.fabric import NetworkFabric, Timeout, TransportError, Unreachable
+
+
+@dataclass
+class IterationResult:
+    """What came back from walking the tree for one (qname, rdtype)."""
+
+    ok: bool = False
+    rcode: int = Rcode.SERVFAIL
+    answer: list[RRset] = field(default_factory=list)
+    authority: list[RRset] = field(default_factory=list)
+    zone_path: list[Name] = field(default_factory=list)
+    final_zone: Name | None = None
+    aa: bool = False
+    #: True when the failing zone's delegation carried a DS record.
+    failed_signed_zone: bool = False
+    failed_zone: Name | None = None
+
+
+@dataclass
+class EngineConfig:
+    source_ip: str = "198.51.100.1"
+    timeout: float = 2.0
+    retries: int = 1
+    max_referrals: int = 32
+    max_cname_chain: int = 8
+    max_ns_depth: int = 4
+    payload: int = 1232
+    #: RFC 9156: expose only one extra label per zone while iterating.
+    qname_minimization: bool = False
+
+
+class IterativeEngine:
+    """Referral-walking resolution core shared by all vendor profiles."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        root_hints: dict[str, list[str]] | list[str],
+        config: EngineConfig | None = None,
+    ):
+        self.fabric = fabric
+        self.config = config or EngineConfig()
+        if isinstance(root_hints, dict):
+            addresses = [addr for addrs in root_hints.values() for addr in addrs]
+        else:
+            addresses = list(root_hints)
+        self._root_servers = addresses
+        #: zone apex -> server addresses, learned from referrals.
+        self.zone_servers: dict[Name, list[str]] = {Name.root(): list(addresses)}
+        #: zone apex -> whether its delegation at the parent included a DS.
+        self.zone_signed: dict[Name, bool] = {Name.root(): True}
+        #: zone apex -> DNS Error Reporting agent domain (RFC 9567),
+        #: learned from Report-Channel options on authoritative answers.
+        self.report_channels: dict[Name, Name] = {}
+        self._msg_id = 0
+
+    # -- low-level query ------------------------------------------------------------
+
+    def _next_id(self) -> int:
+        self._msg_id = (self._msg_id + 1) & 0xFFFF
+        return self._msg_id
+
+    def query_server(
+        self,
+        server: str,
+        qname: Name,
+        rdtype: RdataType,
+        events: list[EventRecord],
+    ) -> Message | None:
+        """One query (with retries) to one server; None on failure."""
+        query = Message.make_query(
+            qname,
+            rdtype,
+            want_dnssec=True,
+            recursion_desired=False,
+            payload=self.config.payload,
+            msg_id=self._next_id(),
+        )
+        wire = query.to_wire()
+        attempts = 1 + self.config.retries
+        for attempt in range(attempts):
+            try:
+                raw = self.fabric.send(
+                    server, wire, source=self.config.source_ip, timeout=self.config.timeout
+                )
+            except Unreachable:
+                events.append(
+                    EventRecord(
+                        ResolutionEvent.SERVER_UNREACHABLE,
+                        server=f"{server}:53",
+                        qname=qname,
+                        rdtype=str(rdtype),
+                    )
+                )
+                return None  # no point retrying an unroutable address
+            except Timeout:
+                events.append(
+                    EventRecord(
+                        ResolutionEvent.SERVER_TIMEOUT,
+                        server=f"{server}:53",
+                        qname=qname,
+                        rdtype=str(rdtype),
+                        detail="timeout",
+                    )
+                )
+                continue
+            except TransportError:
+                return None
+            try:
+                response = Message.from_wire(raw)
+            except Exception:
+                events.append(
+                    EventRecord(
+                        ResolutionEvent.SERVER_FORMERR,
+                        server=f"{server}:53",
+                        qname=qname,
+                        rdtype=str(rdtype),
+                        detail="unparseable response",
+                    )
+                )
+                return None
+            if response.id != query.id:
+                continue
+            if not response.question or response.question[0].name != qname:
+                events.append(
+                    EventRecord(
+                        ResolutionEvent.MISMATCHED_QUESTION,
+                        server=f"{server}:53",
+                        qname=qname,
+                        rdtype=str(rdtype),
+                    )
+                )
+                return None
+            if query.edns is not None and response.edns is None:
+                # Pre-EDNS server silently dropped the OPT record instead of
+                # answering FORMERR (wild-scan Invalid Data category).
+                events.append(
+                    EventRecord(
+                        ResolutionEvent.SERVER_NO_EDNS,
+                        server=f"{server}:53",
+                        qname=qname,
+                        rdtype=str(rdtype),
+                    )
+                )
+            if response.tc:
+                # Truncated: retry the same server over TCP (RFC 7766).
+                try:
+                    raw = self.fabric.send(
+                        server, wire, source=self.config.source_ip,
+                        timeout=self.config.timeout, transport="tcp",
+                    )
+                    response = Message.from_wire(raw)
+                except TransportError:
+                    events.append(
+                        EventRecord(
+                            ResolutionEvent.SERVER_TIMEOUT,
+                            server=f"{server}:53",
+                            qname=qname,
+                            rdtype=str(rdtype),
+                            detail="tcp retry failed",
+                        )
+                    )
+                    continue
+            bad_rcode_events = {
+                Rcode.REFUSED: ResolutionEvent.SERVER_REFUSED,
+                Rcode.SERVFAIL: ResolutionEvent.SERVER_SERVFAIL,
+                Rcode.NOTAUTH: ResolutionEvent.SERVER_NOTAUTH,
+                Rcode.FORMERR: ResolutionEvent.SERVER_FORMERR,
+            }
+            if response.rcode in bad_rcode_events:
+                events.append(
+                    EventRecord(
+                        bad_rcode_events[Rcode(response.rcode)],
+                        server=f"{server}:53",
+                        qname=qname,
+                        rdtype=str(rdtype),
+                        detail=f"rcode={Rcode(response.rcode).name}",
+                    )
+                )
+                return None
+            return response
+        return None
+
+    def query_zone(
+        self,
+        zone: Name,
+        qname: Name,
+        rdtype: RdataType,
+        events: list[EventRecord],
+    ) -> Message | None:
+        """Query every known server for ``zone`` until one answers usefully."""
+        servers = self.zone_servers.get(zone, [])
+        for server in servers:
+            response = self.query_server(server, qname, rdtype, events)
+            if response is not None:
+                if response.edns is not None:
+                    from .error_reporting import REPORT_CHANNEL, ReportChannelOption
+
+                    option = response.edns.option(REPORT_CHANNEL)
+                    if isinstance(option, ReportChannelOption):
+                        self.report_channels[zone] = option.agent_domain
+                return response
+        return None
+
+    def report_channel_for(self, qname: Name) -> Name | None:
+        """Deepest learned reporting agent covering ``qname``."""
+        current = qname
+        while True:
+            agent = self.report_channels.get(current)
+            if agent is not None:
+                return agent
+            if current.is_root():
+                return None
+            current = current.parent()
+
+    # -- full iteration -------------------------------------------------------------------
+
+    def resolve(
+        self,
+        qname: Name,
+        rdtype: RdataType,
+        events: list[EventRecord],
+        depth: int = 0,
+    ) -> IterationResult:
+        result = IterationResult()
+        current_zone = self._deepest_known_zone(qname)
+        result.zone_path = self._path_to(current_zone)
+        target = qname
+        chained_answers: list[RRset] = []
+        cname_hops = 0
+
+        min_extra_labels = 1  # qname-minimization probe depth below the cut
+        for _ in range(self.config.max_referrals):
+            probe = target
+            if (
+                self.config.qname_minimization
+                and target.is_strict_subdomain_of(current_zone)
+            ):
+                depth = min(
+                    current_zone.label_count() + min_extra_labels,
+                    target.label_count(),
+                )
+                _prefix, probe = target.split(depth)
+            response = self.query_zone(current_zone, probe, rdtype, events)
+            if response is None:
+                events.append(
+                    EventRecord(
+                        ResolutionEvent.ALL_SERVERS_FAILED,
+                        qname=target,
+                        rdtype=str(rdtype),
+                        detail=str(current_zone),
+                    )
+                )
+                result.ok = False
+                result.rcode = Rcode.SERVFAIL
+                result.failed_zone = current_zone
+                result.failed_signed_zone = self.zone_signed.get(current_zone, False)
+                return result
+
+            answer_rrset = response.find_answer(target, rdtype)
+            cname_rrset = response.find_answer(target, RdataType.CNAME)
+
+            if answer_rrset is not None or (
+                rdtype == RdataType.CNAME and cname_rrset is not None
+            ):
+                result.ok = True
+                result.rcode = response.rcode
+                result.answer = chained_answers + list(response.answer)
+                result.authority = list(response.authority)
+                result.final_zone = current_zone
+                result.aa = response.aa
+                return result
+
+            if cname_rrset is not None:
+                cname_hops += 1
+                if cname_hops > self.config.max_cname_chain:
+                    events.append(
+                        EventRecord(
+                            ResolutionEvent.ITERATION_LIMIT_EXCEEDED,
+                            qname=target,
+                            detail="CNAME chain too long",
+                        )
+                    )
+                    result.rcode = Rcode.SERVFAIL
+                    return result
+                events.append(
+                    EventRecord(ResolutionEvent.CNAME_CHASED, qname=target)
+                )
+                chained_answers.extend(rrset.copy() for rrset in response.answer)
+                rdata = cname_rrset.rdatas[0]
+                assert isinstance(rdata, CNAME)
+                target = rdata.target
+                current_zone = self._deepest_known_zone(target)
+                result.zone_path = self._path_to(current_zone)
+                continue
+
+            referral = self._extract_referral(response, current_zone, target)
+            if referral is not None:
+                child_zone, servers, ds_present = referral
+                if not servers:
+                    servers = self._resolve_ns_addresses(response, child_zone, events, depth)
+                if not servers:
+                    events.append(
+                        EventRecord(
+                            ResolutionEvent.ALL_SERVERS_FAILED,
+                            qname=target,
+                            detail=f"no addresses for {child_zone} nameservers",
+                        )
+                    )
+                    result.rcode = Rcode.SERVFAIL
+                    result.failed_zone = child_zone
+                    result.failed_signed_zone = ds_present
+                    return result
+                self.zone_servers[child_zone] = servers
+                self.zone_signed[child_zone] = ds_present
+                current_zone = child_zone
+                result.zone_path.append(child_zone)
+                min_extra_labels = 1
+                continue
+
+            if probe != target and response.rcode == Rcode.NOERROR:
+                # Minimized probe hit an empty non-terminal (or an apex
+                # record): expose one more label and ask the same zone.
+                min_extra_labels += 1
+                continue
+
+            # Authoritative negative (NXDOMAIN or NODATA), or a dead end.
+            result.ok = response.aa or response.rcode == Rcode.NXDOMAIN
+            result.rcode = response.rcode
+            result.answer = chained_answers + list(response.answer)
+            result.authority = list(response.authority)
+            result.final_zone = current_zone
+            result.aa = response.aa
+            return result
+
+        events.append(
+            EventRecord(
+                ResolutionEvent.ITERATION_LIMIT_EXCEEDED,
+                qname=qname,
+                detail="iteration limit exceeded",
+            )
+        )
+        result.rcode = Rcode.SERVFAIL
+        return result
+
+    # -- helpers ------------------------------------------------------------------------------
+
+    def _deepest_known_zone(self, qname: Name) -> Name:
+        """Deepest zone with cached NS addresses above ``qname``.
+
+        Real resolvers keep delegation (NS) records cached; starting each
+        resolution at the deepest cached cut instead of the root is what
+        keeps root/TLD query volume sane during a 300k-domain scan.
+        """
+        # Walk the ancestors of qname (cheap: a handful of dict probes)
+        # rather than scanning the delegation cache, which can hold one
+        # entry per scanned domain.
+        if qname.is_root() or qname.label_count() < 2:
+            return Name.root()
+        current = qname.parent()
+        while current.label_count() > 0 and not current.is_root():
+            # Never start *at* the target name itself: its servers may be
+            # the broken thing under test; re-walk from the parent.
+            if current in self.zone_servers:
+                return current
+            current = current.parent()
+        return Name.root()
+
+    def _path_to(self, zone: Name) -> list[Name]:
+        """All known ancestor zones of ``zone``, root first."""
+        path = []
+        current = zone
+        while True:
+            if current in self.zone_servers:
+                path.append(current)
+            if current.is_root():
+                break
+            current = current.parent()
+        path.reverse()
+        return path
+
+    def _extract_referral(
+        self, response: Message, current_zone: Name, target: Name
+    ) -> tuple[Name, list[str], bool] | None:
+        ns_rrset: RRset | None = None
+        for rrset in response.authority:
+            if (
+                rrset.rdtype == RdataType.NS
+                and rrset.name.is_strict_subdomain_of(current_zone)
+                and target.is_subdomain_of(rrset.name)
+            ):
+                ns_rrset = rrset
+                break
+        if ns_rrset is None:
+            return None
+        ds_present = any(
+            rrset.rdtype == RdataType.DS and rrset.name == ns_rrset.name
+            for rrset in response.authority
+        )
+        ns_targets = {
+            rdata.target for rdata in ns_rrset.rdatas if isinstance(rdata, NS)
+        }
+        glue: list[str] = []
+        for rrset in response.additional:
+            if rrset.name in ns_targets and rrset.rdtype in (RdataType.A, RdataType.AAAA):
+                for rdata in rrset.rdatas:
+                    address = getattr(rdata, "address", None)
+                    if address is not None:
+                        glue.append(address)
+        return ns_rrset.name, glue, ds_present
+
+    def _resolve_ns_addresses(
+        self,
+        response: Message,
+        child_zone: Name,
+        events: list[EventRecord],
+        depth: int,
+    ) -> list[str]:
+        """Chase out-of-bailiwick NS names (bounded recursion)."""
+        if depth >= self.config.max_ns_depth:
+            return []
+        addresses: list[str] = []
+        for rrset in response.authority:
+            if rrset.rdtype != RdataType.NS or rrset.name != child_zone:
+                continue
+            for rdata in rrset.rdatas:
+                if not isinstance(rdata, NS):
+                    continue
+                sub_events: list[EventRecord] = []
+                sub = self.resolve(rdata.target, RdataType.A, sub_events, depth + 1)
+                events.extend(sub_events)
+                if sub.ok:
+                    for answer in sub.answer:
+                        if answer.rdtype == RdataType.A:
+                            for a_rdata in answer.rdatas:
+                                if isinstance(a_rdata, A):
+                                    addresses.append(a_rdata.address)
+        return addresses

@@ -1,0 +1,390 @@
+"""The seven resolver profiles the paper tests.
+
+Each profile bundles a validator capability set with an EDE policy.
+The reason→INFO-CODE tables transcribe the observable behaviour of
+BIND 9.19.9, Unbound 1.16.2, PowerDNS Recursor 4.8.2, Knot Resolver
+5.6.0, Cloudflare DNS, Quad9, and OpenDNS as published in the paper's
+Table 4 (see DESIGN.md for the methodology: detection is computed by
+the shared validation engine on genuinely misconfigured zones; only the
+*mapping* to codes is vendor data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dnssec.algorithms import CLOUDFLARE_SUPPORTED, FULL_SUPPORTED, DsDigest
+from ..dnssec.trace import FailureReason as FR
+from ..dnssec.trace import ResolutionEvent as EV
+from ..dnssec.validator import ValidatorConfig
+from .cache import CacheConfig
+from .ede_policy import EdePolicy
+
+_FULL_DIGESTS = frozenset(
+    {int(DsDigest.SHA1), int(DsDigest.SHA256), int(DsDigest.SHA384)}
+)
+
+
+@dataclass
+class ResolverProfile:
+    """A vendor identity: validation capabilities + EDE policy."""
+
+    name: str
+    policy: EdePolicy
+    validator: ValidatorConfig = field(default_factory=ValidatorConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    #: Public-resolver anycast address (used as the profile's endpoint).
+    service_address: str = ""
+
+
+def _table(rows: dict[FR, tuple[int, ...]]) -> dict[FR, tuple[int, ...]]:
+    return dict(rows)
+
+
+# ---------------------------------------------------------------------------
+# BIND 9.19.9 — implements only the RPZ (15-18) and serve-stale (3, 4, 19)
+# codes (paper section 2); none of the testbed's DNSSEC cases produce EDE.
+# ---------------------------------------------------------------------------
+
+BIND = ResolverProfile(
+    name="BIND 9.19.9",
+    policy=EdePolicy(
+        name="bind",
+        reason_codes={},
+        event_codes={
+            EV.STALE_ANSWER_SERVED: (3,),
+            EV.STALE_NXDOMAIN_SERVED: (19,),
+        },
+    ),
+    validator=ValidatorConfig(supported_algorithms=FULL_SUPPORTED,
+                              supported_ds_digests=_FULL_DIGESTS),
+)
+
+# ---------------------------------------------------------------------------
+# Unbound 1.16.2 — complete DNSSEC EDE coverage, prefers the specific
+# DNSKEY Missing (9) / NSEC Missing (12) codes over the generic Bogus (6).
+# ---------------------------------------------------------------------------
+
+UNBOUND = ResolverProfile(
+    name="Unbound 1.16.2",
+    policy=EdePolicy(
+        name="unbound",
+        reason_codes=_table({
+            FR.DS_DNSKEY_MISMATCH: (9,),
+            FR.DS_DIGEST_MISMATCH: (9,),
+            FR.DNSKEY_SIG_EXPIRED: (7,),
+            FR.LEAF_SIG_EXPIRED: (6,),
+            FR.DNSKEY_SIG_NOT_YET_VALID: (9,),
+            FR.LEAF_SIG_NOT_YET_VALID: (6,),
+            FR.DNSKEY_RRSIG_MISSING: (10,),
+            FR.LEAF_RRSIG_MISSING: (10,),
+            FR.DNSKEY_SIG_INVERTED: (9,),
+            FR.LEAF_SIG_INVERTED: (6,),
+            FR.NSEC3_RECORDS_MISSING: (12,),
+            FR.NSEC3_BAD_HASH: (6,),
+            FR.NSEC3_BAD_NEXT: (6,),
+            FR.NSEC3_BAD_RRSIG: (6,),
+            FR.NSEC3_RRSIG_MISSING: (12,),
+            FR.NSEC3PARAM_MISSING: (10,),
+            FR.NSEC3PARAM_SALT_MISMATCH: (12,),
+            FR.NSEC3_CHAIN_ABSENT: (10,),
+            FR.ZSK_MISSING: (9,),
+            FR.ZSK_BAD: (9,),
+            FR.KSK_SIG_MISSING: (10,),
+            FR.KSK_SIG_INVALID: (9,),
+            FR.DNSKEY_SIG_INVALID: (9,),
+            FR.ZONE_KEY_BITS_CLEAR: (9,),
+            FR.ZSK_ALGO_MISMATCH: (9,),
+            FR.ZSK_ALGO_UNASSIGNED: (9,),
+            FR.ZSK_ALGO_RESERVED: (9,),
+            FR.NSEC_MISSING: (12,),
+        }),
+        event_codes={
+            EV.STALE_ANSWER_SERVED: (3,),
+            EV.CACHED_ERROR_SERVED: (13,),
+        },
+    ),
+    validator=ValidatorConfig(supported_algorithms=FULL_SUPPORTED,
+                              supported_ds_digests=_FULL_DIGESTS),
+)
+
+# ---------------------------------------------------------------------------
+# PowerDNS Recursor 4.8.2 — DNSSEC codes with a tilt toward the generic
+# Bogus (6) for key-content problems; silent on NSEC3 chain damage.
+# ---------------------------------------------------------------------------
+
+POWERDNS = ResolverProfile(
+    name="PowerDNS Recursor 4.8.2",
+    policy=EdePolicy(
+        name="powerdns",
+        reason_codes=_table({
+            FR.DS_DNSKEY_MISMATCH: (9,),
+            FR.DS_DIGEST_MISMATCH: (9,),
+            FR.DNSKEY_SIG_EXPIRED: (7,),
+            FR.LEAF_SIG_EXPIRED: (7,),
+            FR.DNSKEY_SIG_NOT_YET_VALID: (8,),
+            FR.LEAF_SIG_NOT_YET_VALID: (8,),
+            FR.DNSKEY_RRSIG_MISSING: (10,),
+            FR.LEAF_RRSIG_MISSING: (10,),
+            FR.DNSKEY_SIG_INVERTED: (7,),
+            FR.LEAF_SIG_INVERTED: (7,),
+            FR.NSEC3PARAM_MISSING: (10,),
+            FR.NSEC3_CHAIN_ABSENT: (10,),
+            FR.ZSK_MISSING: (6,),
+            FR.ZSK_BAD: (6,),
+            FR.KSK_SIG_MISSING: (9,),
+            FR.KSK_SIG_INVALID: (6,),
+            FR.DNSKEY_SIG_INVALID: (6,),
+            FR.ZONE_KEY_BITS_CLEAR: (10,),
+            FR.ZSK_ALGO_MISMATCH: (6,),
+            FR.ZSK_ALGO_UNASSIGNED: (6,),
+            FR.ZSK_ALGO_RESERVED: (6,),
+        }),
+        event_codes={
+            EV.STALE_ANSWER_SERVED: (3,),
+            EV.CACHED_ERROR_SERVED: (13,),
+        },
+    ),
+    validator=ValidatorConfig(supported_algorithms=FULL_SUPPORTED,
+                              supported_ds_digests=_FULL_DIGESTS),
+)
+
+# ---------------------------------------------------------------------------
+# Knot Resolver 5.6.0 — generic DNSSEC Bogus (6) for most chain breaks,
+# Other (0) with an "LSLC: unsupported digest/key" note for unsupported
+# algorithm downgrades.
+# ---------------------------------------------------------------------------
+
+KNOT = ResolverProfile(
+    name="Knot Resolver 5.6.0",
+    policy=EdePolicy(
+        name="knot",
+        reason_codes=_table({
+            FR.DS_DNSKEY_MISMATCH: (6,),
+            FR.DS_DIGEST_MISMATCH: (6,),
+            FR.DS_UNASSIGNED_KEY_ALGO: (0,),
+            FR.DS_RESERVED_KEY_ALGO: (0,),
+            FR.DS_UNASSIGNED_DIGEST: (0,),
+            FR.ALGO_DEPRECATED: (0,),
+            FR.DNSKEY_SIG_EXPIRED: (7,),
+            FR.DNSKEY_SIG_NOT_YET_VALID: (8,),
+            FR.DNSKEY_RRSIG_MISSING: (10,),
+            FR.LEAF_RRSIG_MISSING: (10,),
+            FR.DNSKEY_SIG_INVERTED: (7,),
+            FR.NSEC3_RECORDS_MISSING: (12,),
+            FR.NSEC3_BAD_HASH: (6,),
+            FR.NSEC3_BAD_NEXT: (6,),
+            FR.NSEC3_BAD_RRSIG: (6,),
+            FR.NSEC3_RRSIG_MISSING: (10,),
+            FR.NSEC3PARAM_MISSING: (10,),
+            FR.NSEC3PARAM_SALT_MISMATCH: (12,),
+            FR.NSEC3_CHAIN_ABSENT: (10,),
+            FR.ZSK_MISSING: (6,),
+            FR.ZSK_BAD: (6,),
+            FR.KSK_SIG_MISSING: (6,),
+            FR.KSK_SIG_INVALID: (6,),
+            FR.DNSKEY_SIG_INVALID: (6,),
+            FR.ZONE_KEY_BITS_CLEAR: (10,),
+            FR.ZSK_ALGO_MISMATCH: (6,),
+            FR.ZSK_ALGO_UNASSIGNED: (6,),
+            FR.ZSK_ALGO_RESERVED: (6,),
+            FR.NSEC_MISSING: (12,),
+        }),
+        event_codes={
+            EV.STALE_ANSWER_SERVED: (3,),
+            EV.CACHED_ERROR_SERVED: (13,),
+        },
+        other_text="LSLC: unsupported digest/key",
+    ),
+    validator=ValidatorConfig(supported_algorithms=FULL_SUPPORTED,
+                              supported_ds_digests=_FULL_DIGESTS),
+)
+
+# ---------------------------------------------------------------------------
+# Cloudflare DNS — the richest implementation: specific DNSSEC codes,
+# transport codes 22/23 with verbose EXTRA-TEXT, Invalid Data (24), key-size
+# and algorithm-support signalling (no Ed448 at measurement time, 1024-bit
+# RSA minimum), stale/cached-error codes.
+# ---------------------------------------------------------------------------
+
+CLOUDFLARE = ResolverProfile(
+    name="Cloudflare DNS",
+    policy=EdePolicy(
+        name="cloudflare",
+        reason_codes=_table({
+            FR.DS_DNSKEY_MISMATCH: (9,),
+            FR.DS_DIGEST_MISMATCH: (6,),
+            FR.DS_UNASSIGNED_KEY_ALGO: (9,),
+            FR.DS_RESERVED_KEY_ALGO: (1,),
+            FR.DS_UNASSIGNED_DIGEST: (2,),
+            FR.DS_UNSUPPORTED_DIGEST: (2,),
+            FR.ALGO_DEPRECATED: (1,),
+            FR.ALGO_UNSUPPORTED: (1,),
+            FR.KEY_SIZE_UNSUPPORTED: (1,),
+            FR.DNSKEY_SIG_EXPIRED: (7,),
+            FR.LEAF_SIG_EXPIRED: (7,),
+            FR.DNSKEY_SIG_NOT_YET_VALID: (8,),
+            FR.LEAF_SIG_NOT_YET_VALID: (8,),
+            FR.DNSKEY_RRSIG_MISSING: (10,),
+            FR.LEAF_RRSIG_MISSING: (10,),
+            FR.DNSKEY_SIG_INVERTED: (10,),
+            FR.LEAF_SIG_INVERTED: (7,),
+            FR.NSEC3_RECORDS_MISSING: (6,),
+            FR.NSEC3_BAD_HASH: (6,),
+            FR.NSEC3_BAD_NEXT: (6,),
+            FR.NSEC3_BAD_RRSIG: (6,),
+            FR.NSEC3_RRSIG_MISSING: (6,),
+            FR.NSEC3PARAM_MISSING: (10,),
+            FR.NSEC3PARAM_SALT_MISMATCH: (6,),
+            FR.NSEC3_CHAIN_ABSENT: (10,),
+            FR.ZSK_MISSING: (6,),
+            FR.ZSK_BAD: (6,),
+            FR.KSK_SIG_MISSING: (10,),
+            FR.KSK_SIG_INVALID: (6,),
+            FR.DNSKEY_SIG_INVALID: (6,),
+            FR.ZONE_KEY_BITS_CLEAR: (9,),
+            FR.ZSK_ALGO_MISMATCH: (6,),
+            FR.ZSK_ALGO_UNASSIGNED: (6,),
+            FR.ZSK_ALGO_RESERVED: (6,),
+            FR.DNSKEY_UNFETCHABLE: (9,),
+            FR.NSEC_MISSING: (12,),
+            FR.MISMATCHED_ANSWER: (24,),
+            FR.STANDBY_KSK_UNSIGNED: (10,),
+        }),
+        event_codes={
+            EV.SERVER_REFUSED: (23,),
+            EV.SERVER_SERVFAIL: (23,),
+            EV.SERVER_TIMEOUT: (23,),
+            EV.MISMATCHED_QUESTION: (24,),
+            EV.SERVER_NO_EDNS: (24,),
+            EV.STALE_ANSWER_SERVED: (3,),
+            EV.STALE_NXDOMAIN_SERVED: (19,),
+            EV.CACHED_ERROR_SERVED: (13,),
+            EV.ITERATION_LIMIT_EXCEEDED: (0,),
+        },
+        emit_no_reachable_authority=True,
+        verbose_extra_text=True,
+    ),
+    validator=ValidatorConfig(
+        supported_algorithms=CLOUDFLARE_SUPPORTED,
+        supported_ds_digests=_FULL_DIGESTS,  # no GOST
+        min_rsa_bits=1024,
+    ),
+    cache=CacheConfig(serve_stale=True),
+    service_address="1.1.1.1",
+)
+
+# ---------------------------------------------------------------------------
+# Quad9 — DNSSEC codes with its own specificity choices (e.g. DNSKEY
+# Missing (9) where others say RRSIGs Missing (10) for removed apex sigs).
+# ---------------------------------------------------------------------------
+
+QUAD9 = ResolverProfile(
+    name="Quad9",
+    policy=EdePolicy(
+        name="quad9",
+        reason_codes=_table({
+            FR.DS_DNSKEY_MISMATCH: (9,),
+            FR.DS_DIGEST_MISMATCH: (9,),
+            FR.DNSKEY_SIG_EXPIRED: (7,),
+            FR.LEAF_SIG_EXPIRED: (6,),
+            FR.DNSKEY_SIG_NOT_YET_VALID: (9,),
+            FR.LEAF_SIG_NOT_YET_VALID: (8,),
+            FR.DNSKEY_RRSIG_MISSING: (9,),
+            FR.LEAF_RRSIG_MISSING: (10,),
+            FR.DNSKEY_SIG_INVERTED: (9,),
+            FR.LEAF_SIG_INVERTED: (7,),
+            FR.NSEC3_BAD_HASH: (6,),
+            FR.NSEC3_BAD_NEXT: (6,),
+            FR.NSEC3_RRSIG_MISSING: (9,),
+            FR.NSEC3PARAM_MISSING: (9,),
+            FR.NSEC3PARAM_SALT_MISMATCH: (9,),
+            FR.NSEC3_CHAIN_ABSENT: (10,),
+            FR.ZSK_MISSING: (9,),
+            FR.ZSK_BAD: (6,),
+            FR.KSK_SIG_MISSING: (9,),
+            FR.KSK_SIG_INVALID: (6,),
+            FR.DNSKEY_SIG_INVALID: (9,),
+            FR.ZONE_KEY_BITS_CLEAR: (10,),
+            FR.ZSK_ALGO_MISMATCH: (6,),
+            FR.ZSK_ALGO_UNASSIGNED: (9,),
+            FR.ZSK_ALGO_RESERVED: (6,),
+        }),
+        event_codes={},
+    ),
+    validator=ValidatorConfig(supported_algorithms=FULL_SUPPORTED,
+                              supported_ds_digests=_FULL_DIGESTS),
+    service_address="9.9.9.9",
+)
+
+# ---------------------------------------------------------------------------
+# OpenDNS — coarse: almost everything maps to DNSSEC Bogus (6), plus the
+# anomalous Prohibited (18) for REFUSED-ing authorities the paper reported
+# to their support.
+# ---------------------------------------------------------------------------
+
+OPENDNS = ResolverProfile(
+    name="OpenDNS",
+    policy=EdePolicy(
+        name="opendns",
+        reason_codes=_table({
+            FR.DS_DNSKEY_MISMATCH: (6,),
+            FR.DS_DIGEST_MISMATCH: (6,),
+            FR.DS_UNASSIGNED_KEY_ALGO: (6,),
+            FR.DS_RESERVED_KEY_ALGO: (6,),
+            FR.DNSKEY_SIG_EXPIRED: (6,),
+            FR.LEAF_SIG_EXPIRED: (7,),
+            FR.DNSKEY_SIG_NOT_YET_VALID: (6,),
+            FR.LEAF_SIG_NOT_YET_VALID: (8,),
+            FR.DNSKEY_RRSIG_MISSING: (6,),
+            FR.DNSKEY_SIG_INVERTED: (6,),
+            FR.LEAF_SIG_INVERTED: (7,),
+            FR.NSEC3_RECORDS_MISSING: (12,),
+            FR.NSEC3_BAD_HASH: (12,),
+            FR.NSEC3_BAD_NEXT: (6,),
+            FR.NSEC3_BAD_RRSIG: (6,),
+            FR.NSEC3_RRSIG_MISSING: (12,),
+            FR.NSEC3PARAM_MISSING: (6,),
+            FR.NSEC3PARAM_SALT_MISMATCH: (12,),
+            FR.NSEC3_CHAIN_ABSENT: (6,),
+            FR.ZSK_MISSING: (6,),
+            FR.ZSK_BAD: (6,),
+            FR.KSK_SIG_MISSING: (6,),
+            FR.KSK_SIG_INVALID: (6,),
+            FR.DNSKEY_SIG_INVALID: (6,),
+            FR.ZONE_KEY_BITS_CLEAR: (6,),
+            FR.ZSK_ALGO_MISMATCH: (6,),
+            FR.ZSK_ALGO_UNASSIGNED: (6,),
+            FR.ZSK_ALGO_RESERVED: (6,),
+        }),
+        event_codes={
+            EV.SERVER_REFUSED: (18,),
+        },
+    ),
+    validator=ValidatorConfig(supported_algorithms=FULL_SUPPORTED,
+                              supported_ds_digests=_FULL_DIGESTS),
+    service_address="208.67.222.222",
+)
+
+#: The seven systems in the paper's column order.
+ALL_PROFILES: tuple[ResolverProfile, ...] = (
+    BIND,
+    UNBOUND,
+    POWERDNS,
+    KNOT,
+    CLOUDFLARE,
+    QUAD9,
+    OPENDNS,
+)
+
+PROFILES_BY_NAME = {profile.policy.name: profile for profile in ALL_PROFILES}
+
+
+def get_profile(name: str) -> ResolverProfile:
+    """Look up a profile by its short name (``bind``, ``cloudflare``, ...)."""
+    try:
+        return PROFILES_BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; choose from {sorted(PROFILES_BY_NAME)}"
+        ) from None

@@ -1,0 +1,108 @@
+"""The ten popular public resolvers of the paper's Section 3.2.
+
+The paper asked ten large public DNS services to resolve one domain per
+testbed group and kept the three that returned Extended DNS Errors (as
+of May 2023): Cloudflare DNS, Quad9, and OpenDNS.  This module models
+the other seven as EDE-silent profiles — they resolve and validate
+perfectly well, they just never attach INFO-CODEs — so the selection
+experiment itself (``probe_ede_support``) can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.types import RdataType
+from ..dnssec.algorithms import FULL_SUPPORTED, DsDigest
+from ..dnssec.validator import ValidatorConfig
+from .ede_policy import EdePolicy
+from .profiles import CLOUDFLARE, OPENDNS, QUAD9, ResolverProfile
+
+_FULL_DIGESTS = frozenset(
+    {int(DsDigest.SHA1), int(DsDigest.SHA256), int(DsDigest.SHA384)}
+)
+
+
+def _silent(name: str, short: str, address: str, validate_fully: bool = True) -> ResolverProfile:
+    return ResolverProfile(
+        name=name,
+        policy=EdePolicy(name=short, reason_codes={}, event_codes={},
+                         policy_codes=frozenset()),
+        validator=ValidatorConfig(
+            supported_algorithms=FULL_SUPPORTED, supported_ds_digests=_FULL_DIGESTS
+        ),
+        service_address=address,
+    )
+
+
+#: Public services probed in Section 3.2 that had no EDE support in May 2023.
+GOOGLE = _silent("Google Public DNS", "google", "8.8.8.8")
+LEVEL3 = _silent("Level3/CenturyLink", "level3", "4.2.2.1")
+VERISIGN = _silent("Verisign Public DNS", "verisign", "64.6.64.6")
+COMODO = _silent("Comodo Secure DNS", "comodo", "8.26.56.26")
+CLEANBROWSING = _silent("CleanBrowsing", "cleanbrowsing", "185.228.168.9")
+ADGUARD = _silent("AdGuard DNS", "adguard", "94.140.14.14")
+NEUSTAR = _silent("Neustar UltraDNS", "neustar", "64.6.65.6")
+
+#: The paper's candidate set: ten popular public resolvers.
+TEN_PUBLIC_RESOLVERS: tuple[ResolverProfile, ...] = (
+    CLOUDFLARE,
+    QUAD9,
+    OPENDNS,
+    GOOGLE,
+    LEVEL3,
+    VERISIGN,
+    COMODO,
+    CLEANBROWSING,
+    ADGUARD,
+    NEUSTAR,
+)
+
+
+@dataclass
+class SupportProbe:
+    """Result of probing one public resolver for EDE support."""
+
+    profile: ResolverProfile
+    probed_domains: list[str] = field(default_factory=list)
+    ede_seen: bool = False
+    codes_seen: set[int] = field(default_factory=set)
+
+
+def probe_ede_support(testbed, profiles=TEN_PUBLIC_RESOLVERS) -> list[SupportProbe]:
+    """Reproduce the Section 3.2 selection: query one domain per Table 2
+    group through each candidate and keep those that return any EDE."""
+    from ..testbed.subdomains import cases_in_group
+    from .recursive import RecursiveResolver
+
+    # One representative per group, chosen to trigger errors where possible.
+    representatives = []
+    for group in range(1, 9):
+        cases = cases_in_group(group)
+        # prefer a case that is actually misconfigured
+        chosen = next(
+            (case for case in cases if case.mutation.is_mutated()), cases[0]
+        )
+        representatives.append(chosen)
+
+    probes = []
+    for profile in profiles:
+        resolver = RecursiveResolver(
+            fabric=testbed.fabric, profile=profile,
+            root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+        )
+        probe = SupportProbe(profile=profile)
+        for case in representatives:
+            deployed = testbed.cases[case.label]
+            response = resolver.resolve(deployed.query_name, RdataType.A)
+            probe.probed_domains.append(case.label)
+            if response.ede_codes:
+                probe.ede_seen = True
+                probe.codes_seen.update(response.ede_codes)
+        probes.append(probe)
+    return probes
+
+
+def select_ede_capable(probes: list[SupportProbe]) -> list[ResolverProfile]:
+    """The resolvers a measurement study would keep."""
+    return [probe.profile for probe in probes if probe.ede_seen]

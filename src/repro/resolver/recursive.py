@@ -1,0 +1,391 @@
+"""The client-facing recursive resolver.
+
+Ties together the iterative engine, the cache, the DNSSEC validator,
+and a vendor EDE policy.  One instance per vendor profile; all
+instances share the same fabric, so a testbed query plan can ask all
+seven "resolvers" about the same misconfigured domain exactly like the
+paper does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..dns.dnssec_records import DS
+from ..dns.message import Message
+from ..dns.name import Name
+from ..dns.rcode import Rcode
+from ..dns.rrset import RRset
+from ..dns.types import RdataType
+from ..dnssec.trace import (
+    EventRecord,
+    FailureReason,
+    ResolutionEvent,
+    ResolutionOutcome,
+    Role,
+    ValidationState,
+    ValidationTrace,
+)
+from ..dnssec.validator import FetchResult, Validator
+from ..net.clock import Clock
+from ..net.fabric import NetworkFabric
+from .cache import ResolverCache
+from .ede_policy import EdePolicy
+from .iterative import EngineConfig, IterativeEngine
+from .profiles import ResolverProfile
+
+
+@dataclass
+class ResolverStats:
+    queries: int = 0
+    servfail: int = 0
+    nxdomain: int = 0
+    with_ede: int = 0
+    validated_secure: int = 0
+    validated_bogus: int = 0
+
+
+@dataclass
+class _InfraEntry:
+    result: FetchResult
+    expires_at: float
+
+
+class RecursiveResolver:
+    """A validating, caching recursive resolver with one vendor's EDE policy."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        profile: ResolverProfile,
+        root_hints: list[str],
+        trust_anchors: list[DS] | None = None,
+        engine_config: EngineConfig | None = None,
+        source_ip: str | None = None,
+        validate: bool = True,
+        local_policy: "LocalPolicy | None" = None,
+        error_reporting: bool = False,
+    ):
+        self.fabric = fabric
+        self.profile = profile
+        self.clock: Clock = fabric.clock
+        engine_config = engine_config or EngineConfig()
+        if source_ip:
+            engine_config = dataclasses.replace(engine_config, source_ip=source_ip)
+        elif profile.service_address:
+            engine_config = dataclasses.replace(
+                engine_config, source_ip=profile.service_address
+            )
+        self.engine = IterativeEngine(fabric, root_hints, engine_config)
+        self.cache = ResolverCache(self.clock, profile.cache)
+        self.validate_enabled = validate
+        validator_config = dataclasses.replace(
+            profile.validator, trust_anchors=list(trust_anchors or [])
+        )
+        self.validator = Validator(validator_config, _ValidatorSource(self))
+        self.policy: EdePolicy = profile.policy
+        self.local_policy = local_policy
+        self.reporter = None
+        if error_reporting:
+            from .error_reporting import ErrorReporter
+
+            self.reporter = ErrorReporter(self.clock)
+        self.stats = ResolverStats()
+        self._infra_cache: dict[tuple[Name, Name, int], _InfraEntry] = {}
+        self._infra_ttl = 300.0
+        self._active_events: list[EventRecord] | None = None
+
+    # -- public API ---------------------------------------------------------------
+
+    def resolve(
+        self,
+        qname: Name | str,
+        rdtype: RdataType | str = RdataType.A,
+        *,
+        want_dnssec: bool = False,
+        checking_disabled: bool = False,
+    ) -> Message:
+        """Resolve like a stub client would ask us to; returns the full
+        response message including any EDE options the profile emits."""
+        query = Message.make_query(
+            qname, rdtype, want_dnssec=want_dnssec, recursion_desired=True
+        )
+        query.cd = checking_disabled
+        return self.handle_query(query)
+
+    def handle_query(self, query: Message, source: str = "") -> Message:
+        self.stats.queries += 1
+        question = query.question[0]
+        qname, rdtype = question.name, question.rdtype
+        if self.local_policy is not None:
+            decision = self.local_policy.evaluate(qname)
+            if decision is not None:
+                return self._apply_local_policy(query, qname, rdtype, decision)
+        outcome = self._resolve_outcome(qname, rdtype, checking_disabled=query.cd)
+        response = self._build_response(query, outcome)
+        if self.reporter is not None and response.ede_codes:
+            self._report_errors(qname, rdtype, response.ede_codes)
+        return response
+
+    def _report_errors(self, qname: Name, rdtype, ede_codes) -> None:
+        """RFC 9567: tell the zone's monitoring agent about the failure."""
+        agent = self.engine.report_channel_for(qname)
+        if agent is None or qname.is_subdomain_of(agent):
+            return  # no channel, or we would report about the report
+        for info_code in ede_codes:
+            if not self.reporter.should_report(qname, rdtype, info_code, agent):
+                continue
+            report = self.reporter.build_report_query(qname, rdtype, info_code, agent)
+            events: list[EventRecord] = []
+            result = self.engine.resolve(
+                report.question[0].name, RdataType.TXT, events
+            )
+            if result.ok:
+                self.reporter.stats.reports_sent += 1
+            else:
+                self.reporter.stats.failed += 1
+
+    def _apply_local_policy(self, query: Message, qname: Name, rdtype, decision) -> Message:
+        """Synthesize the RPZ-style answer local policy demands."""
+        from ..dns.rdata import A, AAAA
+        from .policy import ACTION_EDE, PolicyAction
+
+        response = query.make_response()
+        response.rcode = decision.rcode
+        if decision.action is PolicyAction.FORGE and rdtype in (
+            RdataType.A, RdataType.AAAA,
+        ):
+            forged = decision.rule.forged_address
+            rdata = AAAA(address=forged) if ":" in forged else A(address=forged)
+            if (rdtype == RdataType.A) == (":" not in forged):
+                response.answer.append(RRset.of(qname, rdtype, rdata, ttl=30))
+        if query.edns is not None:
+            emission = self.policy.policy_emission(
+                ACTION_EDE[decision.action], decision.rule.reason
+            )
+            if emission is not None:
+                response.add_ede(emission.code, emission.extra_text)
+                self.stats.with_ede += 1
+        return response
+
+    # -- fabric endpoint protocol (so a resolver can itself be hosted) ----------------
+
+    def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            response = Message(rcode=Rcode.FORMERR, qr=True)
+            return response.to_wire()
+        return self.handle_query(query, source).to_wire()
+
+    # -- resolution pipeline ------------------------------------------------------------
+
+    def _resolve_outcome(
+        self, qname: Name, rdtype: RdataType, checking_disabled: bool = False
+    ) -> ResolutionOutcome:
+        outcome = ResolutionOutcome()
+
+        error = self.cache.get_error(qname, rdtype)
+        if error is not None:
+            outcome.rcode = error.rcode
+            outcome.from_cache = True
+            outcome.events.append(
+                EventRecord(
+                    ResolutionEvent.CACHED_ERROR_SERVED,
+                    qname=qname,
+                    rdtype=str(rdtype),
+                    detail=error.detail,
+                )
+            )
+            outcome.validation = ValidationTrace.insecure()
+            return outcome
+
+        cached = self.cache.get_rrset(qname, rdtype)
+        if cached is not None:
+            outcome.rcode = Rcode.NOERROR
+            outcome.answer_rrsets = [cached]
+            outcome.from_cache = True
+            outcome.validation = ValidationTrace.insecure()
+            return outcome
+        negative = self.cache.get_negative(qname, rdtype)
+        if negative is not None:
+            outcome.rcode = negative.rcode
+            outcome.authority_rrsets = [r.copy() for r in negative.authority]
+            outcome.from_cache = True
+            outcome.validation = ValidationTrace.insecure()
+            return outcome
+
+        events: list[EventRecord] = []
+        self._active_events = events
+        try:
+            iteration = self.engine.resolve(qname, rdtype, events)
+
+            if not iteration.ok and iteration.rcode == Rcode.SERVFAIL:
+                outcome.rcode = Rcode.SERVFAIL
+                outcome.events = events
+                if iteration.failed_signed_zone:
+                    outcome.validation = ValidationTrace.bogus(
+                        FailureReason.DNSKEY_UNFETCHABLE,
+                        Role.TRANSPORT,
+                        zone=iteration.failed_zone,
+                    )
+                else:
+                    outcome.validation = ValidationTrace.insecure()
+                self._maybe_serve_stale(qname, rdtype, outcome)
+                if not outcome.stale:
+                    self.cache.put_error(qname, rdtype, Rcode.SERVFAIL)
+                self.stats.servfail += 1
+                return outcome
+
+            outcome.rcode = iteration.rcode
+            outcome.answer_rrsets = iteration.answer
+            outcome.authority_rrsets = iteration.authority
+            outcome.events = events
+
+            if self.validate_enabled and not checking_disabled and iteration.zone_path:
+                now = int(self.clock.now())
+                relevant_answer = [
+                    rrset
+                    for rrset in iteration.answer
+                    if rrset.name == qname or rrset.rdtype == RdataType.RRSIG
+                ]
+                trace = self.validator.validate(
+                    qname,
+                    rdtype,
+                    iteration.zone_path,
+                    relevant_answer or iteration.answer,
+                    iteration.authority,
+                    iteration.rcode,
+                    now,
+                )
+                outcome.validation = trace
+                if trace.is_bogus:
+                    self.stats.validated_bogus += 1
+                    outcome.rcode = Rcode.SERVFAIL
+                    outcome.answer_rrsets = []
+                    outcome.authority_rrsets = []
+                    self._maybe_serve_stale(qname, rdtype, outcome)
+                    if not outcome.stale:
+                        self.cache.put_error(
+                            qname, rdtype, Rcode.SERVFAIL, detail="validation failure"
+                        )
+                    self.stats.servfail += 1
+                    return outcome
+                if trace.is_secure:
+                    self.stats.validated_secure += 1
+            else:
+                outcome.validation = ValidationTrace.insecure()
+
+            self._store_in_cache(qname, rdtype, outcome)
+            if outcome.rcode == Rcode.NXDOMAIN:
+                self.stats.nxdomain += 1
+            return outcome
+        finally:
+            self._active_events = None
+
+    def _maybe_serve_stale(
+        self, qname: Name, rdtype: RdataType, outcome: ResolutionOutcome
+    ) -> None:
+        stale = self.cache.get_stale_rrset(qname, rdtype)
+        if stale is not None:
+            outcome.rcode = Rcode.NOERROR
+            outcome.answer_rrsets = [stale]
+            outcome.stale = True
+            outcome.events.append(
+                EventRecord(
+                    ResolutionEvent.STALE_ANSWER_SERVED, qname=qname, rdtype=str(rdtype)
+                )
+            )
+            return
+        negative = self.cache.get_stale_negative(qname, rdtype)
+        if negative is not None:
+            outcome.rcode = negative.rcode
+            outcome.authority_rrsets = [r.copy() for r in negative.authority]
+            outcome.stale = True
+            event = (
+                ResolutionEvent.STALE_NXDOMAIN_SERVED
+                if negative.rcode == Rcode.NXDOMAIN
+                else ResolutionEvent.STALE_ANSWER_SERVED
+            )
+            outcome.events.append(
+                EventRecord(event, qname=qname, rdtype=str(rdtype))
+            )
+
+    def _store_in_cache(
+        self, qname: Name, rdtype: RdataType, outcome: ResolutionOutcome
+    ) -> None:
+        if outcome.rcode == Rcode.NOERROR and outcome.answer_rrsets:
+            for rrset in outcome.answer_rrsets:
+                if rrset.rdtype != RdataType.RRSIG:
+                    self.cache.put_rrset(rrset)
+        elif outcome.rcode in (Rcode.NOERROR, Rcode.NXDOMAIN):
+            soa_ttl = 300.0
+            for rrset in outcome.authority_rrsets:
+                if rrset.rdtype == RdataType.SOA:
+                    soa_ttl = rrset.ttl
+            self.cache.put_negative(
+                qname, rdtype, outcome.rcode, outcome.authority_rrsets, soa_ttl
+            )
+
+    # -- response assembly ------------------------------------------------------------------
+
+    def _build_response(self, query: Message, outcome: ResolutionOutcome) -> Message:
+        response = query.make_response()
+        response.rcode = outcome.rcode
+        dnssec_ok = query.edns is not None and query.edns.dnssec_ok
+        for rrset in outcome.answer_rrsets:
+            if rrset.rdtype == RdataType.RRSIG and not dnssec_ok:
+                continue
+            response.answer.append(rrset.copy())
+        for rrset in outcome.authority_rrsets:
+            if rrset.rdtype in (RdataType.RRSIG, RdataType.NSEC, RdataType.NSEC3) and not dnssec_ok:
+                continue
+            response.authority.append(rrset.copy())
+        if outcome.validation.state is ValidationState.SECURE and not query.cd:
+            response.ad = True
+        if query.edns is not None:
+            for emission in self.policy.emissions(outcome):
+                response.add_ede(emission.code, emission.extra_text)
+            if response.extended_errors:
+                self.stats.with_ede += 1
+        return response
+
+    # -- validator record source ----------------------------------------------------------------
+
+    def fetch_from_zone(self, zone: Name, qname: Name, rdtype: RdataType) -> FetchResult:
+        key = (zone, qname, int(rdtype))
+        entry = self._infra_cache.get(key)
+        now = self.clock.now()
+        if entry is not None and entry.expires_at > now:
+            return entry.result
+        events: list[EventRecord] = []
+        response = self.engine.query_zone(zone, qname, rdtype, events)
+        if self._active_events is not None:
+            self._active_events.extend(events)
+        if response is None:
+            result = FetchResult(ok=False, rcode=Rcode.SERVFAIL, events=events)
+        else:
+            result = FetchResult(
+                ok=True,
+                rcode=response.rcode,
+                answer=[r.copy() for r in response.answer],
+                authority=[r.copy() for r in response.authority],
+                events=events,
+            )
+        self._infra_cache[key] = _InfraEntry(result=result, expires_at=now + self._infra_ttl)
+        return result
+
+    def flush_caches(self) -> None:
+        self.cache.flush()
+        self._infra_cache.clear()
+
+
+class _ValidatorSource:
+    """Adapter giving the validator access to the resolver's fetch path."""
+
+    def __init__(self, resolver: RecursiveResolver):
+        self._resolver = resolver
+
+    def fetch_from_zone(self, zone: Name, qname: Name, rdtype: RdataType) -> FetchResult:
+        return self._resolver.fetch_from_zone(zone, qname, rdtype)

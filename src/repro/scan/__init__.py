@@ -1,0 +1,89 @@
+"""Internet-wide scan: synthetic population, wild fabric, scanner, analysis."""
+
+from .analysis import (
+    CategoryReport,
+    EXPECTED_CODES,
+    NameserverReport,
+    ScanAnalysis,
+    TldRatios,
+    TrancoOverlap,
+    analyze,
+    pipeline_accuracy,
+    tld_ratios,
+    tranco_overlap,
+)
+from .comparison import VendorComparison, VendorScanSummary, compare_vendors
+from .figures import (
+    FigureSeries,
+    figure1_series,
+    figure2_series,
+    series_to_csv,
+    write_figure_csvs,
+)
+from .extratext import (
+    NetworkErrorDetail,
+    TextAttribution,
+    attribute_nameservers,
+    parse_mismatched_question,
+    parse_network_error,
+    parse_referral_proof,
+)
+from .population import (
+    NOMINAL_COUNTS,
+    NOMINAL_TOTAL_DOMAINS,
+    NOERROR_PROFILES,
+    Population,
+    PopulationConfig,
+    Profile,
+    TWO_PHASE_PROFILES,
+    WildDomain,
+    generate_population,
+)
+from .scanner import ScanRecord, ScanResult, WildScanner
+from .sources import InputList, InputListBuilder, SourceReport
+from .wild import WILD_ALGORITHM, WildInternet, domain_mutation
+
+__all__ = [
+    "CategoryReport",
+    "EXPECTED_CODES",
+    "NameserverReport",
+    "NOERROR_PROFILES",
+    "NOMINAL_COUNTS",
+    "NOMINAL_TOTAL_DOMAINS",
+    "FigureSeries",
+    "InputList",
+    "InputListBuilder",
+    "figure1_series",
+    "figure2_series",
+    "series_to_csv",
+    "write_figure_csvs",
+    "NetworkErrorDetail",
+    "SourceReport",
+    "TextAttribution",
+    "attribute_nameservers",
+    "parse_mismatched_question",
+    "parse_network_error",
+    "parse_referral_proof",
+    "Population",
+    "PopulationConfig",
+    "Profile",
+    "ScanAnalysis",
+    "ScanRecord",
+    "ScanResult",
+    "TWO_PHASE_PROFILES",
+    "TldRatios",
+    "TrancoOverlap",
+    "VendorComparison",
+    "VendorScanSummary",
+    "compare_vendors",
+    "WILD_ALGORITHM",
+    "WildDomain",
+    "WildInternet",
+    "WildScanner",
+    "analyze",
+    "domain_mutation",
+    "generate_population",
+    "pipeline_accuracy",
+    "tld_ratios",
+    "tranco_overlap",
+]

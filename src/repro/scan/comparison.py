@@ -1,0 +1,114 @@
+"""Multi-vendor wild scanning — the study the paper leaves on the table.
+
+Section 4 scans only through Cloudflare DNS (the richest EDE
+implementation, per the Section 3 testbed).  The conclusion then asks
+how consistent troubleshooting would be across vendors.  This module
+answers it for the synthetic universe: scan the same domain sample
+through every vendor profile and quantify how much of the
+misconfiguration picture each one would have revealed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.rcode import Rcode
+from ..resolver.profiles import ALL_PROFILES, ResolverProfile
+from .population import Profile, TWO_PHASE_PROFILES, WildDomain
+from .scanner import WildScanner
+from .wild import WildInternet
+
+
+@dataclass
+class VendorScanSummary:
+    """What one vendor's scan of the sample would have reported."""
+
+    vendor: str
+    domains: int = 0
+    with_ede: int = 0
+    servfail: int = 0
+    codes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ede_rate(self) -> float:
+        return self.with_ede / self.domains if self.domains else 0.0
+
+    @property
+    def unique_codes(self) -> int:
+        return len(self.codes)
+
+
+@dataclass
+class VendorComparison:
+    summaries: dict[str, VendorScanSummary] = field(default_factory=dict)
+    #: misconfigured domains (ground truth) in the sample
+    misconfigured: int = 0
+
+    def detection_rate(self, vendor: str) -> float:
+        """Share of genuinely misconfigured domains this vendor flags
+        with at least one EDE."""
+        summary = self.summaries[vendor]
+        return summary.with_ede / self.misconfigured if self.misconfigured else 0.0
+
+    def richest_vendor(self) -> str:
+        return max(
+            self.summaries,
+            key=lambda name: (
+                self.detection_rate(name),
+                self.summaries[name].unique_codes,
+            ),
+        )
+
+    def rows(self) -> list[tuple[str, int, float, int]]:
+        """(vendor, flagged, detection rate, distinct codes), sorted."""
+        return sorted(
+            (
+                (
+                    name,
+                    summary.with_ede,
+                    self.detection_rate(name),
+                    summary.unique_codes,
+                )
+                for name, summary in self.summaries.items()
+            ),
+            key=lambda row: (-row[2], -row[3]),
+        )
+
+
+def compare_vendors(
+    wild: WildInternet,
+    sample: list[WildDomain],
+    profiles: tuple[ResolverProfile, ...] = ALL_PROFILES,
+) -> VendorComparison:
+    """Scan ``sample`` through every profile and summarize per vendor.
+
+    Two-phase domains (stale / cached-error) are excluded: their
+    observable depends on cache history, which would differ per vendor
+    ordering and muddy the comparison.
+    """
+    usable = [
+        domain
+        for domain in sample
+        if Profile(domain.profile) not in TWO_PHASE_PROFILES
+    ]
+    comparison = VendorComparison(
+        misconfigured=sum(
+            1
+            for domain in usable
+            if Profile(domain.profile)
+            not in (Profile.VALID_UNSIGNED, Profile.VALID_SIGNED)
+        )
+    )
+    for profile in profiles:
+        scanner = WildScanner(wild, profile=profile, seed=11)
+        result = scanner.scan(domains=usable)
+        summary = VendorScanSummary(vendor=profile.policy.name, domains=len(result.records))
+        for record in result.records:
+            if record.has_ede:
+                summary.with_ede += 1
+            if record.rcode == Rcode.SERVFAIL:
+                summary.servfail += 1
+            for code in record.ede_codes:
+                summary.codes[code] = summary.codes.get(code, 0) + 1
+        comparison.summaries[profile.policy.name] = summary
+    return comparison

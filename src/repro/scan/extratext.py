@@ -1,0 +1,122 @@
+"""Parsing Cloudflare-style EXTRA-TEXT strings back into structure.
+
+The paper's Section 4.2 mines EXTRA-TEXT heavily: the *Network Error*
+category's per-nameserver analysis ("293k unique authoritative
+nameservers... 267k responded REFUSED") comes entirely from strings
+like ``1.2.3.4:53 rcode=REFUSED for a.com A``.  This module is the
+parser the paper's methodology implies, and
+:func:`attribute_nameservers` reruns that analysis on *our* scan output
+— from the response text alone, with no access to ground truth — so the
+text-based attribution can be validated against the seeded universe.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .scanner import ScanResult
+
+_NETWORK_ERROR = re.compile(
+    r"^(?P<host>[0-9a-fA-F:.]+):(?P<port>\d+)\s+"
+    r"(?:rcode=(?P<rcode>[A-Z]+)|(?P<timeout>timeout))"
+    r"(?:\s+for\s+(?P<qname>\S+)\s+(?P<rdtype>\S+))?$"
+)
+
+_MISMATCHED = re.compile(
+    r"^Mismatched question from the authoritative server (?P<host>[0-9a-fA-F:.]+)$"
+)
+
+_REFERRAL_PROOF = re.compile(
+    r"^failed to verify an insecure referral proof for (?P<domain>\S+)$"
+)
+
+
+@dataclass(frozen=True)
+class NetworkErrorDetail:
+    """Decoded ``<ip>:<port> rcode=<X> for <name> <type>`` text."""
+
+    server: str
+    port: int
+    rcode: str  # "REFUSED", "SERVFAIL", ... or "TIMEOUT"
+    qname: str = ""
+    rdtype: str = ""
+
+
+def parse_network_error(text: str) -> NetworkErrorDetail | None:
+    match = _NETWORK_ERROR.match(text.strip())
+    if match is None:
+        return None
+    return NetworkErrorDetail(
+        server=match.group("host"),
+        port=int(match.group("port")),
+        rcode="TIMEOUT" if match.group("timeout") else match.group("rcode"),
+        qname=match.group("qname") or "",
+        rdtype=match.group("rdtype") or "",
+    )
+
+
+def parse_mismatched_question(text: str) -> str | None:
+    """The server IP out of an Invalid Data (24) text, or None."""
+    match = _MISMATCHED.match(text.strip())
+    return match.group("host") if match else None
+
+
+def parse_referral_proof(text: str) -> str | None:
+    """The domain out of an NSEC Missing (12) text, or None."""
+    match = _REFERRAL_PROOF.match(text.strip())
+    return match.group("domain") if match else None
+
+
+@dataclass
+class TextAttribution:
+    """Per-nameserver failure attribution mined purely from EXTRA-TEXT."""
+
+    #: nameserver IP -> number of distinct domains whose failure named it
+    domains_per_server: dict[str, int] = field(default_factory=dict)
+    #: nameserver IP -> failure kind observed ("REFUSED", "TIMEOUT", ...)
+    server_kind: dict[str, str] = field(default_factory=dict)
+    unparsed: int = 0
+
+    @property
+    def unique_servers(self) -> int:
+        return len(self.domains_per_server)
+
+    def by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for kind in self.server_kind.values():
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+    def top_servers(self, count: int = 10) -> list[tuple[str, int]]:
+        return sorted(
+            self.domains_per_server.items(), key=lambda kv: -kv[1]
+        )[:count]
+
+    def fix_coverage(self, top: int) -> float:
+        """Share of attributed domains repaired by fixing the top-N servers."""
+        counts = sorted(self.domains_per_server.values(), reverse=True)
+        total = sum(counts)
+        return sum(counts[:top]) / total if total else 0.0
+
+
+def attribute_nameservers(result: ScanResult) -> TextAttribution:
+    """Re-derive the paper's nameserver analysis from EXTRA-TEXT alone."""
+    attribution = TextAttribution()
+    for record in result.records:
+        servers_this_domain: set[str] = set()
+        for text in record.extra_texts:
+            detail = parse_network_error(text)
+            if detail is None:
+                if _MISMATCHED.match(text) or _REFERRAL_PROOF.match(text):
+                    continue
+                if text:
+                    attribution.unparsed += 1
+                continue
+            servers_this_domain.add(detail.server)
+            attribution.server_kind.setdefault(detail.server, detail.rcode)
+        for server in servers_this_domain:
+            attribution.domains_per_server[server] = (
+                attribution.domains_per_server.get(server, 0) + 1
+            )
+    return attribution

@@ -1,0 +1,95 @@
+"""Figure data builders: the exact series behind the paper's plots.
+
+:func:`figure1_series` and :func:`figure2_series` produce the plotted
+(x, y) points for Figures 1 and 2 from a scan, and :func:`series_to_csv`
+exports them for any external plotting tool.  The experiment harnesses
+render the same series as ASCII; this module is the stable data
+interface.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from .analysis import TldRatios, TrancoOverlap, tld_ratios, tranco_overlap
+from .population import Population
+from .scanner import ScanResult
+
+
+@dataclass
+class FigureSeries:
+    """One plotted line: a label and its (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+    x_label: str = ""
+    y_label: str = "CDF"
+
+
+def _cdf(values: list[float]) -> list[tuple[float, float]]:
+    ordered = sorted(values)
+    if not ordered:
+        return []
+    return [
+        (value, (index + 1) / len(ordered))
+        for index, value in enumerate(ordered)
+    ]
+
+
+def figure1_series(
+    result: ScanResult, population: Population
+) -> tuple[FigureSeries, FigureSeries]:
+    """Figure 1: CDF of the EDE-domain ratio per TLD, gTLD vs ccTLD.
+
+    X is the ratio of domains triggering EDE codes (in percent, like the
+    paper's axis); Y is the fraction of TLDs at or below that ratio.
+    """
+    ratios: TldRatios = tld_ratios(result, population)
+    gtld = FigureSeries(
+        label="gTLDs",
+        points=[(x * 100, y) for x, y in _cdf(ratios.gtld_ratios)],
+        x_label="Ratio of domains (%)",
+    )
+    cctld = FigureSeries(
+        label="ccTLDs",
+        points=[(x * 100, y) for x, y in _cdf(ratios.cctld_ratios)],
+        x_label="Ratio of domains (%)",
+    )
+    return gtld, cctld
+
+
+def figure2_series(result: ScanResult) -> FigureSeries:
+    """Figure 2: CDF of EDE-triggering domains across the Tranco ranks."""
+    overlap: TrancoOverlap = tranco_overlap(result)
+    return FigureSeries(
+        label="EDE domains over Tranco ranks",
+        points=[
+            (x * overlap.tranco_size, y) for x, y in overlap.rank_cdf(points=0)
+        ],
+        x_label="Ranks",
+    )
+
+
+def series_to_csv(*series: FigureSeries) -> str:
+    """Long-format CSV (series,x,y) for external plotting."""
+    out = io.StringIO()
+    out.write("series,x,y\n")
+    for line in series:
+        for x, y in line.points:
+            out.write(f"{line.label},{x:.6g},{y:.6g}\n")
+    return out.getvalue()
+
+
+def write_figure_csvs(result: ScanResult, population: Population, directory) -> list[str]:
+    """Write fig1.csv / fig2.csv into ``directory``; returns the paths."""
+    from pathlib import Path
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    gtld, cctld = figure1_series(result, population)
+    fig1 = directory / "fig1.csv"
+    fig1.write_text(series_to_csv(gtld, cctld))
+    fig2 = directory / "fig2.csv"
+    fig2.write_text(series_to_csv(figure2_series(result)))
+    return [str(fig1), str(fig2)]

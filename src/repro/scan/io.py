@@ -1,0 +1,111 @@
+"""Scan result persistence: zdns-compatible NDJSON.
+
+The paper's measurement used zdns, which writes one JSON object per
+query.  These helpers serialize a :class:`ScanResult` to the same shape
+(plus a ``ground_truth`` block this simulation can add) and load it
+back, so analyses can run offline on saved scans and external tooling
+can consume our output.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Iterator
+
+from ..dns.rcode import Rcode
+from .population import Profile
+from .scanner import ScanRecord, ScanResult
+
+
+def record_to_json(record: ScanRecord, ground_truth: bool = True) -> dict:
+    """One zdns-style result object."""
+    obj = {
+        "name": record.name,
+        "class": "IN",
+        "type": "A",
+        "status": "NOERROR" if record.rcode == Rcode.NOERROR else Rcode(record.rcode).name,
+        "data": {
+            "rcode": Rcode(record.rcode).name,
+            "ede": [
+                {"info_code": code, "extra_text": text}
+                for code, text in _pair_texts(record)
+            ],
+        },
+    }
+    if ground_truth:
+        obj["ground_truth"] = {
+            "profile": Profile(record.profile).name,
+            "tld": record.tld,
+            "ns_index": record.ns_index,
+            "rank": record.rank,
+            "signed": record.signed,
+        }
+    return obj
+
+
+def _pair_texts(record: ScanRecord) -> list[tuple[int, str]]:
+    """Best-effort (code, extra_text) pairing for serialization."""
+    texts = list(record.extra_texts)
+    out = []
+    for code in record.ede_codes:
+        out.append((code, texts.pop(0) if texts else ""))
+    return out
+
+
+def write_ndjson(
+    result: ScanResult, path: str | Path, ground_truth: bool = True
+) -> int:
+    """Write one JSON line per record; gzip when the path ends ``.gz``."""
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    count = 0
+    with opener(path, "wt", encoding="utf-8") as handle:
+        for record in result.records:
+            handle.write(json.dumps(record_to_json(record, ground_truth)))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_ndjson(path: str | Path) -> Iterator[dict]:
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_ndjson(path: str | Path) -> ScanResult:
+    """Load a saved scan back into a :class:`ScanResult`.
+
+    Ground-truth fields missing from externally produced files default
+    to unknowns (profile -1 is not valid, so pipeline-accuracy checks
+    refuse to run on such data instead of lying).
+    """
+    result = ScanResult()
+    for obj in iter_ndjson(path):
+        data = obj.get("data", {})
+        truth = obj.get("ground_truth", {})
+        ede = data.get("ede", [])
+        profile_name = truth.get("profile")
+        profile_value = int(Profile[profile_name]) if profile_name else -1
+        result.records.append(
+            ScanRecord(
+                name=obj["name"],
+                tld=truth.get("tld", obj["name"].rsplit(".", 1)[-1]),
+                profile=profile_value,
+                rcode=int(Rcode[data.get("rcode", obj.get("status", "SERVFAIL"))]),
+                ede_codes=tuple(sorted(option["info_code"] for option in ede)),
+                extra_texts=tuple(
+                    option["extra_text"] for option in ede if option.get("extra_text")
+                ),
+                ns_index=truth.get("ns_index", -1),
+                rank=truth.get("rank"),
+                signed=bool(truth.get("signed", False)),
+            )
+        )
+    return result

@@ -1,0 +1,168 @@
+"""zdns-style mass scanner (paper Section 4.1).
+
+Generates A queries for every registered domain in the population,
+through a Cloudflare-profile recursive resolver attached to the wild
+fabric, and collects one NDJSON-style record per domain: RCODE, answer
+addresses, and every EDE option with its EXTRA-TEXT.
+
+Two-phase profiles (Stale Answer, Cached Error) are primed first, the
+clock advanced past the TTL where needed, and re-queried — the paper's
+scan sees those states because Cloudflare's caches were warm from other
+clients; our scanner must create the warmth itself.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..dns.name import Name
+from ..dns.rcode import Rcode
+from ..dns.types import RdataType
+from ..resolver.profiles import CLOUDFLARE, ResolverProfile
+from ..resolver.recursive import RecursiveResolver
+from .population import Profile, TWO_PHASE_PROFILES, WildDomain
+from .wild import WildInternet
+
+
+@dataclass(slots=True)
+class ScanRecord:
+    """One scan result row (mirrors zdns output plus ground truth)."""
+
+    name: str
+    tld: str
+    profile: int  # ground-truth Profile value
+    rcode: int
+    ede_codes: tuple[int, ...]
+    extra_texts: tuple[str, ...]
+    ns_index: int
+    rank: int | None
+    signed: bool
+
+    @property
+    def has_ede(self) -> bool:
+        return bool(self.ede_codes)
+
+    @property
+    def noerror(self) -> bool:
+        return self.rcode == Rcode.NOERROR
+
+    def to_record(self) -> dict:
+        return {
+            "name": self.name,
+            "rcode": Rcode(self.rcode).name,
+            "ede": [
+                {"info_code": code} for code in self.ede_codes
+            ],
+            "extra_text": list(self.extra_texts),
+        }
+
+
+@dataclass
+class ScanResult:
+    records: list[ScanRecord] = field(default_factory=list)
+    queries_sent: int = 0
+    duration_virtual: float = 0.0  # fabric-clock seconds consumed
+
+    def ede_records(self) -> list[ScanRecord]:
+        return [record for record in self.records if record.has_ede]
+
+    def by_code(self) -> dict[int, int]:
+        """Domains per INFO-CODE (a domain counts once per code)."""
+        counts: dict[int, int] = {}
+        for record in self.records:
+            for code in record.ede_codes:
+                counts[code] = counts.get(code, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+
+class WildScanner:
+    """Drives the Internet-wide measurement."""
+
+    def __init__(
+        self,
+        wild: WildInternet,
+        profile: ResolverProfile = CLOUDFLARE,
+        seed: int = 7,
+    ):
+        self.wild = wild
+        self.resolver = RecursiveResolver(
+            fabric=wild.fabric,
+            profile=profile,
+            root_hints=wild.root_hints,
+            trust_anchors=wild.trust_anchors,
+        )
+        self._rng = random.Random(seed)
+
+    def scan(
+        self,
+        domains: Iterable[WildDomain] | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> ScanResult:
+        """Scan ``domains`` (default: the whole population), randomized."""
+        if domains is None:
+            domains = self.wild.population.domains
+        queue = list(domains)
+        self._rng.shuffle(queue)  # spread load, like the paper (Section 5)
+
+        start_clock = self.wild.fabric.clock.now()
+        start_sent = self.wild.fabric.stats.datagrams_sent
+        result = ScanResult()
+
+        two_phase = [d for d in queue if Profile(d.profile) in TWO_PHASE_PROFILES]
+        single_phase = [d for d in queue if Profile(d.profile) not in TWO_PHASE_PROFILES]
+
+        total = len(queue)
+        done = 0
+        for domain in single_phase:
+            result.records.append(self._query(domain))
+            done += 1
+            if progress is not None and done % 2048 == 0:
+                progress(done, total)
+
+        # Phase 1: prime caches for stale/cached-error domains.
+        stale = [d for d in two_phase if d.profile is Profile.STALE]
+        errors = [d for d in two_phase if d.profile is Profile.CACHED_ERROR]
+        for domain in stale:
+            self._resolve(domain)
+        if stale:
+            # Let the cached answers expire (TTL 300) but stay in the
+            # serve-stale window; the flipping servers now answer REFUSED.
+            self.wild.fabric.clock.advance(600)
+        for domain in stale:
+            result.records.append(self._query(domain))
+            done += 1
+        for domain in errors:
+            self._resolve(domain)  # populates the SERVFAIL error cache
+            result.records.append(self._query(domain))
+            done += 1
+        if progress is not None:
+            progress(done, total)
+
+        result.queries_sent = self.wild.fabric.stats.datagrams_sent - start_sent
+        result.duration_virtual = self.wild.fabric.clock.now() - start_clock
+        return result
+
+    # -- internals ------------------------------------------------------------------
+
+    def _resolve(self, domain: WildDomain):
+        return self.resolver.resolve(Name.from_text(domain.fqdn), RdataType.A)
+
+    def _query(self, domain: WildDomain) -> ScanRecord:
+        response = self._resolve(domain)
+        return ScanRecord(
+            name=domain.name,
+            tld=domain.tld,
+            profile=int(domain.profile),
+            rcode=response.rcode,
+            ede_codes=response.ede_codes,
+            extra_texts=tuple(
+                option.extra_text
+                for option in response.extended_errors
+                if option.extra_text
+            ),
+            ns_index=domain.ns_index,
+            rank=domain.rank,
+            signed=domain.signed,
+        )

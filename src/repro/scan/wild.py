@@ -1,0 +1,751 @@
+"""The simulated wild Internet for the Section 4 scan.
+
+Three server tiers keep a 300k-domain universe tractable:
+
+* a real signed **root zone** delegating to every TLD;
+* one :class:`VirtualTldServer` per TLD — a real signed apex zone (with
+  a single wrap-around *opt-out* NSEC3 covering all children, like
+  ``com`` does in reality) plus referral/DS answers synthesized straight
+  from the population table, so a 100k-delegation TLD costs a few
+  kilobytes instead of gigabytes;
+* **hosting servers** that materialize a child zone lazily on the first
+  query for it, plus a handful of special endpoints (REFUSED/SERVFAIL/
+  timeout pools, mismatched-question, NOTAUTH, stale-flipping and
+  CNAME-loop hosts).
+
+Everything the resolver observes — referrals, DS records and their
+signatures, opt-out denials, DNSKEY RRsets, pathologies — is exactly
+what the corresponding real-world configuration would produce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..dns.dnssec_records import DNSKEY, DS, NSEC3, RRSIG
+from ..dns.edns import Edns
+from ..dns.message import Message
+from ..dns.name import Name
+from ..dns.rcode import Rcode
+from ..dns.rdata import A, CNAME, NS, SOA
+from ..dns.rrset import RRset
+from ..dns.types import RdataType
+from ..dnssec.algorithms import Algorithm
+from ..dnssec.ds import make_ds
+from ..dnssec.keys import KSK_FLAGS, ZSK_FLAGS, KeyPair
+from ..dnssec.nsec3 import base32hex_encode, nsec3_hash
+from ..dnssec.signer import SigningPolicy, sign_rrset
+from ..net.fabric import NetworkFabric
+from ..server.authoritative import AuthoritativeServer
+from ..zones.builder import BuiltZone, ZoneBuilder
+from ..zones.mutations import SigScope, Window, ZoneMutation
+from ..zones.zone import Zone
+from .population import Population, Profile, WildDomain
+
+#: Wild-tier zones sign with ECDSA P-256 (algorithm 13) — the dominant
+#: modern choice, and (via the simulated crypto backend) about three
+#: orders of magnitude cheaper than pure-Python RSA at this scale.
+WILD_ALGORITHM = int(Algorithm.ECDSAP256SHA256)
+
+ROOT_SERVER = "199.7.83.42"
+MISMATCH_HOST = "46.0.0.1"
+NOTAUTH_HOST = "46.0.0.2"
+STALE_HOST = "46.0.0.3"
+LOOP_HOST = "46.0.0.4"
+
+
+def _domain_seed(name: str) -> int:
+    return int.from_bytes(hashlib.sha256(name.encode()).digest()[:6], "big")
+
+
+def tld_server_address(index: int) -> str:
+    return f"43.{(index >> 8) & 0xFF}.{index & 0xFF}.1"
+
+
+def hosting_address(index: int) -> str:
+    return f"45.{(index >> 8) & 0xFF}.{index & 0xFF}.1"
+
+
+# ---------------------------------------------------------------------------
+# per-domain configuration derived from the profile
+# ---------------------------------------------------------------------------
+
+
+def domain_mutation(domain: WildDomain) -> ZoneMutation:
+    """The zone mutation that realizes ``domain.profile``."""
+    seed = _domain_seed(domain.name)
+    base = ZoneMutation(algorithm=WILD_ALGORITHM, nsec3_iterations=0, nsec3_salt=b"")
+    profile = domain.profile
+    if profile in (Profile.VALID_SIGNED,):
+        return base
+    if profile is Profile.STANDBY_KSK:
+        base.add_standby_ksk = True
+        return base
+    if profile is Profile.DNSKEY_MISSING:
+        base.ds_tag_offset = 1
+        return base
+    if profile is Profile.BOGUS:
+        base.corrupt_sigs = SigScope.DNSKEY_SIGS
+        return base
+    if profile is Profile.UNSUPPORTED_ALGO:
+        variant = seed % 4
+        if variant == 0:
+            base.algorithm = int(Algorithm.ED448)
+        elif variant == 1:
+            base.algorithm = int(Algorithm.ECC_GOST)
+        elif variant == 2:
+            base.algorithm = int(Algorithm.DSA)
+        else:
+            base.algorithm = int(Algorithm.RSASHA256)
+            base.key_bits = 512  # "unsupported key size"
+        return base
+    if profile is Profile.SIG_EXPIRED:
+        base.window_all = Window.EXPIRED
+        return base
+    if profile is Profile.SIG_NOT_YET:
+        base.window_all = Window.NOT_YET_VALID
+        return base
+    if profile is Profile.DS_DIGEST:
+        base.ds_digest_type_override = 100 if seed % 8 == 0 else 3  # GOST mostly
+        return base
+    # Everything else is unsigned at the zone level; the damage is
+    # transport- or parent-side.
+    base.signed = False
+    return base
+
+
+@dataclass
+class DomainDelegation:
+    """What the TLD publishes for one child."""
+
+    ns_names: list[Name]
+    glue: list[tuple[Name, str]]  # (owner, address)
+    ds_rdatas: list[DS]
+
+
+# ---------------------------------------------------------------------------
+# virtual TLD server
+# ---------------------------------------------------------------------------
+
+
+class VirtualTldServer:
+    """Serves one TLD: real signed apex, synthesized delegations."""
+
+    def __init__(
+        self,
+        wild: "WildInternet",
+        tld_name: str,
+        apex_zone: Zone,
+        ksk: KeyPair,
+        zsk: KeyPair,
+        broken_denial: bool,
+        now: int,
+        axfr_allowed: bool = False,
+    ):
+        self.wild = wild
+        self.tld = tld_name
+        self.origin = Name.from_text(tld_name + ".")
+        self.apex_zone = apex_zone
+        self.ksk = ksk
+        self.zsk = zsk
+        self.broken_denial = broken_denial
+        self.now = now
+        self.axfr_allowed = axfr_allowed
+        self._policy = SigningPolicy.window(now)
+        self._optout: tuple[RRset, RRset | None] | None = None
+        self.queries = 0
+        self.transfers = 0
+
+    # -- fabric endpoint ---------------------------------------------------------
+
+    def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
+        self.queries += 1
+        if query.question and query.question[0].rdtype == RdataType.AXFR:
+            response = query.make_response(recursion_available=False)
+            response.rcode = Rcode.REFUSED  # AXFR needs TCP
+            return response.to_wire()
+        response = self.handle_query(query)
+        return response.to_wire()
+
+    def handle_stream(self, wire: bytes, source: str) -> bytes | None:
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
+        if query.question and query.question[0].rdtype == RdataType.AXFR:
+            return self.handle_axfr(query).to_wire()
+        return self.handle_query(query).to_wire()
+
+    def handle_axfr(self, query: Message) -> Message:
+        """Serve the full TLD zone, synthesized from the population."""
+        response = query.make_response(recursion_available=False)
+        if not self.axfr_allowed or query.question[0].name != self.origin:
+            response.rcode = Rcode.REFUSED
+            return response
+        self.transfers += 1
+        response.aa = True
+        soa = self.apex_zone.find(self.origin, RdataType.SOA)
+        response.answer.append(soa.copy())
+        for rrset in self.apex_zone.all_rrsets():
+            if rrset.rdtype in (RdataType.SOA, RdataType.NSEC3, RdataType.RRSIG):
+                continue
+            response.answer.append(rrset.copy())
+        for domain in self.wild.population.domains:
+            if domain.tld != self.tld:
+                continue
+            child = Name.from_text(domain.name + ".")
+            delegation = self.wild.delegation_for(domain)
+            response.answer.append(
+                RRset(
+                    name=child, rdtype=RdataType.NS, ttl=300,
+                    rdatas=[NS(target=name) for name in delegation.ns_names],
+                )
+            )
+            for ds in delegation.ds_rdatas:
+                response.answer.append(RRset.of(child, RdataType.DS, ds, ttl=300))
+        response.answer.append(soa.copy())
+        return response
+
+    def handle_query(self, query: Message) -> Message:
+        question = query.question[0]
+        qname, rdtype = question.name, question.rdtype
+        dnssec_ok = query.edns is not None and query.edns.dnssec_ok
+        response = query.make_response(recursion_available=False)
+        if query.edns is not None and response.edns is None:
+            response.edns = Edns(dnssec_ok=dnssec_ok)
+
+        if qname == self.origin:
+            return self._apex_answer(response, qname, rdtype, dnssec_ok)
+
+        child = self._child_zone_of(qname)
+        if child is None:
+            response.aa = True
+            response.rcode = Rcode.NXDOMAIN
+            self._add_negative(response, dnssec_ok)
+            return response
+
+        domain = self.wild.domain_by_name.get(str(child)[:-1])
+        if domain is None:
+            response.aa = True
+            response.rcode = Rcode.NXDOMAIN
+            self._add_negative(response, dnssec_ok)
+            return response
+
+        delegation = self.wild.delegation_for(domain)
+        if qname == child and rdtype == RdataType.DS:
+            response.aa = True
+            if delegation.ds_rdatas:
+                ds_rrset = RRset(
+                    name=child, rdtype=RdataType.DS, ttl=300,
+                    rdatas=list(delegation.ds_rdatas),
+                )
+                response.answer.append(ds_rrset)
+                if dnssec_ok:
+                    sig = sign_rrset(ds_rrset, self.zsk, self.origin, self._policy)
+                    response.answer.append(
+                        RRset.of(child, RdataType.RRSIG, sig, ttl=300)
+                    )
+            else:
+                self._add_negative(response, dnssec_ok)
+            return response
+
+        # Referral to the child.
+        ns_rrset = RRset(
+            name=child, rdtype=RdataType.NS, ttl=300,
+            rdatas=[NS(target=name) for name in delegation.ns_names],
+        )
+        response.authority.append(ns_rrset)
+        if delegation.ds_rdatas:
+            ds_rrset = RRset(
+                name=child, rdtype=RdataType.DS, ttl=300,
+                rdatas=list(delegation.ds_rdatas),
+            )
+            response.authority.append(ds_rrset)
+            if dnssec_ok:
+                sig = sign_rrset(ds_rrset, self.zsk, self.origin, self._policy)
+                response.authority.append(RRset.of(child, RdataType.RRSIG, sig, ttl=300))
+        elif dnssec_ok:
+            self._add_optout_denial(response)
+        for owner, address in delegation.glue:
+            import ipaddress
+
+            if ipaddress.ip_address(address).version == 6:
+                from ..dns.rdata import AAAA
+
+                response.additional.append(
+                    RRset.of(owner, RdataType.AAAA, AAAA(address=address), ttl=300)
+                )
+            else:
+                response.additional.append(
+                    RRset.of(owner, RdataType.A, A(address=address), ttl=300)
+                )
+        return response
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _child_zone_of(self, qname: Name) -> Name | None:
+        """The registered-domain cut for ``qname`` (one label below TLD)."""
+        if not qname.is_strict_subdomain_of(self.origin):
+            return None
+        extra = qname.label_count() - self.origin.label_count()
+        if extra < 1:
+            return None
+        _prefix, child = qname.split(self.origin.label_count() + 1)
+        return child
+
+    def _apex_answer(
+        self, response: Message, qname: Name, rdtype: RdataType, dnssec_ok: bool
+    ) -> Message:
+        response.aa = True
+        rrset = self.apex_zone.find(qname, rdtype)
+        if rrset is not None:
+            response.answer.append(rrset.copy())
+            if dnssec_ok:
+                sigs = self.apex_zone.rrsigs_for(qname, rdtype)
+                if sigs is not None:
+                    response.answer.append(sigs.copy())
+        else:
+            self._add_negative(response, dnssec_ok)
+        return response
+
+    def _add_negative(self, response: Message, dnssec_ok: bool) -> None:
+        soa = self.apex_zone.find(self.origin, RdataType.SOA)
+        if soa is not None:
+            response.authority.append(soa.copy())
+            if dnssec_ok:
+                sigs = self.apex_zone.rrsigs_for(self.origin, RdataType.SOA)
+                if sigs is not None:
+                    response.authority.append(sigs.copy())
+        if dnssec_ok:
+            self._add_optout_denial(response)
+
+    def _add_optout_denial(self, response: Message) -> None:
+        """One wrap-around opt-out NSEC3 covers every unsigned child."""
+        if self._optout is None:
+            apex_hash = nsec3_hash(self.origin, b"", 0)
+            owner = Name.from_text(base32hex_encode(apex_hash), origin=self.origin)
+            nsec3 = NSEC3(
+                hash_algorithm=1,
+                flags=0x01,  # opt-out
+                iterations=0,
+                salt=b"",
+                next_hash=apex_hash,
+                types=(int(RdataType.NS), int(RdataType.SOA), int(RdataType.DNSKEY)),
+            )
+            rrset = RRset.of(owner, RdataType.NSEC3, nsec3, ttl=300)
+            sig_rrset: RRset | None = None
+            if not self.broken_denial:
+                sig = sign_rrset(rrset, self.zsk, self.origin, self._policy)
+                sig_rrset = RRset.of(owner, RdataType.RRSIG, sig, ttl=300)
+            self._optout = (rrset, sig_rrset)
+        rrset, sig_rrset = self._optout
+        response.authority.append(rrset.copy())
+        if sig_rrset is not None:
+            response.authority.append(sig_rrset.copy())
+
+
+# ---------------------------------------------------------------------------
+# hosting servers
+# ---------------------------------------------------------------------------
+
+
+class HostingServer:
+    """Hosts many child zones; materializes each lazily on first query."""
+
+    def __init__(self, wild: "WildInternet", max_cached_zones: int = 512):
+        self.wild = wild
+        self.inner = AuthoritativeServer(name="hosting")
+        self.max_cached_zones = max_cached_zones
+        self._materialized: dict[Name, bool] = {}
+        self.zones_built = 0
+
+    def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
+        qname = query.question[0].name if query.question else None
+        if qname is not None:
+            self._ensure_zone(qname)
+        response = self.inner.handle_query(query, source)
+        return response.to_wire() if response is not None else None
+
+    def _ensure_zone(self, qname: Name) -> None:
+        domain = self.wild.registered_domain_of(qname)
+        if domain is None:
+            return
+        apex = Name.from_text(domain.name + ".")
+        if apex in self._materialized:
+            return
+        built = self.wild.materialize_zone(domain)
+        if len(self._materialized) >= self.max_cached_zones:
+            for name in list(self._materialized)[: self.max_cached_zones // 2]:
+                del self._materialized[name]
+                self.inner._zones.pop(name, None)
+        self.inner.add_zone(built.zone)
+        self._materialized[apex] = True
+        self.zones_built += 1
+
+
+class StaleFlippingServer(HostingServer):
+    """Answers the first query per zone normally, then turns REFUSED.
+
+    Reproduces the Stale Answer pattern: the resolver caches the answer,
+    the authority goes dark, and later queries are served stale with
+    EDE 3 (+22/23 from the failed refresh).
+    """
+
+    def __init__(self, wild: "WildInternet"):
+        super().__init__(wild)
+        self._seen: set[Name] = set()
+
+    def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
+        qname = query.question[0].name if query.question else None
+        domain = self.wild.registered_domain_of(qname) if qname else None
+        if domain is not None:
+            apex = Name.from_text(domain.name + ".")
+            if apex in self._seen:
+                response = query.make_response(recursion_available=False)
+                response.rcode = Rcode.REFUSED
+                return response.to_wire()
+            self._seen.add(apex)
+        return super().handle_datagram(wire, source)
+
+
+class CnameLoopServer(HostingServer):
+    """Answers every A query with a CNAME bouncing inside the domain."""
+
+    def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
+        if not query.question:
+            return super().handle_datagram(wire, source)
+        qname = query.question[0].name
+        domain = self.wild.registered_domain_of(qname)
+        if domain is None or query.question[0].rdtype != RdataType.A:
+            return super().handle_datagram(wire, source)
+        apex = Name.from_text(domain.name + ".")
+        hop = qname.labels[0] if qname != apex else b""
+        target = apex.prepend(b"loop-b" if hop == b"loop-a" else b"loop-a")
+        response = query.make_response(recursion_available=False)
+        response.aa = True
+        response.answer.append(
+            RRset.of(qname, RdataType.CNAME, CNAME(target=target), ttl=60)
+        )
+        return response.to_wire()
+
+
+# ---------------------------------------------------------------------------
+# the whole wild Internet
+# ---------------------------------------------------------------------------
+
+
+class WildInternet:
+    """Builds and owns the fabric for one population."""
+
+    def __init__(self, population: Population, fabric: NetworkFabric | None = None):
+        self.population = population
+        self.fabric = fabric or NetworkFabric()
+        self.now = int(self.fabric.clock.now())
+        self.domain_by_name: dict[str, WildDomain] = {
+            d.name: d for d in population.domains
+        }
+        self._delegations: dict[str, DomainDelegation] = {}
+        self._zone_cache: dict[str, BuiltZone] = {}
+        self._key_cache: dict[str, tuple[KeyPair, KeyPair]] = {}
+        self.tld_servers: dict[str, VirtualTldServer] = {}
+        self.tld_addresses: dict[str, str] = {}
+        self.hosting_servers: list[HostingServer] = []
+        self.root_built: BuiltZone | None = None
+        self.trust_anchors: list[DS] = []
+        self.root_hints: list[str] = [ROOT_SERVER]
+        self._fake_ds = DS(
+            key_tag=12345, algorithm=WILD_ALGORITHM, digest_type=2,
+            digest=hashlib.sha256(b"signed-lame").digest(),
+        )
+        self._deploy()
+
+    # -- deployment -------------------------------------------------------------------
+
+    def _deploy(self) -> None:
+        population = self.population
+        policy = SigningPolicy.window(self.now)
+
+        # TLD apex zones + virtual servers.
+        root_builder = ZoneBuilder(
+            Name.root(),
+            now=self.now,
+            mutation=ZoneMutation(
+                algorithm=WILD_ALGORITHM, nsec3_iterations=0, nsec3_salt=b""
+            ),
+            key_seed=7,
+        )
+        root_builder.add(
+            RRset.of(
+                Name.root(), RdataType.NS,
+                NS(target=Name.from_text("a.root-servers.net.")), ttl=300,
+            )
+        )
+        root_builder.add(
+            RRset.of(
+                Name.from_text("a.root-servers.net."), RdataType.A,
+                A(address=ROOT_SERVER), ttl=300,
+            )
+        )
+
+        for index, tld in enumerate(sorted(population.tlds.values(), key=lambda t: t.name)):
+            origin = Name.from_text(tld.name + ".")
+            address = tld_server_address(index)
+            builder = ZoneBuilder(
+                origin,
+                now=self.now,
+                mutation=ZoneMutation(
+                    algorithm=WILD_ALGORITHM, nsec3_iterations=0, nsec3_salt=b""
+                ),
+                key_seed=100 + index,
+            )
+            ns_name = Name.from_text("a.nic", origin=origin)
+            builder.add(RRset.of(origin, RdataType.NS, NS(target=ns_name), ttl=300))
+            builder.add(RRset.of(ns_name, RdataType.A, A(address=address), ttl=300))
+            builder.ensure_soa()
+            built = builder.build()
+            assert built.ksk is not None and built.zsk is not None
+            server = VirtualTldServer(
+                wild=self,
+                tld_name=tld.name,
+                apex_zone=built.zone,
+                ksk=built.ksk,
+                zsk=built.zsk,
+                broken_denial=tld.broken_denial,
+                now=self.now,
+                axfr_allowed=tld.axfr_allowed,
+            )
+            self.tld_servers[tld.name] = server
+            self.tld_addresses[tld.name] = address
+            self.fabric.register(address, server)
+
+            # Delegation in the root.
+            root_builder.add(RRset.of(origin, RdataType.NS, NS(target=ns_name), ttl=300))
+            root_builder.add(RRset.of(ns_name, RdataType.A, A(address=address), ttl=300))
+            for ds in built.ds_rdatas:
+                root_builder.add(RRset.of(origin, RdataType.DS, ds, ttl=300))
+
+        self.root_built = root_builder.build()
+        root_server = AuthoritativeServer(name="root")
+        root_server.add_zone(self.root_built.zone)
+        self.fabric.register(ROOT_SERVER, root_server)
+        assert self.root_built.ksk is not None
+        self.trust_anchors = [make_ds(Name.root(), self.root_built.ksk.dnskey(), 2)]
+
+        # Hosting pool.
+        n_hosting = max(d.hosting_index for d in population.domains) + 1
+        for index in range(n_hosting):
+            server = HostingServer(self)
+            self.hosting_servers.append(server)
+            self.fabric.register(hosting_address(index), server)
+
+        # Broken nameservers.
+        from ..server.behaviors import Behavior, BehaviorServer
+
+        behavior_of = {
+            "refused": Behavior.REFUSED,
+            "servfail": Behavior.SERVFAIL,
+            "timeout": Behavior.TIMEOUT,
+        }
+        dummy = AuthoritativeServer(name="broken")
+        for ns in population.broken_ns:
+            self.fabric.register(
+                ns.address, BehaviorServer(inner=dummy, behavior=behavior_of[ns.kind])
+            )
+
+        # Special hosts.
+        self.fabric.register(
+            MISMATCH_HOST,
+            BehaviorServer(inner=_HostingAdapter(self), behavior=Behavior.MISMATCHED_QUESTION),
+        )
+        self.fabric.register(
+            NOTAUTH_HOST, BehaviorServer(inner=dummy, behavior=Behavior.NOTAUTH)
+        )
+        self.fabric.register(STALE_HOST, StaleFlippingServer(self))
+        self.fabric.register(LOOP_HOST, CnameLoopServer(self))
+
+    # -- domain machinery -----------------------------------------------------------------
+
+    def registered_domain_of(self, qname: Name | None) -> WildDomain | None:
+        if qname is None:
+            return None
+        labels = [l for l in qname.labels if l != b""]
+        for depth in range(2, len(labels) + 1):
+            candidate = b".".join(labels[-depth:]).decode("ascii", "replace")
+            domain = self.domain_by_name.get(candidate)
+            if domain is not None:
+                return domain
+        return None
+
+    def domain_keys(self, domain: WildDomain) -> tuple[KeyPair, KeyPair]:
+        cached = self._key_cache.get(domain.name)
+        if cached is not None:
+            return cached
+        seed = _domain_seed(domain.name)
+        mutation = domain_mutation(domain)
+        ksk = KeyPair.generate(
+            mutation.algorithm, KSK_FLAGS, bits=mutation.key_bits, seed=seed * 2 + 1
+        )
+        zsk = KeyPair.generate(
+            mutation.algorithm, ZSK_FLAGS, bits=mutation.key_bits, seed=seed * 2 + 2
+        )
+        self._key_cache[domain.name] = (ksk, zsk)
+        return ksk, zsk
+
+    def server_address_for(self, domain: WildDomain) -> str:
+        profile = domain.profile
+        if profile is Profile.MISMATCHED:
+            return MISMATCH_HOST
+        if profile is Profile.CACHED_ERROR:
+            return NOTAUTH_HOST
+        if profile is Profile.STALE:
+            return STALE_HOST
+        if profile is Profile.OTHER_LOOP:
+            return LOOP_HOST
+        if domain.ns_index >= 0 and profile in (
+            Profile.LAME_REFUSED,
+            Profile.LAME_SERVFAIL,
+            Profile.LAME_TIMEOUT,
+            Profile.SIGNED_LAME,
+        ):
+            return self.population.broken_ns[domain.ns_index].address
+        return hosting_address(domain.hosting_index)
+
+    def delegation_for(self, domain: WildDomain) -> DomainDelegation:
+        cached = self._delegations.get(domain.name)
+        if cached is not None:
+            return cached
+        apex = Name.from_text(domain.name + ".")
+        ns1 = Name.from_text("ns1", origin=apex)
+        profile = domain.profile
+
+        glue: list[tuple[Name, str]] = []
+        ns_names = [ns1]
+        if profile is Profile.LAME_UNREACHABLE:
+            # Round-robin over the testbed's special-purpose addresses.
+            from ..net.addresses import TESTBED_GLUE
+
+            specials = sorted(TESTBED_GLUE.values())
+            glue.append((ns1, specials[_domain_seed(domain.name) % len(specials)]))
+        elif profile is Profile.PARTIAL_REFUSED:
+            ns2 = Name.from_text("ns2", origin=apex)
+            ns_names = [ns1, ns2]
+            broken = self.population.broken_ns[domain.ns_index].address
+            glue.append((ns1, broken))
+            glue.append((ns2, hosting_address(domain.hosting_index)))
+        else:
+            glue.append((ns1, self.server_address_for(domain)))
+
+        ds_rdatas: list[DS] = []
+        if profile is Profile.SIGNED_LAME:
+            ds_rdatas = [self._fake_ds]
+        elif domain.signed or profile in (
+            Profile.DNSKEY_MISSING,
+            Profile.BOGUS,
+            Profile.UNSUPPORTED_ALGO,
+            Profile.SIG_EXPIRED,
+            Profile.SIG_NOT_YET,
+            Profile.DS_DIGEST,
+        ):
+            mutation = domain_mutation(domain)
+            ksk, _zsk = self.domain_keys(domain)
+            digest_type = (
+                mutation.ds_digest_type_override
+                if mutation.ds_digest_type_override is not None
+                else 2
+            )
+            dnskey = ksk.dnskey()
+            if digest_type in (1, 2, 3, 4):
+                ds = make_ds(apex, dnskey, digest_type)
+            else:
+                ds = DS(
+                    key_tag=dnskey.key_tag(),
+                    algorithm=dnskey.algorithm,
+                    digest_type=digest_type,
+                    digest=make_ds(apex, dnskey, 2).digest,
+                )
+            if mutation.ds_tag_offset:
+                ds = DS(
+                    key_tag=(ds.key_tag + mutation.ds_tag_offset) & 0xFFFF,
+                    algorithm=ds.algorithm,
+                    digest_type=ds.digest_type,
+                    digest=ds.digest,
+                )
+            ds_rdatas = [ds]
+
+        delegation = DomainDelegation(ns_names=ns_names, glue=glue, ds_rdatas=ds_rdatas)
+        self._delegations[domain.name] = delegation
+        return delegation
+
+    def materialize_zone(self, domain: WildDomain) -> BuiltZone:
+        cached = self._zone_cache.get(domain.name)
+        if cached is not None:
+            return cached
+        apex = Name.from_text(domain.name + ".")
+        mutation = domain_mutation(domain)
+        builder = ZoneBuilder(
+            apex,
+            now=self.now,
+            mutation=mutation,
+            key_seed=_domain_seed(domain.name),
+            shared_keys=self.domain_keys(domain) if mutation.signed else None,
+        )
+        delegation = self.delegation_for(domain)
+        builder.add(
+            RRset.of(
+                apex, RdataType.NS,
+                *[NS(target=name) for name in delegation.ns_names], ttl=300,
+            )
+        )
+        seed = _domain_seed(domain.name)
+        builder.add(
+            RRset.of(
+                apex, RdataType.A,
+                A(address=f"93.{(seed >> 16) & 0xFF}.{(seed >> 8) & 0xFF}.{seed & 0xFF or 1}"),
+                ttl=300,
+            )
+        )
+        for owner, address in delegation.glue:
+            import ipaddress
+
+            if ipaddress.ip_address(address).version == 4:
+                builder.add(RRset.of(owner, RdataType.A, A(address=address), ttl=300))
+        builder.ensure_soa()
+        built = builder.build()
+        if len(self._zone_cache) > 4096:
+            self._zone_cache.clear()
+        self._zone_cache[domain.name] = built
+        return built
+
+
+class _HostingAdapter(AuthoritativeServer):
+    """AuthoritativeServer facade that lazily materializes wild zones."""
+
+    def __init__(self, wild: WildInternet):
+        super().__init__(name="adapter")
+        self._wild = wild
+
+    def handle_query(self, query: Message, source: str = "192.0.2.0") -> Message | None:
+        qname = query.question[0].name if query.question else None
+        domain = self._wild.registered_domain_of(qname) if qname else None
+        if domain is not None:
+            apex = Name.from_text(domain.name + ".")
+            if apex not in self._zones:
+                self.add_zone(self._wild.materialize_zone(domain).zone)
+        return super().handle_query(query, source)

@@ -1,0 +1,14 @@
+"""Authoritative servers: zone serving, ACLs, and scripted pathologies."""
+
+from .acl import Acl
+from .authoritative import AuthoritativeServer, ServerStats
+from .behaviors import Behavior, BehaviorServer, make_simple_authority
+
+__all__ = [
+    "Acl",
+    "AuthoritativeServer",
+    "Behavior",
+    "BehaviorServer",
+    "ServerStats",
+    "make_simple_authority",
+]

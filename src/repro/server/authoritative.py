@@ -1,0 +1,236 @@
+"""Authoritative nameserver.
+
+Serves one or more zones over the fabric: answers, referrals with glue
+and DS (or the NSEC3 proof of its absence), NXDOMAIN/NODATA with denial
+records, DNSSEC records when the client sets DO, and ACL enforcement.
+Behaviour quirks (REFUSED-for-everything, dropped OPT, mismatched
+answers…) used by the wild-scan tier live in
+:mod:`repro.server.behaviors` and wrap this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.edns import Edns
+from ..dns.message import Message
+from ..dns.name import Name
+from ..dns.rcode import Rcode
+from ..dns.rrset import RRset
+from ..dns.types import RdataType
+from ..zones.zone import LookupStatus, Zone
+from .acl import Acl
+
+
+@dataclass
+class ServerStats:
+    queries: int = 0
+    refused: int = 0
+    nxdomain: int = 0
+    referrals: int = 0
+
+
+class AuthoritativeServer:
+    """An authoritative DNS server endpoint for the fabric."""
+
+    def __init__(
+        self,
+        name: str = "ns",
+        acl: Acl | None = None,
+        report_agent: Name | None = None,
+        allow_transfer: Acl | None = None,
+    ):
+        self.name = name
+        self.acl = acl or Acl.any()
+        #: When set, responses advertise this DNS Error Reporting agent
+        #: domain via the EDNS0 Report-Channel option (RFC 9567).
+        self.report_agent = report_agent
+        #: Who may AXFR (RFC 5936). Registries default to nobody; the
+        #: paper's .se/.nu/.ch/.li allow it.
+        self.allow_transfer = allow_transfer or Acl.none()
+        self._zones: dict[Name, Zone] = {}
+        self.stats = ServerStats()
+
+    def add_zone(self, zone: Zone) -> None:
+        self._zones[zone.origin] = zone
+
+    def zones(self) -> list[Zone]:
+        return list(self._zones.values())
+
+    def find_zone(self, qname: Name) -> Zone | None:
+        """Deepest zone this server is authoritative for above ``qname``."""
+        best: Zone | None = None
+        for origin, zone in self._zones.items():
+            if qname.is_subdomain_of(origin):
+                if best is None or origin.label_count() > best.origin.label_count():
+                    best = zone
+        return best
+
+    # -- fabric endpoint protocol ------------------------------------------------
+
+    def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            response = Message(rcode=Rcode.FORMERR, qr=True)
+            return response.to_wire()
+        response = self.handle_query(query, source)
+        if response is None:
+            return None
+        # RFC 6891: the response must fit the client's advertised UDP
+        # payload (512 octets without EDNS); otherwise truncate + TC.
+        max_size = query.edns.payload if query.edns is not None else 512
+        return response.to_wire(max_size=max(512, max_size))
+
+    def handle_stream(self, wire: bytes, source: str) -> bytes | None:
+        """TCP semantics: same answer, no size limit, never truncated."""
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
+        if query.question and query.question[0].rdtype == RdataType.AXFR:
+            return self.handle_axfr(query, source).to_wire()
+        response = self.handle_query(query, source)
+        return response.to_wire() if response is not None else None
+
+    def handle_axfr(self, query: Message, source: str = "192.0.2.0") -> Message:
+        """Full zone transfer (RFC 5936): SOA, everything, SOA again."""
+        self.stats.queries += 1
+        question = query.question[0]
+        response = query.make_response(recursion_available=False)
+        if not self.allow_transfer.allows(source):
+            self.stats.refused += 1
+            response.rcode = Rcode.REFUSED
+            return response
+        zone = self._zones.get(question.name)
+        if zone is None:
+            response.rcode = Rcode.NOTAUTH
+            return response
+        response.aa = True
+        soa = zone.find(zone.origin, RdataType.SOA)
+        if soa is None:
+            response.rcode = Rcode.SERVFAIL
+            return response
+        response.answer.append(soa.copy())
+        for rrset in zone.all_rrsets():
+            if rrset.rdtype == RdataType.SOA:
+                continue
+            response.answer.append(rrset.copy())
+        response.answer.append(soa.copy())
+        return response
+
+    def handle_query(self, query: Message, source: str = "192.0.2.0") -> Message | None:
+        self.stats.queries += 1
+        if not query.question:
+            response = query.make_response(recursion_available=False)
+            response.rcode = Rcode.FORMERR
+            return response
+
+        if not self.acl.allows(source):
+            self.stats.refused += 1
+            response = query.make_response(recursion_available=False)
+            response.rcode = Rcode.REFUSED
+            return response
+
+        question = query.question[0]
+        qname, rdtype = question.name, question.rdtype
+        if rdtype == RdataType.AXFR:
+            # Zone transfers require TCP (RFC 5936 section 4.2).
+            response = query.make_response(recursion_available=False)
+            response.rcode = Rcode.REFUSED
+            return response
+        dnssec_ok = query.edns is not None and query.edns.dnssec_ok
+
+        zone = self.find_zone(qname)
+        if zone is None:
+            self.stats.refused += 1
+            response = query.make_response(recursion_available=False)
+            response.rcode = Rcode.REFUSED
+            return response
+
+        response = query.make_response(recursion_available=False)
+        response.aa = True
+        if query.edns is not None and response.edns is None:
+            response.edns = Edns(dnssec_ok=dnssec_ok)
+        if query.edns is not None and self.report_agent is not None:
+            from ..resolver.error_reporting import ReportChannelOption
+
+            response.edns.options.append(ReportChannelOption.make(self.report_agent))
+
+        result = zone.lookup(qname, rdtype)
+
+        if result.status is LookupStatus.DELEGATION:
+            self.stats.referrals += 1
+            response.aa = False
+            self._fill_referral(response, zone, result.node_name, dnssec_ok)
+            return response
+
+        if result.status in (LookupStatus.ANSWER, LookupStatus.CNAME):
+            for rrset in result.rrsets:
+                response.answer.append(rrset.copy())
+                if dnssec_ok:
+                    sigs = zone.rrsigs_for(rrset.name, rrset.rdtype)
+                    if sigs is None and result.node_name is not None:
+                        # Wildcard synthesis: serve the wildcard's RRSIG
+                        # under the synthesized owner name; only the RRSIG
+                        # labels field betrays the expansion (RFC 4035).
+                        sigs = zone.rrsigs_for(result.node_name, rrset.rdtype)
+                        if sigs is not None:
+                            sigs = sigs.copy()
+                            sigs.name = rrset.name
+                    if sigs is not None:
+                        response.answer.append(sigs.copy())
+            return response
+
+        # Negative answers
+        soa = zone.find(zone.origin, RdataType.SOA)
+        if soa is not None:
+            response.authority.append(soa.copy())
+            if dnssec_ok:
+                sigs = zone.rrsigs_for(zone.origin, RdataType.SOA)
+                if sigs is not None:
+                    response.authority.append(sigs.copy())
+        if result.status is LookupStatus.NXDOMAIN:
+            self.stats.nxdomain += 1
+            response.rcode = Rcode.NXDOMAIN
+        if dnssec_ok:
+            for rrset in zone.denial_rrsets(qname):
+                response.authority.append(rrset.copy())
+        return response
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _fill_referral(
+        self, response: Message, zone: Zone, cut: Name | None, dnssec_ok: bool
+    ) -> None:
+        if cut is None:
+            return
+        ns = zone.find(cut, RdataType.NS)
+        if ns is not None:
+            response.authority.append(ns.copy())
+            self._add_glue(response, zone, ns)
+        ds = zone.find(cut, RdataType.DS)
+        if ds is not None:
+            response.authority.append(ds.copy())
+            if dnssec_ok:
+                sigs = zone.rrsigs_for(cut, RdataType.DS)
+                if sigs is not None:
+                    response.authority.append(sigs.copy())
+        elif dnssec_ok:
+            # Prove the delegation is unsigned (insecure referral proof).
+            for rrset in zone.denial_rrsets(cut):
+                response.authority.append(rrset.copy())
+
+    def _add_glue(self, response: Message, zone: Zone, ns_rrset: RRset) -> None:
+        from ..dns.rdata import NS as NsRdata
+
+        for rdata in ns_rrset.rdatas:
+            if not isinstance(rdata, NsRdata):
+                continue
+            target = rdata.target
+            if not target.is_subdomain_of(zone.origin):
+                continue
+            for glue_type in (RdataType.A, RdataType.AAAA):
+                glue = zone.find(target, glue_type)
+                if glue is not None:
+                    response.additional.append(glue.copy())

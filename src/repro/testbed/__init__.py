@@ -1,0 +1,25 @@
+"""The 63-domain testbed: case specs, deployment, runner, published results."""
+
+from .expected import CONSISTENT_CASES, EXPECTED_TABLE4, PROFILE_ORDER
+from .infra import DeployedCase, Testbed, build_testbed, child_server_address
+from .runner import CellResult, MatrixResult, make_resolvers, run_matrix
+from .subdomains import ALL_CASES, CASES_BY_LABEL, GROUP_NAMES, TestbedCase, cases_in_group
+
+__all__ = [
+    "ALL_CASES",
+    "CASES_BY_LABEL",
+    "CONSISTENT_CASES",
+    "CellResult",
+    "DeployedCase",
+    "EXPECTED_TABLE4",
+    "GROUP_NAMES",
+    "MatrixResult",
+    "PROFILE_ORDER",
+    "Testbed",
+    "TestbedCase",
+    "build_testbed",
+    "cases_in_group",
+    "child_server_address",
+    "make_resolvers",
+    "run_matrix",
+]

@@ -1,0 +1,100 @@
+"""The paper's published Table 4, transcribed for comparison.
+
+Keys are subdomain labels; values map profile short-names to the tuple
+of EDE INFO-CODEs that system returned (empty tuple = "None" in the
+table).  ``experiments.table4`` compares the live matrix produced by
+our engine against this transcription cell by cell.
+"""
+
+from __future__ import annotations
+
+from ..net.addresses import TESTBED_GLUE
+
+PROFILE_ORDER = (
+    "bind",
+    "unbound",
+    "powerdns",
+    "knot",
+    "cloudflare",
+    "quad9",
+    "opendns",
+)
+
+
+def _row(
+    unbound: tuple[int, ...] = (),
+    powerdns: tuple[int, ...] = (),
+    knot: tuple[int, ...] = (),
+    cloudflare: tuple[int, ...] = (),
+    quad9: tuple[int, ...] = (),
+    opendns: tuple[int, ...] = (),
+) -> dict[str, tuple[int, ...]]:
+    return {
+        "bind": (),
+        "unbound": unbound,
+        "powerdns": powerdns,
+        "knot": knot,
+        "cloudflare": cloudflare,
+        "quad9": quad9,
+        "opendns": opendns,
+    }
+
+
+EXPECTED_TABLE4: dict[str, dict[str, tuple[int, ...]]] = {
+    # 1-2
+    "valid": _row(),
+    "no-ds": _row(),
+    # 3-8: DS
+    "ds-bad-tag": _row((9,), (9,), (6,), (9,), (9,), (6,)),
+    "ds-bad-key-algo": _row((9,), (9,), (6,), (9,), (9,), (6,)),
+    "ds-unassigned-key-algo": _row((), (), (0,), (9,), (), (6,)),
+    "ds-reserved-key-algo": _row((), (), (0,), (1,), (), (6,)),
+    "ds-unassigned-digest-algo": _row((), (), (0,), (2,), (), ()),
+    "ds-bogus-digest-value": _row((9,), (9,), (6,), (6,), (9,), (6,)),
+    # 9-16: RRSIG
+    "rrsig-exp-all": _row((7,), (7,), (7,), (7,), (7,), (6,)),
+    "rrsig-exp-a": _row((6,), (7,), (), (7,), (6,), (7,)),
+    "rrsig-not-yet-all": _row((9,), (8,), (8,), (8,), (9,), (6,)),
+    "rrsig-not-yet-a": _row((6,), (8,), (), (8,), (8,), (8,)),
+    "rrsig-no-all": _row((10,), (10,), (10,), (10,), (9,), (6,)),
+    "rrsig-no-a": _row((10,), (10,), (10,), (10,), (10,), ()),
+    "rrsig-exp-before-all": _row((9,), (7,), (7,), (10,), (9,), (6,)),
+    "rrsig-exp-before-a": _row((6,), (7,), (), (7,), (7,), (7,)),
+    # 17-25: NSEC3
+    "nsec3-missing": _row((12,), (), (12,), (6,), (), (12,)),
+    "bad-nsec3-hash": _row((6,), (), (6,), (6,), (6,), (12,)),
+    "bad-nsec3-next": _row((6,), (), (6,), (6,), (6,), (6,)),
+    "bad-nsec3-rrsig": _row((6,), (), (6,), (6,), (), (6,)),
+    "nsec3-rrsig-missing": _row((12,), (), (10,), (6,), (9,), (12,)),
+    "nsec3param-missing": _row((10,), (10,), (10,), (10,), (9,), (6,)),
+    "bad-nsec3param-salt": _row((12,), (), (12,), (6,), (9,), (12,)),
+    "no-nsec3param-nsec3": _row((10,), (10,), (10,), (10,), (10,), (6,)),
+    "nsec3-iter-200": _row(),
+    # 26-39: DNSKEY
+    "no-zsk": _row((9,), (6,), (6,), (6,), (9,), (6,)),
+    "bad-zsk": _row((9,), (6,), (6,), (6,), (6,), (6,)),
+    "no-ksk": _row((9,), (9,), (6,), (9,), (9,), (6,)),
+    "no-rrsig-ksk": _row((10,), (9,), (6,), (10,), (9,), (6,)),
+    "bad-rrsig-ksk": _row((9,), (6,), (6,), (6,), (6,), (6,)),
+    "bad-ksk": _row((9,), (9,), (6,), (9,), (9,), (6,)),
+    "no-rrsig-dnskey": _row((10,), (10,), (10,), (10,), (9,), (6,)),
+    "bad-rrsig-dnskey": _row((9,), (6,), (6,), (6,), (9,), (6,)),
+    "no-dnskey-256": _row((9,), (6,), (6,), (6,), (9,), (6,)),
+    "no-dnskey-257": _row((9,), (9,), (6,), (9,), (9,), (6,)),
+    "no-dnskey-256-257": _row((9,), (10,), (10,), (9,), (10,), (6,)),
+    "bad-zsk-algo": _row((9,), (6,), (6,), (6,), (6,), (6,)),
+    "unassigned-zsk-algo": _row((9,), (6,), (6,), (6,), (9,), (6,)),
+    "reserved-zsk-algo": _row((9,), (6,), (6,), (6,), (6,), (6,)),
+    # 40-57: bad glue — Cloudflare alone flags the lame delegation
+    **{label: _row(cloudflare=(22,)) for label in TESTBED_GLUE},
+    # 58-63: other
+    "unsigned": _row(),
+    "ed448": _row(cloudflare=(1,)),
+    "rsamd5": _row(knot=(0,), cloudflare=(1,)),
+    "dsa": _row(knot=(0,), cloudflare=(1,)),
+    "allow-query-none": _row(cloudflare=(9, 22, 23), opendns=(18,)),
+    "allow-query-localhost": _row(cloudflare=(9, 22, 23), opendns=(18,)),
+}
+
+#: The four cases all seven systems agreed on (paper section 3.3).
+CONSISTENT_CASES = ("valid", "no-ds", "nsec3-iter-200", "unsigned")

@@ -1,0 +1,201 @@
+"""Deploying the testbed: root, ``com``, ``extended-dns-errors.com``,
+and its 63 misconfigured children, onto a fabric.
+
+The layout mirrors the paper's infrastructure: a correctly configured
+and signed parent (``extended-dns-errors.com``), one child zone per
+case — each on its own nameserver address — and delegations whose DS
+and glue records carry the per-case mutations.  Vendor resolvers are
+attached to the same fabric afterwards (see :mod:`repro.testbed.runner`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import ipaddress
+from dataclasses import dataclass, field
+
+from ..dns.dnssec_records import DS
+from ..dns.name import Name
+from ..dns.rdata import A, AAAA, NS
+from ..dns.rrset import RRset
+from ..dns.types import RdataType
+from ..dnssec.ds import make_ds
+from ..net.fabric import NetworkFabric
+from ..server.acl import Acl
+from ..server.authoritative import AuthoritativeServer
+from ..zones.builder import BuiltZone, ZoneBuilder
+from ..zones.mutations import ZoneMutation
+from .subdomains import ALL_CASES, TestbedCase
+
+ROOT_SERVER = "198.41.0.4"
+COM_SERVER = "192.5.6.30"
+PARENT_SERVER = "185.199.0.53"
+
+PARENT_NAME = Name.from_text("extended-dns-errors.com.")
+COM_NAME = Name.from_text("com.")
+ROOT_NAME = Name.root()
+
+
+def child_server_address(index: int) -> str:
+    """Deterministic public address for the i-th child nameserver."""
+    return f"185.199.{1 + index // 200}.{1 + index % 200}"
+
+
+@dataclass
+class DeployedCase:
+    case: TestbedCase
+    zone_name: Name
+    server_address: str
+    built: BuiltZone | None  # None when nothing is hosted (bad glue)
+    query_name: Name = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.case.query_nonexistent:
+            self.query_name = Name.from_text("nx", origin=self.zone_name)
+        else:
+            self.query_name = self.zone_name
+
+
+@dataclass
+class Testbed:
+    """Everything the runner needs to drive the measurements."""
+
+    fabric: NetworkFabric
+    root_hints: list[str]
+    trust_anchors: list[DS]
+    cases: dict[str, DeployedCase]
+    parent_built: BuiltZone
+    root_built: BuiltZone
+    com_built: BuiltZone
+
+
+def _apex_records(builder: ZoneBuilder, ns_address: str) -> None:
+    origin = builder.origin
+    ns_name = Name.from_text("ns1", origin=origin)
+    builder.add(RRset.of(origin, RdataType.NS, NS(target=ns_name), ttl=300))
+    builder.add(RRset.of(origin, RdataType.A, A(address="93.184.216.34"), ttl=300))
+    builder.add(RRset.of(ns_name, RdataType.A, A(address=ns_address), ttl=300))
+    builder.ensure_soa()
+
+
+def _glue_rrset(name: Name, address: str) -> RRset:
+    parsed = ipaddress.ip_address(address)
+    if parsed.version == 6:
+        return RRset.of(name, RdataType.AAAA, AAAA(address=address), ttl=300)
+    return RRset.of(name, RdataType.A, A(address=address), ttl=300)
+
+
+def build_testbed(
+    fabric: NetworkFabric | None = None,
+    cases: tuple[TestbedCase, ...] = ALL_CASES,
+    now: int | None = None,
+    key_bits: int = 1024,
+) -> Testbed:
+    """Build and wire up the whole testbed; returns the deployment handle."""
+    fabric = fabric or NetworkFabric()
+    now = int(fabric.clock.now()) if now is None else now
+
+    deployed: dict[str, DeployedCase] = {}
+    child_delegations: list[tuple[Name, str, list[DS], TestbedCase]] = []
+
+    for index, case in enumerate(cases):
+        zone_name = Name.from_text(case.label, origin=PARENT_NAME)
+        address = child_server_address(index)
+        mutation = case.mutation
+        built: BuiltZone | None = None
+
+        if mutation.glue_override is None:
+            builder = ZoneBuilder(
+                zone_name,
+                now=now,
+                mutation=dataclasses.replace(mutation, key_bits=key_bits),
+                key_seed=1000 + index,
+            )
+            _apex_records(builder, address)
+            built = builder.build()
+            server = AuthoritativeServer(
+                name=f"ns1.{zone_name}", acl=Acl.from_keyword(mutation.acl)
+            )
+            server.add_zone(built.zone)
+            fabric.register(address, server)
+            ds_rdatas = built.ds_rdatas
+            glue_address = address
+        else:
+            # Bad-glue cases: the delegation points into a special-purpose
+            # prefix, so no server exists to host the child zone at all.
+            ds_rdatas = []
+            glue_address = mutation.glue_override
+
+        child_delegations.append((zone_name, glue_address, ds_rdatas, case))
+        deployed[case.label] = DeployedCase(
+            case=case, zone_name=zone_name, server_address=address, built=built
+        )
+
+    # -- parent zone -----------------------------------------------------------
+    parent_builder = ZoneBuilder(
+        PARENT_NAME, now=now, mutation=ZoneMutation(key_bits=key_bits), key_seed=3
+    )
+    _apex_records(parent_builder, PARENT_SERVER)
+    for zone_name, glue_address, ds_rdatas, _case in child_delegations:
+        ns_name = Name.from_text("ns1", origin=zone_name)
+        parent_builder.add(
+            RRset.of(zone_name, RdataType.NS, NS(target=ns_name), ttl=300)
+        )
+        parent_builder.add(_glue_rrset(ns_name, glue_address))
+        for ds in ds_rdatas:
+            parent_builder.add(RRset.of(zone_name, RdataType.DS, ds, ttl=300))
+    parent_built = parent_builder.build()
+    parent_server = AuthoritativeServer(name="ns1.extended-dns-errors.com")
+    parent_server.add_zone(parent_built.zone)
+    fabric.register(PARENT_SERVER, parent_server)
+
+    # -- com --------------------------------------------------------------------
+    com_builder = ZoneBuilder(
+        COM_NAME, now=now, mutation=ZoneMutation(key_bits=key_bits), key_seed=2
+    )
+    _apex_records(com_builder, COM_SERVER)
+    com_builder.add(
+        RRset.of(
+            PARENT_NAME,
+            RdataType.NS,
+            NS(target=Name.from_text("ns1", origin=PARENT_NAME)),
+            ttl=300,
+        )
+    )
+    com_builder.add(
+        _glue_rrset(Name.from_text("ns1", origin=PARENT_NAME), PARENT_SERVER)
+    )
+    for ds in parent_built.ds_rdatas:
+        com_builder.add(RRset.of(PARENT_NAME, RdataType.DS, ds, ttl=300))
+    com_built = com_builder.build()
+    com_server = AuthoritativeServer(name="ns.com")
+    com_server.add_zone(com_built.zone)
+    fabric.register(COM_SERVER, com_server)
+
+    # -- root ---------------------------------------------------------------------
+    root_builder = ZoneBuilder(
+        ROOT_NAME, now=now, mutation=ZoneMutation(key_bits=key_bits), key_seed=1
+    )
+    _apex_records(root_builder, ROOT_SERVER)
+    com_ns = Name.from_text("ns.com.")
+    root_builder.add(RRset.of(COM_NAME, RdataType.NS, NS(target=com_ns), ttl=300))
+    root_builder.add(_glue_rrset(com_ns, COM_SERVER))
+    for ds in com_built.ds_rdatas:
+        root_builder.add(RRset.of(COM_NAME, RdataType.DS, ds, ttl=300))
+    root_built = root_builder.build()
+    root_server = AuthoritativeServer(name="a.root-servers.net")
+    root_server.add_zone(root_built.zone)
+    fabric.register(ROOT_SERVER, root_server)
+
+    assert root_built.ksk is not None
+    trust_anchor = make_ds(ROOT_NAME, root_built.ksk.dnskey(), 2)
+
+    return Testbed(
+        fabric=fabric,
+        root_hints=[ROOT_SERVER],
+        trust_anchors=[trust_anchor],
+        cases=deployed,
+        parent_built=parent_built,
+        root_built=root_built,
+        com_built=com_built,
+    )

@@ -1,0 +1,181 @@
+"""The 63 testbed subdomains (paper Tables 2 and 3).
+
+Each :class:`TestbedCase` names one subdomain of
+``extended-dns-errors.com``, the misconfiguration applied to it, and the
+query plan that exercises it (most cases are probed with an A query for
+the subdomain apex; the NSEC3 cases query a nonexistent child so the
+denial-of-existence path is forced, which is how broken NSEC3 chains
+become observable at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dnssec.algorithms import (
+    Algorithm,
+    RESERVED_ALGORITHM,
+    UNASSIGNED_ALGORITHM,
+    UNASSIGNED_DIGEST,
+)
+from ..net.addresses import TESTBED_GLUE
+from ..zones.mutations import SigScope, Window, ZoneMutation
+
+#: Group descriptions from Table 2.
+GROUP_NAMES = {
+    1: "Control subdomain",
+    2: "DS misconfigurations",
+    3: "RRSIG misconfigurations",
+    4: "NSEC3 misconfigurations",
+    5: "DNSKEY misconfigurations",
+    6: "Invalid AAAA glue records",
+    7: "Invalid A glue records",
+    8: "Other",
+}
+
+
+@dataclass(frozen=True)
+class TestbedCase:
+    """One subdomain from Table 3."""
+
+    label: str
+    group: int
+    description: str
+    mutation: ZoneMutation = field(default_factory=ZoneMutation)
+    #: Query a nonexistent name below the subdomain instead of its apex.
+    query_nonexistent: bool = False
+
+    @property
+    def subdomain(self) -> str:
+        return f"{self.label}.extended-dns-errors.com."
+
+
+def _case(
+    label: str,
+    group: int,
+    description: str,
+    query_nonexistent: bool = False,
+    **mutation_fields: object,
+) -> TestbedCase:
+    return TestbedCase(
+        label=label,
+        group=group,
+        description=description,
+        mutation=ZoneMutation(**mutation_fields),  # type: ignore[arg-type]
+        query_nonexistent=query_nonexistent,
+    )
+
+
+ALL_CASES: tuple[TestbedCase, ...] = (
+    # -- group 1: control -------------------------------------------------------
+    _case("valid", 1, "The correctly configured control domain"),
+    # -- group 2: DS -------------------------------------------------------------
+    _case("no-ds", 2, "Correctly signed but no DS published at the parent",
+          publish_ds=False),
+    _case("ds-bad-tag", 2, "DS key tag does not match the KSK DNSKEY ID",
+          ds_tag_offset=1),
+    _case("ds-bad-key-algo", 2, "DS algorithm does not match the KSK algorithm",
+          ds_algorithm_override=int(Algorithm.RSASHA1)),
+    _case("ds-unassigned-key-algo", 2, "DS algorithm value is unassigned (100)",
+          ds_algorithm_override=UNASSIGNED_ALGORITHM),
+    _case("ds-reserved-key-algo", 2, "DS algorithm value is reserved (200)",
+          ds_algorithm_override=RESERVED_ALGORITHM),
+    _case("ds-unassigned-digest-algo", 2, "DS digest algorithm is unassigned (100)",
+          ds_digest_type_override=UNASSIGNED_DIGEST),
+    _case("ds-bogus-digest-value", 2, "DS digest value does not match the KSK",
+          ds_corrupt_digest=True),
+    # -- group 3: RRSIG -------------------------------------------------------------
+    _case("rrsig-exp-all", 3, "All the RRSIG records are expired",
+          window_all=Window.EXPIRED),
+    _case("rrsig-exp-a", 3, "The RRSIG over A RRset is expired",
+          window_a=Window.EXPIRED),
+    _case("rrsig-not-yet-all", 3, "All the RRSIG records are not yet valid",
+          window_all=Window.NOT_YET_VALID),
+    _case("rrsig-not-yet-a", 3, "The RRSIG over A RRset is not yet valid",
+          window_a=Window.NOT_YET_VALID),
+    _case("rrsig-no-all", 3, "All the RRSIGs were removed from the zone file",
+          drop_sigs=SigScope.ALL),
+    _case("rrsig-exp-before-all", 3, "All the RRSIGs expired before inception",
+          window_all=Window.INVERTED),
+    _case("rrsig-no-a", 3, "The RRSIG over A RRset was removed",
+          drop_sigs=SigScope.LEAF_A),
+    _case("rrsig-exp-before-a", 3, "The RRSIG over A RRset expired before inception",
+          window_a=Window.INVERTED),
+    # -- group 4: NSEC3 -----------------------------------------------------------------
+    _case("nsec3-missing", 4, "All the NSEC3 records were removed",
+          query_nonexistent=True, drop_nsec3=True),
+    _case("bad-nsec3-hash", 4, "Hashed owner names modified in all NSEC3 records",
+          query_nonexistent=True, corrupt_nsec3_owner=True),
+    _case("bad-nsec3-next", 4, "Next hashed owner names modified in all NSEC3 records",
+          query_nonexistent=True, corrupt_nsec3_next=True),
+    _case("bad-nsec3-rrsig", 4, "RRSIGs over NSEC3 RRsets are bogus",
+          query_nonexistent=True, corrupt_sigs=SigScope.NSEC3_SIGS),
+    _case("nsec3-rrsig-missing", 4, "RRSIGs over NSEC3 RRsets were removed",
+          query_nonexistent=True, drop_sigs=SigScope.NSEC3_SIGS),
+    _case("nsec3-iter-200", 4, "NSEC3 iteration count is set to 200",
+          nsec3_iterations=200),
+    _case("nsec3param-missing", 4, "NSEC3PARAM resource record was removed",
+          query_nonexistent=True, drop_nsec3param=True),
+    _case("bad-nsec3param-salt", 4, "The salt value of NSEC3PARAM is wrong",
+          query_nonexistent=True, nsec3param_salt_mismatch=True),
+    _case("no-nsec3param-nsec3", 4, "NSEC3 and NSEC3PARAM records were removed",
+          query_nonexistent=True, drop_nsec3=True, drop_nsec3param=True),
+    # -- group 5: DNSKEY --------------------------------------------------------------------
+    _case("no-zsk", 5, "The ZSK DNSKEY was removed from the zone file",
+          drop_zsk=True),
+    _case("bad-zsk", 5, "The ZSK DNSKEY resource record is wrong",
+          corrupt_zsk=True),
+    _case("no-ksk", 5, "The KSK DNSKEY was removed from the zone file",
+          drop_ksk=True),
+    _case("no-rrsig-ksk", 5, "The RRSIG over KSK DNSKEY was removed",
+          drop_sigs=SigScope.KSK_SIG),
+    _case("bad-rrsig-ksk", 5, "The RRSIG over KSK DNSKEY is wrong",
+          corrupt_sigs=SigScope.KSK_SIG),
+    _case("bad-ksk", 5, "The KSK DNSKEY is wrong",
+          corrupt_ksk=True),
+    _case("no-rrsig-dnskey", 5, "All RRSIGs over DNSKEY RRsets were removed",
+          drop_sigs=SigScope.DNSKEY_SIGS),
+    _case("bad-rrsig-dnskey", 5, "All RRSIGs over DNSKEY RRsets are wrong",
+          corrupt_sigs=SigScope.DNSKEY_SIGS),
+    _case("no-dnskey-256", 5, "The Zone Key Bit is set to 0 for the ZSK",
+          clear_zone_bit_zsk=True),
+    _case("no-dnskey-257", 5, "The Zone Key Bit is set to 0 for the KSK",
+          clear_zone_bit_ksk=True),
+    _case("no-dnskey-256-257", 5, "The Zone Key Bit is 0 for both KSK and ZSK",
+          clear_zone_bit_zsk=True, clear_zone_bit_ksk=True),
+    _case("bad-zsk-algo", 5, "The ZSK DNSKEY algorithm number is wrong",
+          zsk_algorithm_override=int(Algorithm.RSASHA1_NSEC3_SHA1)),
+    _case("unassigned-zsk-algo", 5, "The ZSK DNSKEY algorithm is unassigned (100)",
+          zsk_algorithm_override=UNASSIGNED_ALGORITHM),
+    _case("reserved-zsk-algo", 5, "The ZSK DNSKEY algorithm is reserved (200)",
+          zsk_algorithm_override=RESERVED_ALGORITHM),
+    # -- groups 6 and 7: invalid glue (all unsigned; the breakage is transport) ------------
+    *(
+        _case(label, 6 if label.startswith(("v6", "v4-hex")) else 7,
+              f"The glue record at the parent zone is {address}",
+              signed=False, glue_override=address)
+        for label, address in TESTBED_GLUE.items()
+    ),
+    # -- group 8: other ------------------------------------------------------------------------
+    _case("unsigned", 8, "The domain name is not signed with DNSSEC",
+          signed=False),
+    _case("ed448", 8, "The zone is signed with the ED448 algorithm",
+          algorithm=int(Algorithm.ED448)),
+    _case("rsamd5", 8, "The zone is signed with the RSAMD5 algorithm",
+          algorithm=int(Algorithm.RSAMD5)),
+    _case("dsa", 8, "The zone is signed with the DSA algorithm",
+          algorithm=int(Algorithm.DSA)),
+    _case("allow-query-none", 8, "Nameserver does not accept queries",
+          acl="none"),
+    _case("allow-query-localhost", 8, "Nameserver only accepts localhost queries",
+          acl="localhost"),
+)
+
+CASES_BY_LABEL = {case.label: case for case in ALL_CASES}
+
+
+def cases_in_group(group: int) -> list[TestbedCase]:
+    return [case for case in ALL_CASES if case.group == group]
+
+
+assert len(ALL_CASES) == 63, f"expected 63 testbed cases, found {len(ALL_CASES)}"

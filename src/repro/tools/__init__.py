@@ -1,0 +1,1 @@
+"""Command-line tools: a dig-like query client and a UDP server frontend."""

@@ -1,0 +1,82 @@
+"""``python -m repro.tools.dig`` — dig for the simulated Internet.
+
+Builds the paper's testbed, resolves the requested name through the
+chosen vendor profile, and prints a dig-style summary including the
+RFC 8914 extended errors — the troubleshooting workflow the paper
+advocates, on infrastructure you can break at will.
+
+Examples::
+
+    python -m repro.tools.dig rrsig-exp-all.extended-dns-errors.com
+    python -m repro.tools.dig valid.extended-dns-errors.com --profile unbound
+    python -m repro.tools.dig nx.bad-nsec3-hash.extended-dns-errors.com --all-profiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..dns.name import Name
+from ..dns.rcode import Rcode
+from ..dns.types import RdataType
+from ..resolver.profiles import ALL_PROFILES, get_profile
+from ..resolver.recursive import RecursiveResolver
+from ..testbed.infra import build_testbed
+
+
+def _print_response(profile_name: str, response, elapsed: float) -> None:
+    print(f";; {profile_name}: rcode {Rcode(response.rcode).name}, "
+          f"{len(response.answer)} answer(s), {elapsed * 1000:.1f} ms")
+    if response.ad:
+        print(";; flags: ad (authenticated data)")
+    for rrset in response.answer:
+        for line in str(rrset).splitlines():
+            print(f"   {line}")
+    for option in response.extended_errors:
+        print(f";; {option}")
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.dig", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("qname", help="domain name to resolve")
+    parser.add_argument("rdtype", nargs="?", default="A", help="record type (default A)")
+    parser.add_argument("--profile", default="cloudflare",
+                        help="vendor profile (bind, unbound, powerdns, knot,"
+                             " cloudflare, quad9, opendns)")
+    parser.add_argument("--all-profiles", action="store_true",
+                        help="query through every vendor profile")
+    parser.add_argument("--cd", action="store_true", help="set CD (skip validation)")
+    args = parser.parse_args(argv)
+
+    qname = Name.from_text(args.qname if args.qname.endswith(".") else args.qname + ".")
+    try:
+        rdtype = RdataType.make(args.rdtype)
+    except (KeyError, ValueError):
+        print(f"unknown record type {args.rdtype!r}", file=sys.stderr)
+        return 2
+
+    print(";; building the extended-dns-errors.com testbed...")
+    testbed = build_testbed()
+
+    profiles = ALL_PROFILES if args.all_profiles else (get_profile(args.profile),)
+    for profile in profiles:
+        resolver = RecursiveResolver(
+            fabric=testbed.fabric, profile=profile,
+            root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+        )
+        started = time.time()
+        response = resolver.resolve(
+            qname, rdtype, want_dnssec=True, checking_disabled=args.cd
+        )
+        _print_response(profile.name, response, time.time() - started)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""``python -m repro.tools.inspect`` — a DNSViz-style chain inspector.
+
+The paper's related-work section contrasts EDE with external tools like
+DNSViz that walk the delegation and DNSSEC chain themselves.  This is
+that tool, for the simulated Internet: it resolves a name step by step,
+showing each zone cut, the nameservers and their reachability, the
+DS↔DNSKEY linkage, signature validity, and finally the EDE codes each
+vendor would attach — so you can see *why* the codes come out.
+
+Usable as a library (:class:`ChainInspector`) and as a CLI::
+
+    python -m repro.tools.inspect bad-zsk.extended-dns-errors.com
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from ..dns.dnssec_records import DNSKEY, DS
+from ..dns.name import Name
+from ..dns.rcode import Rcode
+from ..dns.types import RdataType
+from ..dnssec.ds import ds_matches_dnskey
+from ..resolver.profiles import ALL_PROFILES, CLOUDFLARE
+from ..resolver.recursive import RecursiveResolver
+
+
+@dataclass
+class ZoneReport:
+    """One zone cut along the chain."""
+
+    zone: Name
+    servers: list[str] = field(default_factory=list)
+    ds_records: list[DS] = field(default_factory=list)
+    dnskey_tags: list[tuple[int, int, bool]] = field(default_factory=list)  # (tag, alg, sep)
+    ds_matches: bool | None = None
+    notes: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ChainReport:
+    qname: Name
+    rdtype: RdataType
+    rcode: int = Rcode.SERVFAIL
+    zones: list[ZoneReport] = field(default_factory=list)
+    validation_state: str = ""
+    failure_reason: str = ""
+    vendor_codes: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"chain for {self.qname} {self.rdtype}:"]
+        for report in self.zones:
+            lines.append(f"  zone {report.zone}")
+            lines.append(f"    servers: {', '.join(report.servers) or '(none learned)'}")
+            if report.ds_records:
+                for ds in report.ds_records:
+                    lines.append(
+                        f"    DS: tag={ds.key_tag} alg={ds.algorithm}"
+                        f" digest_type={ds.digest_type}"
+                    )
+            else:
+                lines.append("    DS: none (insecure delegation)")
+            if report.dnskey_tags:
+                keys = ", ".join(
+                    f"tag={tag} alg={alg}{' (KSK)' if sep else ''}"
+                    for tag, alg, sep in report.dnskey_tags
+                )
+                lines.append(f"    DNSKEY: {keys}")
+            if report.ds_matches is not None:
+                lines.append(
+                    "    DS <-> DNSKEY: "
+                    + ("match" if report.ds_matches else "NO MATCHING KEY")
+                )
+            for note in report.notes:
+                lines.append(f"    ! {note}")
+        lines.append(f"  rcode: {Rcode(self.rcode).name}")
+        lines.append(f"  validation: {self.validation_state}"
+                     + (f" ({self.failure_reason})" if self.failure_reason else ""))
+        lines.append("  vendor EDE codes:")
+        for vendor, codes in self.vendor_codes.items():
+            rendered = ",".join(map(str, codes)) if codes else "-"
+            lines.append(f"    {vendor:12s} {rendered}")
+        return "\n".join(lines)
+
+
+class ChainInspector:
+    """Walks and explains one name's delegation + DNSSEC chain."""
+
+    def __init__(self, testbed, profiles=ALL_PROFILES):
+        self.testbed = testbed
+        self.profiles = profiles
+
+    def inspect(self, qname: Name | str, rdtype: RdataType = RdataType.A) -> ChainReport:
+        if isinstance(qname, str):
+            qname = Name.from_text(qname if qname.endswith(".") else qname + ".")
+        report = ChainReport(qname=qname, rdtype=rdtype)
+
+        # Reference resolution through Cloudflare (the richest profile).
+        reference = RecursiveResolver(
+            fabric=self.testbed.fabric, profile=CLOUDFLARE,
+            root_hints=self.testbed.root_hints,
+            trust_anchors=self.testbed.trust_anchors,
+        )
+        outcome = reference._resolve_outcome(qname, rdtype)
+        report.rcode = outcome.rcode
+        report.validation_state = outcome.validation.state.value
+        if outcome.validation.reason is not None:
+            report.failure_reason = outcome.validation.reason.name
+
+        engine = reference.engine
+        zone_path: list[Name] = []
+        current = qname
+        while True:
+            if current in engine.zone_servers:
+                zone_path.append(current)
+            if current.is_root():
+                break
+            current = current.parent()
+        zone_path.reverse()
+
+        for index, zone in enumerate(zone_path):
+            zone_report = ZoneReport(
+                zone=zone, servers=list(engine.zone_servers.get(zone, []))
+            )
+            if index > 0:
+                parent = zone_path[index - 1]
+                ds_result = reference.fetch_from_zone(parent, zone, RdataType.DS)
+                ds_rrset = ds_result.rrset(zone, RdataType.DS)
+                if ds_rrset is not None:
+                    zone_report.ds_records = [
+                        rd for rd in ds_rrset.rdatas if isinstance(rd, DS)
+                    ]
+            dnskey_result = reference.fetch_from_zone(zone, zone, RdataType.DNSKEY)
+            if not dnskey_result.ok:
+                zone_report.notes.append("DNSKEY unfetchable (servers unreachable)")
+            else:
+                dnskey_rrset = dnskey_result.rrset(zone, RdataType.DNSKEY)
+                if dnskey_rrset is not None:
+                    for rd in dnskey_rrset.rdatas:
+                        if isinstance(rd, DNSKEY):
+                            zone_report.dnskey_tags.append(
+                                (rd.key_tag(), rd.algorithm, rd.is_sep)
+                            )
+                    if zone_report.ds_records:
+                        zone_report.ds_matches = any(
+                            ds_matches_dnskey(ds, zone, rd)
+                            for ds in zone_report.ds_records
+                            for rd in dnskey_rrset.rdatas
+                            if isinstance(rd, DNSKEY)
+                        )
+            report.zones.append(zone_report)
+
+        for profile in self.profiles:
+            resolver = RecursiveResolver(
+                fabric=self.testbed.fabric, profile=profile,
+                root_hints=self.testbed.root_hints,
+                trust_anchors=self.testbed.trust_anchors,
+            )
+            response = resolver.resolve(qname, rdtype)
+            report.vendor_codes[profile.policy.name] = response.ede_codes
+        return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    from ..testbed.infra import build_testbed
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.inspect", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("qname")
+    parser.add_argument("rdtype", nargs="?", default="A")
+    args = parser.parse_args(argv)
+
+    print("building the testbed...", file=sys.stderr)
+    testbed = build_testbed()
+    inspector = ChainInspector(testbed)
+    report = inspector.inspect(args.qname, RdataType.make(args.rdtype))
+    print(report.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

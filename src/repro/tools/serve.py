@@ -1,0 +1,65 @@
+"""``python -m repro.tools.serve`` — expose the testbed on real UDP.
+
+Builds the testbed and binds one recursive resolver per vendor profile
+to loopback UDP ports, so you can point an ordinary ``dig`` at the
+misconfigured domains and watch the extended errors arrive over a real
+socket::
+
+    $ python -m repro.tools.serve --port 5300 &
+    $ dig @127.0.0.1 -p 5300 rrsig-exp-all.extended-dns-errors.com +ednsopt=15
+
+Ports are allocated sequentially starting at ``--port`` in the paper's
+Table 4 column order (bind, unbound, powerdns, knot, cloudflare, quad9,
+opendns).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from ..net.udp import UdpServer
+from ..resolver.profiles import ALL_PROFILES
+from ..resolver.recursive import RecursiveResolver
+from ..testbed.infra import build_testbed
+
+
+async def serve(base_port: int, host: str) -> None:
+    print("building the testbed...", flush=True)
+    testbed = build_testbed()
+    servers: list[UdpServer] = []
+    for index, profile in enumerate(ALL_PROFILES):
+        resolver = RecursiveResolver(
+            fabric=testbed.fabric, profile=profile,
+            root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+        )
+        server = UdpServer(endpoint=resolver, host=host, port=base_port + index)
+        await server.start()
+        servers.append(server)
+        print(f"  {profile.name:26s} on {server.host}:{server.port}")
+    print("serving; ctrl-c to stop", flush=True)
+    try:
+        await asyncio.Event().wait()
+    finally:
+        for server in servers:
+            await server.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.serve", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--port", type=int, default=5300, help="first UDP port")
+    parser.add_argument("--host", default="127.0.0.1")
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(serve(args.port, args.host))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

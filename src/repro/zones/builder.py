@@ -1,0 +1,436 @@
+"""Building (and deliberately breaking) signed zones.
+
+:class:`ZoneBuilder` assembles a zone from plain records, generates its
+key pair, signs every RRset, constructs the NSEC3 chain, and finally
+applies a :class:`ZoneMutation`.  The output is the zone plus the DS
+rdatas the parent should publish — possibly themselves mutated.
+
+Mutation ordering (see mutations module): DNSKEY-content mutations are
+applied *before* the DNSKEY RRset is signed (the "operator re-ran the
+signer over a damaged key file" model the testbed implies), while
+signature drop/corrupt mutations run after signing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.dnssec_records import DNSKEY, DS, NSEC3, NSEC3PARAM, RRSIG
+from ..dns.name import Name
+from ..dns.rdata import SOA, Rdata
+from ..dns.rrset import RRset
+from ..dns.types import RdataType
+from ..dnssec.ds import make_ds
+from ..dnssec.keys import KSK_FLAGS, ZSK_FLAGS, KeyPair
+from ..dnssec.nsec3 import base32hex_encode, nsec3_hash
+from ..dnssec.signer import SigningPolicy, sign_rrset
+from .mutations import SigScope, Window, ZoneMutation
+from .zone import Zone
+
+#: One year in seconds, used to push windows around.
+YEAR = 365 * 24 * 3600
+
+
+@dataclass
+class BuiltZone:
+    """A finished zone plus what the parent needs to delegate to it."""
+
+    zone: Zone
+    ds_rdatas: list[DS] = field(default_factory=list)
+    ksk: KeyPair | None = None
+    zsk: KeyPair | None = None
+    mutation: ZoneMutation = field(default_factory=ZoneMutation)
+
+
+def _window_policy(window: Window, now: int) -> SigningPolicy:
+    if window is Window.EXPIRED:
+        return SigningPolicy(inception=now - 2 * YEAR, expiration=now - YEAR)
+    if window is Window.NOT_YET_VALID:
+        return SigningPolicy(inception=now + YEAR, expiration=now + 2 * YEAR)
+    if window is Window.INVERTED:
+        return SigningPolicy(inception=now - YEAR, expiration=now - 2 * YEAR)
+    return SigningPolicy.window(now)
+
+
+def _corrupt(data: bytes) -> bytes:
+    """Flip a bit in the middle; keeps the length plausible."""
+    if not data:
+        return b"\x01"
+    index = len(data) // 2
+    return data[:index] + bytes([data[index] ^ 0x55]) + data[index + 1 :]
+
+
+class ZoneBuilder:
+    """Builds one signed (and possibly misconfigured) zone."""
+
+    def __init__(
+        self,
+        origin: Name,
+        now: int,
+        mutation: ZoneMutation | None = None,
+        key_seed: int = 0,
+        shared_keys: tuple[KeyPair, KeyPair] | None = None,
+    ):
+        self.origin = origin
+        self.now = now
+        self.mutation = mutation or ZoneMutation()
+        self.zone = Zone(origin)
+        self._key_seed = key_seed
+        self._shared_keys = shared_keys
+
+    def add(self, rrset: RRset) -> "ZoneBuilder":
+        self.zone.add(rrset)
+        return self
+
+    def add_record(self, name: Name, rdtype: RdataType, rdata: Rdata, ttl: int = 300) -> "ZoneBuilder":
+        self.zone.add(RRset.of(name, rdtype, rdata, ttl=ttl))
+        return self
+
+    def ensure_soa(self) -> None:
+        if self.zone.find(self.origin, RdataType.SOA) is None:
+            soa = SOA(
+                mname=Name.from_text("ns1", origin=self.origin),
+                rname=Name.from_text("hostmaster", origin=self.origin),
+                serial=2023050100,
+                minimum=300,
+            )
+            self.zone.add(RRset.of(self.origin, RdataType.SOA, soa, ttl=300))
+
+    # -- main entry point ---------------------------------------------------------
+
+    def build(self) -> BuiltZone:
+        mut = self.mutation
+        self.ensure_soa()
+        if not mut.signed:
+            return BuiltZone(zone=self.zone, ds_rdatas=[], mutation=mut)
+
+        ksk, zsk = self._make_keys()
+        published = self._published_dnskeys(ksk, zsk)
+        dnskey_rrset = RRset(
+            name=self.origin, rdtype=RdataType.DNSKEY, ttl=300, rdatas=list(published)
+        )
+        self.zone.replace(dnskey_rrset)
+
+        if mut.denial == "nsec":
+            self._build_nsec_chain()
+        else:
+            self._build_nsec3_chain()
+        self._sign_zone(ksk, zsk, dnskey_rrset)
+        self._apply_post_sign_mutations(ksk, zsk)
+
+        ds_rdatas = self._make_ds(ksk)
+        return BuiltZone(zone=self.zone, ds_rdatas=ds_rdatas, ksk=ksk, zsk=zsk, mutation=mut)
+
+    # -- keys ------------------------------------------------------------------------
+
+    def _make_keys(self) -> tuple[KeyPair, KeyPair]:
+        if self._shared_keys is not None:
+            return self._shared_keys
+        mut = self.mutation
+        ksk = KeyPair.generate(
+            mut.algorithm, KSK_FLAGS, bits=mut.key_bits, seed=self._key_seed * 2 + 1
+        )
+        zsk = KeyPair.generate(
+            mut.algorithm, ZSK_FLAGS, bits=mut.key_bits, seed=self._key_seed * 2 + 2
+        )
+        return ksk, zsk
+
+    def _published_dnskeys(self, ksk: KeyPair, zsk: KeyPair) -> list[DNSKEY]:
+        mut = self.mutation
+        keys: list[DNSKEY] = []
+        if not mut.drop_ksk:
+            rdata = ksk.dnskey()
+            if mut.corrupt_ksk:
+                rdata = DNSKEY(
+                    flags=rdata.flags,
+                    protocol=rdata.protocol,
+                    algorithm=rdata.algorithm,
+                    key=_corrupt(rdata.key),
+                )
+            if mut.clear_zone_bit_ksk:
+                rdata = DNSKEY(
+                    flags=rdata.flags & ~0x0100,
+                    protocol=rdata.protocol,
+                    algorithm=rdata.algorithm,
+                    key=rdata.key,
+                )
+            keys.append(rdata)
+        if not mut.drop_zsk:
+            rdata = zsk.dnskey()
+            if mut.corrupt_zsk:
+                rdata = DNSKEY(
+                    flags=rdata.flags,
+                    protocol=rdata.protocol,
+                    algorithm=rdata.algorithm,
+                    key=_corrupt(rdata.key),
+                )
+            if mut.zsk_algorithm_override is not None:
+                rdata = DNSKEY(
+                    flags=rdata.flags,
+                    protocol=rdata.protocol,
+                    algorithm=mut.zsk_algorithm_override,
+                    key=rdata.key,
+                )
+            if mut.clear_zone_bit_zsk:
+                rdata = DNSKEY(
+                    flags=rdata.flags & ~0x0100,
+                    protocol=rdata.protocol,
+                    algorithm=rdata.algorithm,
+                    key=rdata.key,
+                )
+            keys.append(rdata)
+        if mut.add_standby_ksk:
+            standby = KeyPair.generate(
+                mut.algorithm, KSK_FLAGS, bits=mut.key_bits,
+                seed=self._key_seed * 2 + 99,
+            )
+            keys.append(standby.dnskey())
+        return keys
+
+    # -- NSEC3 --------------------------------------------------------------------------
+
+    def _build_nsec_chain(self) -> None:
+        """Plain NSEC chain in canonical order (RFC 4034 section 4)."""
+        from ..dns.dnssec_records import NSEC
+        from ..dnssec.nsec import canonical_key
+
+        names = sorted(self.zone.names(), key=canonical_key)
+        for index, name in enumerate(names):
+            next_name = names[(index + 1) % len(names)]
+            types = sorted(
+                int(rrset.rdtype)
+                for rrset in self.zone.rrsets_at(name)
+                if rrset.rdtype != RdataType.NSEC
+            )
+            types.extend((int(RdataType.RRSIG), int(RdataType.NSEC)))
+            nsec = NSEC(next_name=next_name, types=tuple(sorted(set(types))))
+            self.zone.replace(RRset.of(name, RdataType.NSEC, nsec, ttl=300))
+
+    def _build_nsec3_chain(self) -> None:
+        mut = self.mutation
+        salt = mut.nsec3_salt
+        iterations = mut.nsec3_iterations
+
+        param = NSEC3PARAM(
+            hash_algorithm=1,
+            flags=0,
+            iterations=iterations,
+            salt=_corrupt(salt) if mut.nsec3param_salt_mismatch else salt,
+        )
+        self.zone.replace(RRset.of(self.origin, RdataType.NSEC3PARAM, param, ttl=300))
+
+        names = sorted(self.zone.names())
+        hashed: list[tuple[bytes, Name]] = []
+        for name in names:
+            digest = nsec3_hash(name, salt, iterations)
+            hashed.append((digest, name))
+        hashed.sort(key=lambda pair: pair[0])
+
+        for index, (digest, name) in enumerate(hashed):
+            next_digest = hashed[(index + 1) % len(hashed)][0]
+            types = sorted(
+                int(rrset.rdtype)
+                for rrset in self.zone.rrsets_at(name)
+                if rrset.rdtype != RdataType.NSEC3
+            )
+            types.append(int(RdataType.RRSIG))
+            nsec3 = NSEC3(
+                hash_algorithm=1,
+                flags=0,
+                iterations=iterations,
+                salt=salt,
+                next_hash=next_digest,
+                types=tuple(sorted(set(types))),
+            )
+            owner = Name.from_text(base32hex_encode(digest), origin=self.origin)
+            self.zone.replace(RRset.of(owner, RdataType.NSEC3, nsec3, ttl=300))
+
+        if mut.corrupt_nsec3_owner or mut.corrupt_nsec3_next:
+            self._mutate_nsec3_records()
+
+    def _mutate_nsec3_records(self) -> None:
+        mut = self.mutation
+        records = self.zone.nsec3_records()
+        for owner, rdata in records:
+            self.zone.remove(owner, RdataType.NSEC3)
+            new_owner = owner
+            new_rdata = rdata
+            if mut.corrupt_nsec3_owner:
+                # Shift every hashed owner label so nothing matches or covers.
+                label = owner.labels[0]
+                shifted = base32hex_encode(
+                    _corrupt(nsec3_hash(Name((label, b"")), b"x", 1))
+                )
+                new_owner = Name((shifted.encode(),) + owner.labels[1:])
+            if mut.corrupt_nsec3_next:
+                # Shrink each interval to (h, h+1): covers (almost) nothing.
+                owner_hash = self._label_hash(owner)
+                bumped = bytearray(owner_hash or rdata.next_hash)
+                bumped[-1] = (bumped[-1] + 1) & 0xFF
+                new_rdata = NSEC3(
+                    hash_algorithm=rdata.hash_algorithm,
+                    flags=rdata.flags,
+                    iterations=rdata.iterations,
+                    salt=rdata.salt,
+                    next_hash=bytes(bumped),
+                    types=rdata.types,
+                )
+            self.zone.replace(RRset.of(new_owner, RdataType.NSEC3, new_rdata, ttl=300))
+
+    @staticmethod
+    def _label_hash(owner: Name) -> bytes:
+        from ..dnssec.nsec3 import base32hex_decode
+
+        try:
+            return base32hex_decode(owner.labels[0].decode())
+        except (ValueError, UnicodeDecodeError):
+            return b""
+
+    # -- signing --------------------------------------------------------------------------
+
+    def _sign_zone(self, ksk: KeyPair, zsk: KeyPair, dnskey_rrset: RRset) -> None:
+        mut = self.mutation
+        default_policy = _window_policy(mut.window_all, self.now)
+        a_policy = (
+            _window_policy(mut.window_a, self.now)
+            if mut.window_a is not Window.VALID
+            else default_policy
+        )
+
+        for rrset in list(self.zone.all_rrsets()):
+            if rrset.rdtype == RdataType.RRSIG:
+                continue
+            if rrset.rdtype == RdataType.DNSKEY:
+                continue
+            policy = (
+                a_policy
+                if (rrset.rdtype == RdataType.A and rrset.name == self.origin)
+                else default_policy
+            )
+            sig = sign_rrset(rrset, zsk, self.origin, policy)
+            self._store_sig(rrset.name, sig)
+
+        # DNSKEY RRset: signed by both KSK and ZSK so the testbed can remove
+        # or corrupt the SEP path independently of the rest.
+        for key in (ksk, zsk):
+            sig = sign_rrset(dnskey_rrset, key, self.origin, default_policy)
+            self._store_sig(self.origin, sig)
+
+    def _store_sig(self, name: Name, sig: RRSIG) -> None:
+        existing = self.zone.find(name, RdataType.RRSIG)
+        if existing is None:
+            self.zone.replace(RRset.of(name, RdataType.RRSIG, sig, ttl=300))
+        else:
+            existing.add(sig)
+
+    # -- post-sign mutations ----------------------------------------------------------------
+
+    def _apply_post_sign_mutations(self, ksk: KeyPair, zsk: KeyPair) -> None:
+        mut = self.mutation
+        if mut.drop_sigs is not None:
+            self._drop_sigs(mut.drop_sigs, ksk)
+        if mut.corrupt_sigs is not None:
+            self._corrupt_sigs(mut.corrupt_sigs, ksk)
+        if mut.drop_nsec3:
+            for owner, _rd in self.zone.nsec3_records():
+                self.zone.remove(owner, RdataType.NSEC3)
+                self.zone.remove(owner, RdataType.RRSIG)
+        if mut.drop_nsec3param:
+            self.zone.remove(self.origin, RdataType.NSEC3PARAM)
+
+    def _iter_sig_sets(self):
+        for rrset in list(self.zone.all_rrsets()):
+            if rrset.rdtype == RdataType.RRSIG:
+                yield rrset
+
+    def _drop_sigs(self, scope: SigScope, ksk: KeyPair) -> None:
+        ksk_tag = ksk.key_tag()
+        for rrset in self._iter_sig_sets():
+            kept: list[Rdata] = []
+            for rdata in rrset.rdatas:
+                assert isinstance(rdata, RRSIG)
+                if self._sig_in_scope(rdata, rrset.name, scope, ksk_tag):
+                    continue
+                kept.append(rdata)
+            if kept:
+                rrset.rdatas = kept
+            else:
+                self.zone.remove(rrset.name, RdataType.RRSIG)
+
+    def _corrupt_sigs(self, scope: SigScope, ksk: KeyPair) -> None:
+        ksk_tag = ksk.key_tag()
+        for rrset in self._iter_sig_sets():
+            new_rdatas: list[Rdata] = []
+            for rdata in rrset.rdatas:
+                assert isinstance(rdata, RRSIG)
+                if self._sig_in_scope(rdata, rrset.name, scope, ksk_tag):
+                    new_rdatas.append(
+                        RRSIG(
+                            type_covered=rdata.type_covered,
+                            algorithm=rdata.algorithm,
+                            labels=rdata.labels,
+                            original_ttl=rdata.original_ttl,
+                            expiration=rdata.expiration,
+                            inception=rdata.inception,
+                            key_tag=rdata.key_tag,
+                            signer=rdata.signer,
+                            signature=_corrupt(rdata.signature),
+                        )
+                    )
+                else:
+                    new_rdatas.append(rdata)
+            rrset.rdatas = new_rdatas
+
+    def _sig_in_scope(
+        self, sig: RRSIG, owner: Name, scope: SigScope, ksk_tag: int
+    ) -> bool:
+        covered = int(sig.type_covered)
+        if scope is SigScope.ALL:
+            return True
+        if scope is SigScope.LEAF_A:
+            return covered == int(RdataType.A) and owner == self.origin
+        if scope is SigScope.KSK_SIG:
+            return covered == int(RdataType.DNSKEY) and sig.key_tag == ksk_tag
+        if scope is SigScope.DNSKEY_SIGS:
+            return covered == int(RdataType.DNSKEY)
+        if scope is SigScope.NSEC3_SIGS:
+            return covered == int(RdataType.NSEC3)
+        return False
+
+    # -- DS --------------------------------------------------------------------------------------
+
+    def _make_ds(self, ksk: KeyPair) -> list[DS]:
+        mut = self.mutation
+        if not mut.publish_ds:
+            return []
+        digest_type = (
+            mut.ds_digest_type_override
+            if mut.ds_digest_type_override is not None
+            else 2
+        )
+        dnskey = ksk.dnskey()
+        if digest_type in (1, 2, 3, 4):
+            ds = make_ds(self.origin, dnskey, digest_type)
+        else:
+            # Unassigned digest type: fabricate a plausible digest value.
+            ds = DS(
+                key_tag=dnskey.key_tag(),
+                algorithm=dnskey.algorithm,
+                digest_type=digest_type,
+                digest=make_ds(self.origin, dnskey, 2).digest,
+            )
+        key_tag = (ds.key_tag + mut.ds_tag_offset) & 0xFFFF
+        algorithm = (
+            mut.ds_algorithm_override
+            if mut.ds_algorithm_override is not None
+            else ds.algorithm
+        )
+        digest = _corrupt(ds.digest) if mut.ds_corrupt_digest else ds.digest
+        return [
+            DS(
+                key_tag=key_tag,
+                algorithm=algorithm,
+                digest_type=ds.digest_type,
+                digest=digest,
+            )
+        ]

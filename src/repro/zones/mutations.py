@@ -1,0 +1,103 @@
+"""Zone mutation options — the knobs behind the paper's Table 3.
+
+A :class:`ZoneMutation` describes one (mis)configuration to apply while
+building and signing a zone.  The defaults produce a perfectly valid
+zone; each of the 63 testbed cases (and each wild-scan misconfiguration
+profile) sets one or two fields.  The builder applies content mutations
+*before* re-signing the affected apex RRsets and signature mutations
+*after*, so each case breaks exactly the validation step the paper's
+subdomain was designed to break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..dnssec.algorithms import Algorithm
+
+
+class Window(Enum):
+    """RRSIG validity-window distortions."""
+
+    VALID = "valid"
+    EXPIRED = "expired"
+    NOT_YET_VALID = "not-yet-valid"
+    INVERTED = "inverted"  # expired before the inception time
+
+
+class SigScope(Enum):
+    """Which signatures a drop/corrupt mutation targets."""
+
+    ALL = "all"  # every RRSIG in the zone
+    LEAF_A = "a"  # the RRSIG over the apex A RRset
+    KSK_SIG = "ksk"  # the KSK's signature over the DNSKEY RRset
+    DNSKEY_SIGS = "dnskey"  # all signatures over the DNSKEY RRset
+    NSEC3_SIGS = "nsec3"  # all signatures over NSEC3 RRsets
+
+
+@dataclass
+class ZoneMutation:
+    """Everything that can be wrong with a zone (or its delegation)."""
+
+    # -- overall ------------------------------------------------------------
+    signed: bool = True
+    algorithm: int = int(Algorithm.RSASHA256)
+    key_bits: int = 1024
+
+    # -- DNSKEY RRset content (testbed group 5) ------------------------------
+    drop_zsk: bool = False
+    corrupt_zsk: bool = False
+    drop_ksk: bool = False
+    corrupt_ksk: bool = False
+    clear_zone_bit_zsk: bool = False
+    clear_zone_bit_ksk: bool = False
+    zsk_algorithm_override: int | None = None
+    #: Publish an extra SEP key that signs nothing (emergency stand-by KSK,
+    #: RFC 6781) — the wild scan's RRSIGs Missing trigger.
+    add_standby_ksk: bool = False
+
+    # -- signature windows (group 3) -------------------------------------------
+    window_all: Window = Window.VALID
+    window_a: Window = Window.VALID
+
+    # -- signature presence / integrity (groups 3-5) -----------------------------
+    drop_sigs: SigScope | None = None
+    corrupt_sigs: SigScope | None = None
+
+    # -- denial of existence --------------------------------------------------------
+    #: "nsec3" (hashed, the testbed's default) or "nsec" (plain chain,
+    #: like the root zone and many TLDs).
+    denial: str = "nsec3"
+
+    # -- NSEC3 (group 4) -----------------------------------------------------------
+    nsec3_iterations: int = 10
+    nsec3_salt: bytes = b"\xab\xcd"
+    drop_nsec3: bool = False
+    corrupt_nsec3_owner: bool = False
+    corrupt_nsec3_next: bool = False
+    drop_nsec3param: bool = False
+    nsec3param_salt_mismatch: bool = False
+
+    # -- DS at the parent (group 2) ----------------------------------------------------
+    publish_ds: bool = True
+    ds_tag_offset: int = 0  # added to the true key tag (mod 2^16)
+    ds_algorithm_override: int | None = None
+    ds_digest_type_override: int | None = None
+    ds_corrupt_digest: bool = False
+
+    # -- delegation / reachability (groups 6-7) -------------------------------------------
+    #: Replace all glue addresses at the parent with this address.
+    glue_override: str | None = None
+
+    # -- server behaviour (group 8 ACLs and wild-scan profiles) ------------------------------
+    acl: str | None = None  # None | "none" | "localhost"
+
+    #: Free-form tags for bookkeeping in experiments.
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def is_mutated(self) -> bool:
+        return self != ZoneMutation()
+
+
+VALID = ZoneMutation()

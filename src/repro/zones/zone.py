@@ -1,0 +1,296 @@
+"""Authoritative zone data model and lookup semantics.
+
+A :class:`Zone` stores RRsets keyed by (owner, type) and answers the
+question an authoritative server asks: *given this qname/qtype, is the
+result an answer, a referral, a CNAME, NXDOMAIN, or NODATA?*  Denial-
+of-existence record selection for negative answers lives here too,
+because it depends on the zone's NSEC3 chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from ..dns.dnssec_records import NSEC3, RRSIG
+from ..dns.name import Name
+from ..dns.rdata import CNAME
+from ..dns.rrset import RRset
+from ..dns.types import RdataType
+from ..dnssec.nsec3 import base32hex_encode, hash_covers, nsec3_hash
+
+
+class LookupStatus(Enum):
+    ANSWER = auto()
+    CNAME = auto()
+    DELEGATION = auto()
+    NXDOMAIN = auto()
+    NODATA = auto()
+
+
+@dataclass
+class LookupResult:
+    status: LookupStatus
+    rrsets: list[RRset] = field(default_factory=list)  # answer or NS of referral
+    node_name: Name | None = None  # the node that matched (cut point for referrals)
+
+
+class Zone:
+    """One authoritative zone."""
+
+    def __init__(self, origin: Name):
+        if not origin.is_absolute():
+            raise ValueError("zone origin must be absolute")
+        self.origin = origin
+        self._rrsets: dict[tuple[Name, int], RRset] = {}
+        self._names: set[Name] = set()
+
+    # -- content management ---------------------------------------------------
+
+    def add(self, rrset: RRset) -> None:
+        if not rrset.name.is_subdomain_of(self.origin):
+            raise ValueError(f"{rrset.name} is outside zone {self.origin}")
+        key = (rrset.name, int(rrset.rdtype))
+        existing = self._rrsets.get(key)
+        if existing is None:
+            self._rrsets[key] = rrset.copy()
+        else:
+            for rdata in rrset.rdatas:
+                existing.add(rdata)
+        self._names.add(rrset.name)
+
+    def remove(self, name: Name, rdtype: RdataType) -> RRset | None:
+        rrset = self._rrsets.pop((name, int(rdtype)), None)
+        if rrset is not None and not any(n == name for (n, _t) in self._rrsets):
+            self._names.discard(name)
+        return rrset
+
+    def replace(self, rrset: RRset) -> None:
+        self._rrsets[(rrset.name, int(rrset.rdtype))] = rrset
+        self._names.add(rrset.name)
+
+    def find(self, name: Name, rdtype: RdataType) -> RRset | None:
+        return self._rrsets.get((name, int(rdtype)))
+
+    def rrsets_at(self, name: Name) -> list[RRset]:
+        return [r for (n, _t), r in self._rrsets.items() if n == name]
+
+    def all_rrsets(self) -> list[RRset]:
+        return list(self._rrsets.values())
+
+    def names(self) -> set[Name]:
+        return set(self._names)
+
+    def __len__(self) -> int:
+        return len(self._rrsets)
+
+    # -- semantics ----------------------------------------------------------------
+
+    def is_delegation_point(self, name: Name) -> bool:
+        """NS present below the apex marks a zone cut."""
+        return name != self.origin and self.find(name, RdataType.NS) is not None
+
+    def find_zone_cut(self, qname: Name) -> Name | None:
+        """Deepest delegation point at or above ``qname`` (strictly below apex)."""
+        if not qname.is_subdomain_of(self.origin):
+            return None
+        current = qname
+        cuts: list[Name] = []
+        while current != self.origin:
+            if self.is_delegation_point(current):
+                cuts.append(current)
+            current = current.parent()
+        return cuts[-1] if cuts else None  # shallowest cut wins on the way down
+
+    def name_exists(self, qname: Name) -> bool:
+        """True when the name exists, including as an empty non-terminal."""
+        if qname in self._names:
+            return True
+        return any(existing.is_strict_subdomain_of(qname) for existing in self._names)
+
+    def lookup(self, qname: Name, rdtype: RdataType) -> LookupResult:
+        """Authoritative lookup, RFC 1034 section 4.3.2 style."""
+        if not qname.is_subdomain_of(self.origin):
+            return LookupResult(LookupStatus.NXDOMAIN)
+
+        cut = self.find_zone_cut(qname)
+        if cut is not None and not (qname == cut and rdtype == RdataType.DS):
+            # DS is special: it lives at the parent side of the cut.
+            ns = self.find(cut, RdataType.NS)
+            return LookupResult(
+                LookupStatus.DELEGATION, rrsets=[ns] if ns else [], node_name=cut
+            )
+
+        if not self.name_exists(qname):
+            wildcard = self._match_wildcard(qname)
+            if wildcard is not None:
+                rrset = self.find(wildcard, rdtype)
+                if rrset is not None:
+                    synthesized = rrset.copy()
+                    synthesized.name = qname
+                    return LookupResult(
+                        LookupStatus.ANSWER, rrsets=[synthesized], node_name=wildcard
+                    )
+                return LookupResult(LookupStatus.NODATA, node_name=wildcard)
+            return LookupResult(LookupStatus.NXDOMAIN)
+
+        rrset = self.find(qname, rdtype)
+        if rrset is not None:
+            return LookupResult(LookupStatus.ANSWER, rrsets=[rrset], node_name=qname)
+        cname = self.find(qname, RdataType.CNAME)
+        if cname is not None and rdtype != RdataType.CNAME:
+            return LookupResult(LookupStatus.CNAME, rrsets=[cname], node_name=qname)
+        return LookupResult(LookupStatus.NODATA, node_name=qname)
+
+    def _match_wildcard(self, qname: Name) -> Name | None:
+        current = qname
+        while current != self.origin:
+            current = current.parent()
+            candidate = current.prepend(b"*")
+            if candidate in self._names:
+                return candidate
+        return None
+
+    # -- RRSIG / denial helpers for the server ------------------------------------------
+
+    def rrsigs_for(self, name: Name, covered: RdataType) -> RRset | None:
+        """The RRSIG RRset at ``name`` filtered to signatures over ``covered``."""
+        rrsig_set = self.find(name, RdataType.RRSIG)
+        if rrsig_set is None:
+            return None
+        filtered = [
+            rd
+            for rd in rrsig_set.rdatas
+            if isinstance(rd, RRSIG) and int(rd.type_covered) == int(covered)
+        ]
+        if not filtered:
+            return None
+        return RRset(
+            name=name,
+            rdtype=RdataType.RRSIG,
+            ttl=rrsig_set.ttl,
+            rdatas=list(filtered),
+        )
+
+    def nsec3_records(self) -> list[tuple[Name, NSEC3]]:
+        out: list[tuple[Name, NSEC3]] = []
+        for (name, rdtype_value), rrset in self._rrsets.items():
+            if rdtype_value == int(RdataType.NSEC3):
+                for rd in rrset.rdatas:
+                    if isinstance(rd, NSEC3):
+                        out.append((name, rd))
+        return out
+
+    def nsec_records(self) -> list[tuple[Name, "NSEC"]]:
+        from ..dns.dnssec_records import NSEC
+
+        out = []
+        for (name, rdtype_value), rrset in self._rrsets.items():
+            if rdtype_value == int(RdataType.NSEC):
+                for rd in rrset.rdatas:
+                    if isinstance(rd, NSEC):
+                        out.append((name, rd))
+        return out
+
+    def _nsec_denial(self, qname: Name) -> list[RRset]:
+        """NSEC records (plus RRSIGs) for a plain-NSEC negative answer."""
+        from ..dnssec.nsec import nsec_covers, nsec_matches
+
+        records = self.nsec_records()
+        chosen: dict[Name, "NSEC"] = {}
+        for owner, rd in records:
+            if nsec_matches(owner, qname):  # NODATA: prove the type set
+                chosen[owner] = rd
+                break
+            if nsec_covers(owner, rd.next_name, qname, self.origin):
+                chosen[owner] = rd
+        # Wildcard non-existence: the apex (or covering) record suffices in
+        # this simplified model; include the apex NSEC for completeness.
+        for owner, rd in records:
+            if owner == self.origin:
+                chosen.setdefault(owner, rd)
+                break
+        out: list[RRset] = []
+        for owner, rd in chosen.items():
+            out.append(RRset.of(owner, RdataType.NSEC, rd, ttl=300))
+            sigs = self.rrsigs_for(owner, RdataType.NSEC)
+            if sigs is not None:
+                out.append(sigs)
+        return out
+
+    def denial_rrsets(self, qname: Name) -> list[RRset]:
+        """NSEC3 records (plus their RRSIGs) proving ``qname``'s absence.
+
+        Selection follows RFC 5155 section 7.2.1: match the closest
+        encloser, cover the next-closer name, cover the wildcard at the
+        closest encloser.  When the stored chain is damaged the selection
+        degrades exactly the way a misconfigured server's would: it
+        returns its best candidates and lets the validator reject them.
+        """
+        records = self.nsec3_records()
+        if not records:
+            return self._nsec_denial(qname)
+        params = (records[0][1].iterations, records[0][1].salt)
+        iterations, salt = params
+
+        chain = sorted(
+            records, key=lambda pair: pair[0].labels[0].lower()
+        )  # by hashed owner label
+
+        chosen: dict[Name, NSEC3] = {}
+
+        def pick_matching(target_hash: bytes) -> bool:
+            label = base32hex_encode(target_hash).lower().encode()
+            for owner, rd in chain:
+                if owner.labels[0].lower() == label:
+                    chosen[owner] = rd
+                    return True
+            return False
+
+        def pick_covering(target_hash: bytes) -> None:
+            for owner, rd in chain:
+                try:
+                    from ..dnssec.nsec3 import base32hex_decode
+
+                    owner_hash = base32hex_decode(owner.labels[0].decode())
+                except (ValueError, UnicodeDecodeError):
+                    continue
+                if hash_covers(owner_hash, rd.next_hash, target_hash):
+                    chosen[owner] = rd
+                    return
+            # Damaged chain: include the first record so the response is
+            # non-empty (mirrors servers that serve whatever they stored).
+            owner, rd = chain[0]
+            chosen.setdefault(owner, rd)
+
+        # closest encloser walk
+        current = qname
+        candidates: list[Name] = []
+        while True:
+            candidates.append(current)
+            if current == self.origin:
+                break
+            current = current.parent()
+        closest = self.origin
+        for candidate in candidates:
+            if self.name_exists(candidate):
+                closest = candidate
+                break
+        pick_matching(nsec3_hash(closest, salt, iterations))
+        if closest != qname:
+            index = candidates.index(closest)
+            next_closer = candidates[index - 1]
+            pick_covering(nsec3_hash(next_closer, salt, iterations))
+            wildcard = closest.prepend(b"*")
+            pick_covering(nsec3_hash(wildcard, salt, iterations))
+
+        out: list[RRset] = []
+        for owner, rd in chosen.items():
+            out.append(RRset.of(owner, RdataType.NSEC3, rd, ttl=300))
+            sigs = self.rrsigs_for(owner, RdataType.NSEC3)
+            if sigs is not None:
+                out.append(sigs)
+        return out
+
+    def __repr__(self) -> str:
+        return f"<Zone {self.origin} ({len(self._rrsets)} rrsets)>"

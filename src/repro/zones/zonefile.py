@@ -1,0 +1,360 @@
+"""Master-file (RFC 1035 section 5) parsing and serialization.
+
+Supports the subset real zone files use in practice: ``$ORIGIN`` and
+``$TTL`` directives, ``@`` and relative owner names, owner inheritance
+from the previous record, ``;`` comments, parenthesized multi-line
+records (SOA), quoted strings (TXT), optional TTL/class in either
+order, and the record types this library implements — including the
+DNSSEC types, so a signed zone round-trips through text.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+
+from ..dns.dnssec_records import DNSKEY, DS, NSEC3PARAM
+from ..dns.exceptions import DnsError
+from ..dns.name import Name
+from ..dns.rdata import A, AAAA, CAA, CNAME, MX, NS, PTR, SOA, SRV, TXT
+from ..dns.rrset import RRset
+from ..dns.types import RdataClass, RdataType
+from .zone import Zone
+
+
+class ZoneFileError(DnsError):
+    """A zone file could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+def _tokenize(text: str) -> list[list[str]]:
+    """Split into logical lines of tokens, honoring (), "" and ;."""
+    logical: list[list[str]] = []
+    current: list[str] = []
+    current_blank = False
+    depth = 0
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        if not current:
+            current_blank = raw[:1] in (" ", "\t")
+        index = 0
+        length = len(raw)
+        while index < length:
+            char = raw[index]
+            if char in " \t":
+                index += 1
+                continue
+            if char == ";":
+                break
+            if char == "(":
+                depth += 1
+                index += 1
+                continue
+            if char == ")":
+                depth -= 1
+                if depth < 0:
+                    raise ZoneFileError("unbalanced ')'", line_number)
+                index += 1
+                continue
+            if char == '"':
+                end = index + 1
+                chunk = []
+                while end < length and raw[end] != '"':
+                    if raw[end] == "\\" and end + 1 < length:
+                        chunk.append(raw[end + 1])
+                        end += 2
+                        continue
+                    chunk.append(raw[end])
+                    end += 1
+                if end >= length:
+                    raise ZoneFileError("unterminated string", line_number)
+                current.append('"' + "".join(chunk))
+                index = end + 1
+                continue
+            end = index
+            while end < length and raw[end] not in ' \t;()"':
+                end += 1
+            current.append(raw[index:end])
+            index = end
+        if depth == 0 and current:
+            # Preserve whether the logical line started with whitespace
+            # (owner inheritance) by prefixing a marker token.
+            logical.append((["\x00BLANK"] if current_blank else []) + current)
+            current = []
+    if depth != 0:
+        raise ZoneFileError("unbalanced '('")
+    if current:
+        logical.append(current)
+    return logical
+
+
+def _parse_ttl(token: str) -> int | None:
+    units = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+    if token.isdigit():
+        return int(token)
+    lowered = token.lower()
+    if lowered and lowered[-1] in units and lowered[:-1].isdigit():
+        return int(lowered[:-1]) * units[lowered[-1]]
+    return None
+
+
+@dataclass
+class _Context:
+    origin: Name | None
+    default_ttl: int
+    last_owner: Name | None
+    line: int = 0
+
+
+def _name(token: str, ctx: _Context) -> Name:
+    if ctx.origin is None and not token.endswith("."):
+        raise ZoneFileError("relative name without $ORIGIN", ctx.line)
+    return Name.from_text(token, origin=ctx.origin)
+
+
+def _unquote(token: str) -> str:
+    return token[1:] if token.startswith('"') else token
+
+
+_RDATA_PARSERS = {}
+
+
+def _rdata_parser(rdtype):
+    def install(fn):
+        _RDATA_PARSERS[rdtype] = fn
+        return fn
+
+    return install
+
+
+@_rdata_parser(RdataType.A)
+def _parse_a(tokens, ctx):
+    return A(address=tokens[0])
+
+
+@_rdata_parser(RdataType.AAAA)
+def _parse_aaaa(tokens, ctx):
+    return AAAA(address=tokens[0])
+
+
+@_rdata_parser(RdataType.NS)
+def _parse_ns(tokens, ctx):
+    return NS(target=_name(tokens[0], ctx))
+
+
+@_rdata_parser(RdataType.CNAME)
+def _parse_cname(tokens, ctx):
+    return CNAME(target=_name(tokens[0], ctx))
+
+
+@_rdata_parser(RdataType.PTR)
+def _parse_ptr(tokens, ctx):
+    return PTR(target=_name(tokens[0], ctx))
+
+
+@_rdata_parser(RdataType.MX)
+def _parse_mx(tokens, ctx):
+    return MX(preference=int(tokens[0]), exchange=_name(tokens[1], ctx))
+
+
+@_rdata_parser(RdataType.TXT)
+def _parse_txt(tokens, ctx):
+    return TXT(strings=tuple(_unquote(t).encode() for t in tokens))
+
+
+@_rdata_parser(RdataType.SRV)
+def _parse_srv(tokens, ctx):
+    return SRV(
+        priority=int(tokens[0]), weight=int(tokens[1]),
+        port=int(tokens[2]), target=_name(tokens[3], ctx),
+    )
+
+
+@_rdata_parser(RdataType.CAA)
+def _parse_caa(tokens, ctx):
+    return CAA(flags=int(tokens[0]), tag=tokens[1].encode(),
+               value=_unquote(tokens[2]).encode())
+
+
+@_rdata_parser(RdataType.SOA)
+def _parse_soa(tokens, ctx):
+    if len(tokens) != 7:
+        raise ZoneFileError(f"SOA needs 7 fields, got {len(tokens)}", ctx.line)
+    return SOA(
+        mname=_name(tokens[0], ctx),
+        rname=_name(tokens[1], ctx),
+        serial=int(tokens[2]),
+        refresh=_parse_ttl(tokens[3]) or int(tokens[3]),
+        retry=_parse_ttl(tokens[4]) or int(tokens[4]),
+        expire=_parse_ttl(tokens[5]) or int(tokens[5]),
+        minimum=_parse_ttl(tokens[6]) or int(tokens[6]),
+    )
+
+
+@_rdata_parser(RdataType.DS)
+def _parse_ds(tokens, ctx):
+    return DS(
+        key_tag=int(tokens[0]), algorithm=int(tokens[1]),
+        digest_type=int(tokens[2]), digest=bytes.fromhex("".join(tokens[3:])),
+    )
+
+
+@_rdata_parser(RdataType.DNSKEY)
+def _parse_dnskey(tokens, ctx):
+    return DNSKEY(
+        flags=int(tokens[0]), protocol=int(tokens[1]),
+        algorithm=int(tokens[2]),
+        key=base64.b64decode("".join(tokens[3:])),
+    )
+
+
+@_rdata_parser(RdataType.NSEC3PARAM)
+def _parse_nsec3param(tokens, ctx):
+    salt = b"" if tokens[3] == "-" else bytes.fromhex(tokens[3])
+    return NSEC3PARAM(
+        hash_algorithm=int(tokens[0]), flags=int(tokens[1]),
+        iterations=int(tokens[2]), salt=salt,
+    )
+
+
+@_rdata_parser(RdataType.RRSIG)
+def _parse_rrsig(tokens, ctx):
+    from ..dns.dnssec_records import RRSIG
+
+    return RRSIG(
+        type_covered=RdataType.make(tokens[0]),
+        algorithm=int(tokens[1]),
+        labels=int(tokens[2]),
+        original_ttl=int(tokens[3]),
+        expiration=int(tokens[4]),
+        inception=int(tokens[5]),
+        key_tag=int(tokens[6]),
+        signer=_name(tokens[7], ctx),
+        signature=base64.b64decode("".join(tokens[8:])),
+    )
+
+
+@_rdata_parser(RdataType.NSEC3)
+def _parse_nsec3(tokens, ctx):
+    from ..dns.dnssec_records import NSEC3
+    from ..dnssec.nsec3 import base32hex_decode
+
+    salt = b"" if tokens[3] == "-" else bytes.fromhex(tokens[3])
+    types = []
+    for token in tokens[5:]:
+        types.append(int(RdataType.make(token)))
+    return NSEC3(
+        hash_algorithm=int(tokens[0]),
+        flags=int(tokens[1]),
+        iterations=int(tokens[2]),
+        salt=salt,
+        next_hash=base32hex_decode(tokens[4]),
+        types=tuple(types),
+    )
+
+
+def parse_zone(text: str, origin: Name | str | None = None) -> Zone:
+    """Parse master-file ``text`` into a :class:`Zone`.
+
+    The zone origin comes from ``origin`` or the first ``$ORIGIN``
+    directive; the apex is taken from the SOA owner when present.
+    """
+    if isinstance(origin, str):
+        origin = Name.from_text(origin)
+    ctx = _Context(origin=origin, default_ttl=300, last_owner=None)
+    records: list[RRset] = []
+    apex: Name | None = None
+
+    for tokens in _tokenize(text):
+        ctx.line += 1
+        inherited = tokens and tokens[0] == "\x00BLANK"
+        if inherited:
+            tokens = tokens[1:]
+        if not tokens:
+            continue
+        directive = tokens[0].upper()
+        if directive == "$ORIGIN":
+            ctx.origin = Name.from_text(tokens[1])
+            continue
+        if directive == "$TTL":
+            ttl = _parse_ttl(tokens[1])
+            if ttl is None:
+                raise ZoneFileError(f"bad $TTL {tokens[1]!r}", ctx.line)
+            ctx.default_ttl = ttl
+            continue
+        if directive.startswith("$"):
+            raise ZoneFileError(f"unsupported directive {tokens[0]}", ctx.line)
+
+        if inherited:
+            owner = ctx.last_owner
+            if owner is None:
+                raise ZoneFileError("record without an owner", ctx.line)
+        else:
+            owner = _name(tokens[0], ctx)
+            tokens = tokens[1:]
+        ctx.last_owner = owner
+
+        ttl = ctx.default_ttl
+        rdclass = RdataClass.IN
+        rdtype: RdataType | None = None
+        while tokens:
+            token = tokens[0]
+            maybe_ttl = _parse_ttl(token)
+            if maybe_ttl is not None:
+                ttl = maybe_ttl
+                tokens = tokens[1:]
+                continue
+            if token.upper() in ("IN", "CH", "HS"):
+                rdclass = RdataClass[token.upper()]
+                tokens = tokens[1:]
+                continue
+            try:
+                rdtype = RdataType.make(token)
+            except (KeyError, ValueError):
+                raise ZoneFileError(f"unknown record type {token!r}", ctx.line)
+            tokens = tokens[1:]
+            break
+        if rdtype is None:
+            raise ZoneFileError("missing record type", ctx.line)
+        parser = _RDATA_PARSERS.get(rdtype)
+        if parser is None:
+            raise ZoneFileError(f"type {rdtype} not supported in zone files", ctx.line)
+        try:
+            rdata = parser(tokens, ctx)
+        except (IndexError, ValueError) as exc:
+            raise ZoneFileError(f"bad {rdtype} rdata: {exc}", ctx.line) from exc
+        records.append(RRset.of(owner, rdtype, rdata, ttl=ttl, rdclass=rdclass))
+        if rdtype == RdataType.SOA and apex is None:
+            apex = owner
+
+    zone_origin = apex or ctx.origin
+    if zone_origin is None:
+        raise ZoneFileError("cannot determine the zone origin (no SOA, no $ORIGIN)")
+    zone = Zone(zone_origin)
+    for rrset in records:
+        zone.add(rrset)
+    return zone
+
+
+def write_zone(zone: Zone, relativize: bool = True) -> str:
+    """Serialize ``zone`` to master-file text (parse_zone round-trips it)."""
+    lines = [f"$ORIGIN {zone.origin}", "$TTL 300", ""]
+    rrsets = sorted(
+        zone.all_rrsets(), key=lambda r: (r.name, int(r.rdtype) != int(RdataType.SOA), int(r.rdtype))
+    )
+    for rrset in rrsets:
+        owner: str
+        if relativize and rrset.name == zone.origin:
+            owner = "@"
+        elif relativize and rrset.name.is_strict_subdomain_of(zone.origin):
+            owner = str(rrset.name.relativize(zone.origin))
+        else:
+            owner = str(rrset.name)
+        for rdata in rrset.rdatas:
+            lines.append(
+                f"{owner} {rrset.ttl} {rrset.rdclass} {RdataType(int(rrset.rdtype)).name}"
+                f" {rdata.to_text()}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,64 @@
+"""Multi-vendor wild-scan comparison (the paper's implied follow-up)."""
+
+import pytest
+
+from repro.scan.comparison import compare_vendors
+from repro.scan.population import Profile
+
+
+@pytest.fixture(scope="module")
+def comparison(small_wild, small_population):
+    # A deterministic sample: everything misconfigured plus some valid.
+    misconfigured = [
+        d for d in small_population.domains
+        if Profile(d.profile) not in (Profile.VALID_UNSIGNED, Profile.VALID_SIGNED)
+    ]
+    valid = [
+        d for d in small_population.domains
+        if Profile(d.profile) is Profile.VALID_UNSIGNED
+    ][:100]
+    return compare_vendors(small_wild, misconfigured + valid)
+
+
+class TestVendorComparison:
+    def test_all_seven_vendors_summarized(self, comparison):
+        assert len(comparison.summaries) == 7
+
+    def test_cloudflare_detects_most(self, comparison):
+        """The paper chose Cloudflare for the scan because it is the most
+        expressive — our comparison must reach the same verdict."""
+        assert comparison.richest_vendor() == "cloudflare"
+        rates = {name: comparison.detection_rate(name) for name in comparison.summaries}
+        assert rates["cloudflare"] == max(rates.values())
+
+    def test_cloudflare_detection_near_total(self, comparison):
+        assert comparison.detection_rate("cloudflare") > 0.95
+
+    def test_bind_detects_nothing_dnssec(self, comparison):
+        """BIND (no DNSSEC/transport EDE) misses nearly everything —
+        at most stale answers would surface."""
+        assert comparison.detection_rate("bind") < 0.05
+
+    def test_lame_delegation_invisible_without_codes_22_23(self, comparison):
+        """Vendors without transport codes cannot see the paper's largest
+        category at all."""
+        unbound = comparison.summaries["unbound"]
+        assert 22 not in unbound.codes
+        assert 23 not in unbound.codes
+        cloudflare = comparison.summaries["cloudflare"]
+        assert cloudflare.codes.get(22, 0) > 0
+
+    def test_servfail_counts_agree_across_validators(self, comparison):
+        """RCODEs are consistent even where EDE codes differ (paper 3.3:
+        differences are specificity, not correctness)."""
+        servfails = {
+            name: summary.servfail
+            for name, summary in comparison.summaries.items()
+        }
+        assert len(set(servfails.values())) == 1, servfails
+
+    def test_rows_sorted_by_detection(self, comparison):
+        rows = comparison.rows()
+        rates = [rate for _, _, rate, _ in rows]
+        assert rates == sorted(rates, reverse=True)
+        assert rows[0][0] == "cloudflare"

@@ -1,0 +1,166 @@
+"""DNSSEC record types: DNSKEY/DS/RRSIG/NSEC3 wire forms and type bitmaps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.dnssec_records import (
+    DNSKEY,
+    DS,
+    NSEC,
+    NSEC3,
+    NSEC3PARAM,
+    RRSIG,
+    SEP_FLAG,
+    ZONE_KEY_FLAG,
+    decode_type_bitmap,
+    encode_type_bitmap,
+)
+from repro.dns.exceptions import FormError
+from repro.dns.name import Name
+from repro.dns.rdata import Rdata
+from repro.dns.types import RdataType
+
+
+class TestTypeBitmap:
+    def test_single_type(self):
+        assert decode_type_bitmap(encode_type_bitmap([RdataType.A])) == (1,)
+
+    def test_rfc4034_example_shape(self):
+        # A MX RRSIG NSEC TYPE1234 is the canonical RFC example.
+        types = (1, 15, 46, 47, 1234)
+        encoded = encode_type_bitmap(types)
+        assert decode_type_bitmap(encoded) == types
+        # Two windows: 0 and 4.
+        assert encoded[0] == 0
+        assert 4 in encoded[encoded[1] + 2 :]
+
+    def test_empty_bitmap(self):
+        assert encode_type_bitmap([]) == b""
+        assert decode_type_bitmap(b"") == ()
+
+    def test_deduplicates_and_sorts(self):
+        assert decode_type_bitmap(encode_type_bitmap([46, 1, 46, 2])) == (1, 2, 46)
+
+    def test_high_types(self):
+        types = (257, 0x8000, 0xFFFF)
+        assert decode_type_bitmap(encode_type_bitmap(types)) == types
+
+    def test_truncated_window_rejected(self):
+        with pytest.raises(FormError):
+            decode_type_bitmap(b"\x00")
+
+    def test_bad_window_length_rejected(self):
+        with pytest.raises(FormError):
+            decode_type_bitmap(b"\x00\x00")
+
+    @given(st.sets(st.integers(min_value=0, max_value=0xFFFF), min_size=0, max_size=30))
+    def test_property_round_trip(self, types):
+        assert decode_type_bitmap(encode_type_bitmap(types)) == tuple(sorted(types))
+
+
+class TestDnskey:
+    def test_round_trip(self):
+        rdata = DNSKEY(flags=257, protocol=3, algorithm=8, key=b"\x03\x01\x00abc")
+        wire = rdata.to_wire()
+        assert Rdata.from_wire(RdataType.DNSKEY, wire) == rdata
+
+    def test_flags_semantics(self):
+        zsk = DNSKEY(flags=ZONE_KEY_FLAG, algorithm=8, key=b"k")
+        ksk = DNSKEY(flags=ZONE_KEY_FLAG | SEP_FLAG, algorithm=8, key=b"k")
+        assert zsk.is_zone_key and not zsk.is_sep
+        assert ksk.is_zone_key and ksk.is_sep
+
+    def test_key_tag_is_stable(self):
+        rdata = DNSKEY(flags=256, algorithm=8, key=b"some key material")
+        assert rdata.key_tag() == rdata.key_tag()
+
+    def test_key_tag_changes_with_flags(self):
+        a = DNSKEY(flags=256, algorithm=8, key=b"same")
+        b = DNSKEY(flags=257, algorithm=8, key=b"same")
+        assert a.key_tag() != b.key_tag()
+
+    def test_key_tag_range(self):
+        rdata = DNSKEY(flags=257, algorithm=13, key=bytes(range(64)))
+        assert 0 <= rdata.key_tag() <= 0xFFFF
+
+    def test_short_rdata_rejected(self):
+        with pytest.raises(FormError):
+            Rdata.from_wire(RdataType.DNSKEY, b"\x01\x01\x03")
+
+    def test_text_contains_base64(self):
+        rdata = DNSKEY(flags=256, algorithm=8, key=b"\x00\x01")
+        assert rdata.to_text().startswith("256 3 8 ")
+
+
+class TestDs:
+    def test_round_trip(self):
+        rdata = DS(key_tag=12345, algorithm=8, digest_type=2, digest=b"\xaa" * 32)
+        assert Rdata.from_wire(RdataType.DS, rdata.to_wire()) == rdata
+
+    def test_text_hex_upper(self):
+        rdata = DS(key_tag=1, algorithm=8, digest_type=2, digest=b"\xab")
+        assert rdata.to_text() == "1 8 2 AB"
+
+
+class TestRrsig:
+    def _sig(self) -> RRSIG:
+        return RRSIG(
+            type_covered=RdataType.A,
+            algorithm=8,
+            labels=2,
+            original_ttl=300,
+            expiration=1_700_000_000,
+            inception=1_690_000_000,
+            key_tag=4711,
+            signer=Name.from_text("example.com."),
+            signature=b"\x01" * 128,
+        )
+
+    def test_round_trip(self):
+        rdata = self._sig()
+        assert Rdata.from_wire(RdataType.RRSIG, rdata.to_wire()) == rdata
+
+    def test_rdata_without_signature_prefix(self):
+        rdata = self._sig()
+        prefix = rdata.rdata_without_signature()
+        assert rdata.to_wire(canonical=True).startswith(prefix)
+        assert not prefix.endswith(rdata.signature)
+
+    def test_signer_never_compressed_and_lowercased_in_canonical(self):
+        rdata = RRSIG(
+            type_covered=RdataType.A,
+            signer=Name.from_text("EXAMPLE.com."),
+            signature=b"s",
+        )
+        assert b"example" in rdata.to_wire(canonical=True)
+
+
+class TestNsec3:
+    def test_round_trip(self):
+        rdata = NSEC3(
+            hash_algorithm=1,
+            flags=1,
+            iterations=10,
+            salt=b"\xab\xcd",
+            next_hash=b"\x01" * 20,
+            types=(1, 2, 46),
+        )
+        assert Rdata.from_wire(RdataType.NSEC3, rdata.to_wire()) == rdata
+
+    def test_opt_out_flag(self):
+        assert NSEC3(flags=1).opt_out
+        assert not NSEC3(flags=0).opt_out
+
+    def test_empty_salt(self):
+        rdata = NSEC3(salt=b"", next_hash=b"\x02" * 20, types=(1,))
+        decoded = Rdata.from_wire(RdataType.NSEC3, rdata.to_wire())
+        assert decoded.salt == b""
+        assert "-" in decoded.to_text()
+
+    def test_nsec3param_round_trip(self):
+        rdata = NSEC3PARAM(hash_algorithm=1, flags=0, iterations=200, salt=b"\x01")
+        assert Rdata.from_wire(RdataType.NSEC3PARAM, rdata.to_wire()) == rdata
+
+    def test_nsec_round_trip(self):
+        rdata = NSEC(next_name=Name.from_text("b.example.com."), types=(1, 46, 47))
+        assert Rdata.from_wire(RdataType.NSEC, rdata.to_wire()) == rdata

@@ -1,0 +1,146 @@
+"""The RFC 8914 EDE option and the IANA registry (paper Table 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.ede import (
+    EDE_CATEGORIES,
+    EDE_DESCRIPTIONS,
+    EdeCategory,
+    EdeCode,
+    ExtendedError,
+    POST_RFC_CODES,
+    RFC8914_CODES,
+    describe,
+)
+from repro.dns.edns import EdnsOption, OptionCode
+from repro.dns.exceptions import OptionError
+
+
+class TestRegistry:
+    def test_thirty_codes_registered(self):
+        assert len(EDE_DESCRIPTIONS) == 30
+
+    def test_rfc_codes_are_first_25(self):
+        assert RFC8914_CODES == frozenset(EdeCode(code) for code in range(25))
+
+    def test_post_rfc_codes(self):
+        assert POST_RFC_CODES == frozenset(EdeCode(code) for code in range(25, 30))
+
+    @pytest.mark.parametrize(
+        "code,text",
+        [
+            (0, "Other"),
+            (1, "Unsupported DNSKEY Algorithm"),
+            (2, "Unsupported DS Digest Type"),
+            (3, "Stale Answer"),
+            (4, "Forged Answer"),
+            (5, "DNSSEC Indeterminate"),
+            (6, "DNSSEC Bogus"),
+            (7, "Signature Expired"),
+            (8, "Signature Not Yet Valid"),
+            (9, "DNSKEY Missing"),
+            (10, "RRSIGs Missing"),
+            (11, "No Zone Key Bit Set"),
+            (12, "NSEC Missing"),
+            (13, "Cached Error"),
+            (14, "Not Ready"),
+            (15, "Blocked"),
+            (16, "Censored"),
+            (17, "Filtered"),
+            (18, "Prohibited"),
+            (19, "Stale NXDOMAIN Answer"),
+            (20, "Not Authoritative"),
+            (21, "Not Supported"),
+            (22, "No Reachable Authority"),
+            (23, "Network Error"),
+            (24, "Invalid Data"),
+            (25, "Signature Expired before Valid"),
+            (26, "Too Early"),
+            (27, "Unsupported NSEC3 Iter. Value"),
+            (28, "Unable to conform to policy"),
+            (29, "Synthesized"),
+        ],
+    )
+    def test_table1_descriptions(self, code, text):
+        assert describe(code) == text
+
+    def test_unassigned_description(self):
+        assert "Unassigned" in describe(4711)
+
+    def test_paper_category_taxonomy(self):
+        dnssec = {c for c, cat in EDE_CATEGORIES.items() if cat == EdeCategory.DNSSEC_VALIDATION}
+        assert dnssec == {EdeCode(c) for c in (1, 2, 5, 6, 7, 8, 9, 10, 11, 12, 25, 27)}
+        caching = {c for c, cat in EDE_CATEGORIES.items() if cat == EdeCategory.CACHING}
+        assert caching == {EdeCode(c) for c in (3, 13, 19, 29)}
+        policy = {c for c, cat in EDE_CATEGORIES.items() if cat == EdeCategory.RESOLVER_POLICY}
+        assert policy == {EdeCode(c) for c in (4, 15, 16, 17, 18, 20)}
+        software = {c for c, cat in EDE_CATEGORIES.items() if cat == EdeCategory.SOFTWARE_OPERATION}
+        assert software == {EdeCode(c) for c in (14, 21, 22, 23)}
+
+    def test_every_code_categorized(self):
+        assert set(EDE_CATEGORIES) == set(EDE_DESCRIPTIONS)
+
+
+class TestOption:
+    def test_option_code_is_15(self):
+        assert ExtendedError.make(6).code == 15 == OptionCode.EDE
+
+    def test_wire_data_layout(self):
+        option = ExtendedError.make(EdeCode.DNSSEC_BOGUS, "hi")
+        assert option.to_wire_data() == b"\x00\x06hi"
+
+    def test_round_trip(self):
+        option = ExtendedError.make(23, "1.2.3.4:53 rcode=REFUSED")
+        decoded = ExtendedError.from_wire_data(option.to_wire_data())
+        assert decoded.info_code == 23
+        assert decoded.extra_text == "1.2.3.4:53 rcode=REFUSED"
+
+    def test_empty_extra_text(self):
+        decoded = ExtendedError.from_wire_data(b"\x00\x09")
+        assert decoded.info_code == 9
+        assert decoded.extra_text == ""
+
+    def test_trailing_nul_stripped(self):
+        decoded = ExtendedError.from_wire_data(b"\x00\x03stale\x00")
+        assert decoded.extra_text == "stale"
+
+    def test_invalid_utf8_replaced(self):
+        decoded = ExtendedError.from_wire_data(b"\x00\x00\xff\xfe")
+        assert decoded.info_code == 0
+        assert "�" in decoded.extra_text
+
+    def test_too_short_rejected(self):
+        with pytest.raises(OptionError):
+            ExtendedError.from_wire_data(b"\x01")
+
+    def test_unassigned_code_round_trips(self):
+        option = ExtendedError.make(49152)
+        decoded = ExtendedError.from_wire_data(option.to_wire_data())
+        assert decoded.info_code == 49152
+        assert decoded.known_code is None
+
+    def test_known_code_enum(self):
+        assert ExtendedError.make(6).known_code is EdeCode.DNSSEC_BOGUS
+
+    def test_category_property(self):
+        assert ExtendedError.make(6).category == EdeCategory.DNSSEC_VALIDATION
+        assert ExtendedError.make(3).category == EdeCategory.CACHING
+
+    def test_registered_with_edns_parser(self):
+        option = EdnsOption.parse(OptionCode.EDE, b"\x00\x16")
+        assert isinstance(option, ExtendedError)
+        assert option.info_code == 22
+
+    def test_str_rendering(self):
+        assert "DNSSEC Bogus" in str(ExtendedError.make(6))
+        assert "detail" in str(ExtendedError.make(6, "detail"))
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.text(max_size=80).filter(lambda t: not t.endswith("\x00")),
+    )
+    def test_property_round_trip(self, code, text):
+        option = ExtendedError.make(code, text)
+        decoded = ExtendedError.from_wire_data(option.to_wire_data())
+        assert (decoded.info_code, decoded.extra_text) == (code, text)

@@ -1,0 +1,173 @@
+"""EDE policy mechanics: mapping, dedup, caps, EXTRA-TEXT rendering."""
+
+from repro.dns.name import Name
+from repro.dnssec.trace import (
+    EventRecord,
+    FailureReason,
+    ResolutionEvent,
+    ResolutionOutcome,
+    Role,
+    ValidationTrace,
+)
+from repro.resolver.ede_policy import EdeEmission, EdePolicy
+from repro.resolver.profiles import (
+    ALL_PROFILES,
+    BIND,
+    CLOUDFLARE,
+    KNOT,
+    OPENDNS,
+    PROFILES_BY_NAME,
+    UNBOUND,
+    get_profile,
+)
+
+QNAME = Name.from_text("broken.test.")
+
+
+def outcome_with_reason(reason, **extra):
+    outcome = ResolutionOutcome()
+    outcome.validation = ValidationTrace.bogus(reason, Role.LEAF, **extra)
+    return outcome
+
+
+def outcome_with_events(*events):
+    outcome = ResolutionOutcome()
+    outcome.events = [
+        EventRecord(event, server="192.0.2.5:53", qname=QNAME, rdtype="A",
+                    detail="rcode=REFUSED" if event is ResolutionEvent.SERVER_REFUSED else "")
+        for event in events
+    ]
+    return outcome
+
+
+class TestMapping:
+    def test_reason_mapping(self):
+        policy = EdePolicy(name="t", reason_codes={FailureReason.ZSK_MISSING: (9,)})
+        assert [e.code for e in policy.emissions(outcome_with_reason(FailureReason.ZSK_MISSING))] == [9]
+
+    def test_unmapped_reason_is_silent(self):
+        policy = EdePolicy(name="t", reason_codes={})
+        assert policy.emissions(outcome_with_reason(FailureReason.ZSK_MISSING)) == []
+
+    def test_event_mapping(self):
+        policy = EdePolicy(name="t", event_codes={ResolutionEvent.SERVER_REFUSED: (23,)})
+        emissions = policy.emissions(outcome_with_events(ResolutionEvent.SERVER_REFUSED))
+        assert [e.code for e in emissions] == [23]
+
+    def test_no_reachable_authority_flag(self):
+        policy = EdePolicy(name="t", emit_no_reachable_authority=True)
+        emissions = policy.emissions(outcome_with_events(ResolutionEvent.ALL_SERVERS_FAILED))
+        assert [e.code for e in emissions] == [22]
+
+    def test_dedup_same_code_and_text(self):
+        policy = EdePolicy(name="t", event_codes={ResolutionEvent.SERVER_TIMEOUT: (23,)})
+        outcome = outcome_with_events(
+            ResolutionEvent.SERVER_TIMEOUT, ResolutionEvent.SERVER_TIMEOUT
+        )
+        assert len(policy.emissions(outcome)) == 1
+
+    def test_max_options_cap(self):
+        policy = EdePolicy(
+            name="t",
+            event_codes={ResolutionEvent.SERVER_REFUSED: (23,)},
+            verbose_extra_text=True,
+            max_options=2,
+        )
+        outcome = ResolutionOutcome()
+        outcome.events = [
+            EventRecord(ResolutionEvent.SERVER_REFUSED, server=f"192.0.2.{i}:53",
+                        qname=QNAME, rdtype="A", detail="rcode=REFUSED")
+            for i in range(10)
+        ]
+        assert len(policy.emissions(outcome)) == 2
+
+    def test_warning_mapping(self):
+        policy = EdePolicy(
+            name="t", reason_codes={FailureReason.STANDBY_KSK_UNSIGNED: (10,)}
+        )
+        outcome = ResolutionOutcome()
+        outcome.validation = ValidationTrace.secure()
+        outcome.validation.warnings.append(FailureReason.STANDBY_KSK_UNSIGNED)
+        assert [e.code for e in policy.emissions(outcome)] == [10]
+
+
+class TestExtraText:
+    def test_cloudflare_network_error_text(self):
+        outcome = outcome_with_events(ResolutionEvent.SERVER_REFUSED)
+        emissions = CLOUDFLARE.policy.emissions(outcome)
+        network = [e for e in emissions if e.code == 23]
+        assert network
+        assert network[0].extra_text == "192.0.2.5:53 rcode=REFUSED for broken.test. A"
+
+    def test_cloudflare_mismatched_question_text(self):
+        outcome = outcome_with_events(ResolutionEvent.MISMATCHED_QUESTION)
+        emissions = CLOUDFLARE.policy.emissions(outcome)
+        assert emissions[0].code == 24
+        assert (
+            emissions[0].extra_text
+            == "Mismatched question from the authoritative server 192.0.2.5"
+        )
+
+    def test_cloudflare_key_size_text(self):
+        outcome = ResolutionOutcome()
+        outcome.validation = ValidationTrace.insecure(
+            FailureReason.KEY_SIZE_UNSUPPORTED, key_size=512, detail="unsupported key size"
+        )
+        emissions = CLOUDFLARE.policy.emissions(outcome)
+        assert emissions[0].code == 1
+        assert emissions[0].extra_text == "unsupported key size"
+
+    def test_knot_other_text(self):
+        outcome = ResolutionOutcome()
+        outcome.validation = ValidationTrace.insecure(FailureReason.ALGO_DEPRECATED)
+        emissions = KNOT.policy.emissions(outcome)
+        assert emissions[0].code == 0
+        assert emissions[0].extra_text == "LSLC: unsupported digest/key"
+
+    def test_sparse_vendors_emit_no_text(self):
+        outcome = outcome_with_reason(FailureReason.ZSK_MISSING)
+        for emission in UNBOUND.policy.emissions(outcome):
+            assert emission.extra_text == ""
+
+
+class TestProfiles:
+    def test_seven_profiles(self):
+        assert len(ALL_PROFILES) == 7
+
+    def test_profile_names(self):
+        assert set(PROFILES_BY_NAME) == {
+            "bind", "unbound", "powerdns", "knot", "cloudflare", "quad9", "opendns",
+        }
+
+    def test_get_profile(self):
+        assert get_profile("CLOUDFLARE") is CLOUDFLARE
+        import pytest
+
+        with pytest.raises(KeyError):
+            get_profile("google")
+
+    def test_bind_has_no_dnssec_mappings(self):
+        assert BIND.policy.reason_codes == {}
+
+    def test_cloudflare_is_richest(self):
+        sizes = {p.policy.name: len(p.policy.reason_codes) for p in ALL_PROFILES}
+        assert max(sizes, key=sizes.get) == "cloudflare"
+
+    def test_opendns_refused_quirk(self):
+        assert OPENDNS.policy.event_codes[ResolutionEvent.SERVER_REFUSED] == (18,)
+
+    def test_cloudflare_lacks_ed448(self):
+        from repro.dnssec.algorithms import Algorithm
+
+        assert Algorithm.ED448 not in CLOUDFLARE.validator.supported_algorithms
+        assert CLOUDFLARE.validator.min_rsa_bits == 1024
+
+    def test_others_support_ed448(self):
+        from repro.dnssec.algorithms import Algorithm
+
+        for profile in (UNBOUND, KNOT):
+            assert Algorithm.ED448 in profile.validator.supported_algorithms
+
+    def test_emission_value_object(self):
+        emission = EdeEmission(code=9, extra_text="x")
+        assert emission.key() == (9, "x")

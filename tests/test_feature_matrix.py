@@ -1,0 +1,84 @@
+"""Cross-feature invariance: Table 4 results survive engine options.
+
+QNAME minimization, tiny UDP payloads (forcing TCP fallback), and
+forwarder relaying are orthogonal transports — none of them may change
+which EDE codes come out. These tests re-run a slice of the matrix
+under each option and compare to the published table.
+"""
+
+import pytest
+
+from repro.dns.types import RdataType
+from repro.resolver.forwarder import ForwardingResolver
+from repro.resolver.iterative import EngineConfig
+from repro.resolver.profiles import CLOUDFLARE, UNBOUND
+from repro.resolver.recursive import RecursiveResolver
+from repro.testbed.expected import EXPECTED_TABLE4
+
+#: A slice covering every misconfiguration family.
+SLICE = [
+    "valid", "no-ds", "ds-bad-tag", "ds-bogus-digest-value",
+    "rrsig-exp-all", "rrsig-no-a", "nsec3-rrsig-missing",
+    "no-zsk", "no-dnskey-256-257", "v6-localhost", "v4-private-10",
+    "unsigned", "rsamd5", "allow-query-none",
+]
+
+
+def run_slice(testbed, profile, engine_config=None):
+    resolver = RecursiveResolver(
+        fabric=testbed.fabric, profile=profile,
+        root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+        engine_config=engine_config,
+    )
+    results = {}
+    for label in SLICE:
+        deployed = testbed.cases[label]
+        response = resolver.resolve(deployed.query_name, RdataType.A)
+        results[label] = tuple(sorted(response.ede_codes))
+    return results
+
+
+def expected_slice(profile_name):
+    return {
+        label: tuple(sorted(EXPECTED_TABLE4[label][profile_name]))
+        for label in SLICE
+    }
+
+
+class TestTransportInvariance:
+    @pytest.mark.parametrize("profile", [CLOUDFLARE, UNBOUND], ids=["cf", "unbound"])
+    def test_qname_minimization_does_not_change_codes(self, testbed, profile):
+        results = run_slice(
+            testbed, profile, EngineConfig(qname_minimization=True)
+        )
+        assert results == expected_slice(profile.policy.name)
+
+    @pytest.mark.parametrize("profile", [CLOUDFLARE, UNBOUND], ids=["cf", "unbound"])
+    def test_small_payload_does_not_change_codes(self, testbed, profile):
+        """512-byte payloads force TC + TCP retries for DNSKEY fetches."""
+        results = run_slice(testbed, profile, EngineConfig(payload=512))
+        assert results == expected_slice(profile.policy.name)
+
+    def test_combined_options(self, testbed):
+        results = run_slice(
+            testbed, CLOUDFLARE,
+            EngineConfig(qname_minimization=True, payload=512, retries=2),
+        )
+        assert results == expected_slice("cloudflare")
+
+    def test_forwarder_relays_slice_faithfully(self, testbed):
+        upstream = RecursiveResolver(
+            fabric=testbed.fabric, profile=CLOUDFLARE,
+            root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+        )
+        address = "192.0.9.180"
+        try:
+            testbed.fabric.register(address, upstream)
+        except Exception:
+            pass
+        forwarder = ForwardingResolver(fabric=testbed.fabric, upstreams=[address])
+        expected = expected_slice("cloudflare")
+        for label in SLICE:
+            deployed = testbed.cases[label]
+            response = forwarder.resolve(deployed.query_name, RdataType.A)
+            assert tuple(sorted(response.ede_codes)) == expected[label], label

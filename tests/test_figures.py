@@ -1,0 +1,59 @@
+"""Figure series builders and CSV export."""
+
+import pytest
+
+from repro.scan.figures import (
+    FigureSeries,
+    figure1_series,
+    figure2_series,
+    series_to_csv,
+    write_figure_csvs,
+)
+
+
+class TestFigure1:
+    def test_two_series(self, small_scan, small_population):
+        gtld, cctld = figure1_series(small_scan, small_population)
+        assert gtld.label == "gTLDs" and cctld.label == "ccTLDs"
+        assert gtld.points and cctld.points
+
+    def test_cdf_shape(self, small_scan, small_population):
+        gtld, _ = figure1_series(small_scan, small_population)
+        ys = [y for _, y in gtld.points]
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+        xs = [x for x, _ in gtld.points]
+        assert all(0.0 <= x <= 100.0 for x in xs)
+
+    def test_fully_broken_tlds_at_100(self, small_scan, small_population):
+        gtld, _ = figure1_series(small_scan, small_population)
+        assert any(x == pytest.approx(100.0) for x, _ in gtld.points)
+
+
+class TestFigure2:
+    def test_series(self, small_scan):
+        series = figure2_series(small_scan)
+        ys = [y for _, y in series.points]
+        assert ys == sorted(ys)
+
+    def test_x_in_rank_units(self, small_scan):
+        series = figure2_series(small_scan)
+        if series.points:
+            assert max(x for x, _ in series.points) >= 1
+
+
+class TestCsv:
+    def test_csv_format(self):
+        series = FigureSeries(label="demo", points=[(1.0, 0.5), (2.0, 1.0)])
+        text = series_to_csv(series)
+        lines = text.splitlines()
+        assert lines[0] == "series,x,y"
+        assert lines[1] == "demo,1,0.5"
+
+    def test_write_files(self, small_scan, small_population, tmp_path):
+        paths = write_figure_csvs(small_scan, small_population, tmp_path / "figs")
+        assert len(paths) == 2
+        for path in paths:
+            content = open(path).read()
+            assert content.startswith("series,x,y")
+            assert len(content.splitlines()) > 1

@@ -1,0 +1,132 @@
+"""Forwarding resolver: EDE forwarding/annotation/generation (RFC 8914)."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.resolver.forwarder import ForwardingResolver
+from repro.resolver.policy import LocalPolicy, PolicyAction
+from repro.resolver.profiles import CLOUDFLARE
+from repro.resolver.recursive import RecursiveResolver
+
+UPSTREAM_IP = "192.0.9.100"
+BACKUP_IP = "192.0.9.101"
+
+
+@pytest.fixture()
+def upstream(testbed):
+    """A Cloudflare-profile recursive resolver hosted on the testbed fabric."""
+    resolver = RecursiveResolver(
+        fabric=testbed.fabric, profile=CLOUDFLARE,
+        root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+    )
+    try:
+        testbed.fabric.register(UPSTREAM_IP, resolver)
+    except Exception:
+        pass  # already registered by an earlier test in this session
+    return resolver
+
+
+@pytest.fixture()
+def forwarder(testbed, upstream):
+    return ForwardingResolver(fabric=testbed.fabric, upstreams=[UPSTREAM_IP])
+
+
+class TestForwarding:
+    def test_relays_positive_answers(self, testbed, forwarder):
+        deployed = testbed.cases["valid"]
+        response = forwarder.resolve(deployed.query_name, RdataType.A)
+        assert response.rcode == Rcode.NOERROR
+        assert response.answer
+
+    def test_forwards_upstream_ede(self, testbed, forwarder):
+        deployed = testbed.cases["ds-bad-tag"]
+        response = forwarder.resolve(deployed.query_name, RdataType.A)
+        assert response.rcode == Rcode.SERVFAIL
+        assert response.ede_codes == (9,)
+        assert forwarder.stats.ede_forwarded >= 1
+
+    def test_annotation_marks_upstream(self, testbed, upstream):
+        forwarder = ForwardingResolver(
+            fabric=testbed.fabric, upstreams=[UPSTREAM_IP], annotate_forwarded=True
+        )
+        deployed = testbed.cases["allow-query-none"]
+        response = forwarder.resolve(deployed.query_name, RdataType.A)
+        assert response.ede_codes  # 9, 22, 23 relayed
+        assert any(
+            option.extra_text.startswith(f"[from {UPSTREAM_IP}]")
+            for option in response.extended_errors
+        )
+
+    def test_caches_answers(self, testbed, forwarder):
+        deployed = testbed.cases["valid"]
+        forwarder.resolve(deployed.query_name, RdataType.A)
+        sent = testbed.fabric.stats.datagrams_sent
+        forwarder.resolve(deployed.query_name, RdataType.A)
+        assert testbed.fabric.stats.datagrams_sent == sent
+
+    def test_failover_to_backup(self, testbed, upstream):
+        # BACKUP_IP works, the primary 192.0.9.102 does not exist.
+        try:
+            testbed.fabric.register(BACKUP_IP, upstream)
+        except Exception:
+            pass
+        forwarder = ForwardingResolver(
+            fabric=testbed.fabric, upstreams=["192.0.9.102", BACKUP_IP], timeout=0.2
+        )
+        deployed = testbed.cases["valid"]
+        response = forwarder.resolve(deployed.query_name, RdataType.A)
+        assert response.rcode == Rcode.NOERROR
+        assert forwarder.stats.upstream_failovers == 1
+
+    def test_all_upstreams_down_generates_own_ede(self, testbed):
+        forwarder = ForwardingResolver(
+            fabric=testbed.fabric, upstreams=["192.0.9.102"], timeout=0.2
+        )
+        response = forwarder.resolve("valid.extended-dns-errors.com.", RdataType.A)
+        assert response.rcode == Rcode.SERVFAIL
+        assert 22 in response.ede_codes and 23 in response.ede_codes
+        assert forwarder.stats.upstream_exhausted == 1
+
+    def test_stale_from_forwarder_cache(self, testbed, upstream):
+        forwarder = ForwardingResolver(
+            fabric=testbed.fabric, upstreams=[UPSTREAM_IP], timeout=0.2
+        )
+        deployed = testbed.cases["valid"]
+        assert forwarder.resolve(deployed.query_name, RdataType.A).rcode == Rcode.NOERROR
+        testbed.fabric.clock.advance(400)  # answer TTL expires
+        forwarder.upstreams = ["192.0.9.102"]  # upstream gone
+        response = forwarder.resolve(deployed.query_name, RdataType.A)
+        assert response.rcode == Rcode.NOERROR
+        assert 3 in response.ede_codes
+
+    def test_local_policy_precedes_forwarding(self, testbed, upstream):
+        policy = LocalPolicy()
+        policy.add("valid.extended-dns-errors.com.", PolicyAction.BLOCK, reason="test")
+        forwarder = ForwardingResolver(
+            fabric=testbed.fabric, upstreams=[UPSTREAM_IP], local_policy=policy
+        )
+        sent = testbed.fabric.stats.datagrams_sent
+        response = forwarder.resolve("valid.extended-dns-errors.com.", RdataType.A)
+        assert response.rcode == Rcode.NXDOMAIN
+        assert response.ede_codes == (15,)
+        assert testbed.fabric.stats.datagrams_sent == sent
+
+    def test_requires_upstreams(self, testbed):
+        with pytest.raises(ValueError):
+            ForwardingResolver(fabric=testbed.fabric, upstreams=[])
+
+    def test_chain_stub_to_forwarder_to_recursive(self, testbed, forwarder):
+        """Full three-tier chain over the fabric: stub -> forwarder ->
+        recursive -> authoritative, EDE intact end to end."""
+        from repro.resolver.stub import StubResolver
+
+        try:
+            testbed.fabric.register("192.0.9.110", forwarder)
+        except Exception:
+            pass
+        stub = StubResolver(testbed.fabric, "192.0.9.110")
+        answer = stub.query(testbed.cases["ds-bad-tag"].query_name, RdataType.A)
+        assert answer.rcode == Rcode.SERVFAIL
+        assert answer.ede_codes == (9,)

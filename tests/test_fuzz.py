@@ -1,0 +1,93 @@
+"""Robustness fuzzing: hostile inputs must raise DnsError, never crash."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dns.exceptions import DnsError
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rdata import Rdata
+from repro.dns.types import RdataType
+from repro.dns.wire import WireReader
+from repro.resolver.error_reporting import ReportChannelOption, decode_report_qname
+from repro.scan.extratext import parse_network_error
+from repro.server.behaviors import make_simple_authority
+
+
+@given(st.binary(max_size=512))
+def test_message_parser_never_crashes(data):
+    try:
+        Message.from_wire(data)
+    except DnsError:
+        pass  # rejecting hostile input is the job
+
+
+@given(st.binary(max_size=128))
+def test_name_reader_never_crashes(data):
+    try:
+        WireReader(data).read_name()
+    except DnsError:
+        pass
+
+
+@given(
+    st.sampled_from(
+        [RdataType.A, RdataType.AAAA, RdataType.SOA, RdataType.MX,
+         RdataType.TXT, RdataType.DNSKEY, RdataType.DS, RdataType.RRSIG,
+         RdataType.NSEC3, RdataType.NSEC3PARAM]
+    ),
+    st.binary(max_size=96),
+)
+def test_rdata_parsers_never_crash(rdtype, data):
+    try:
+        Rdata.from_wire(rdtype, data)
+    except DnsError:
+        pass
+
+
+@given(st.binary(max_size=300))
+@settings(suppress_health_check=[HealthCheck.function_scoped_fixture], max_examples=60)
+def test_authoritative_server_survives_garbage(data):
+    server = make_simple_authority(Name.from_text("fuzz.test."))
+    raw = server.handle_datagram(data, "198.51.100.1")
+    if raw is not None:
+        Message.from_wire(raw)  # whatever comes back must itself parse
+
+
+@given(st.binary(max_size=64))
+def test_report_channel_option_never_crashes(data):
+    try:
+        ReportChannelOption.from_wire_data(data)
+    except DnsError:
+        pass
+
+
+@given(st.text(max_size=120))
+def test_extratext_parser_never_crashes(text):
+    parse_network_error(text)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=10), min_size=1, max_size=6))
+def test_report_qname_decoder_never_crashes(labels):
+    agent = Name.from_text("agent.test.")
+    name = Name(tuple(labels) + agent.labels)
+    decode_report_qname(name, agent)
+
+
+class TestMessageRoundTripInvariant:
+    """Any message our encoder produces, our parser accepts — and the
+    second round trip is byte-identical (a fixed point)."""
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.sampled_from([RdataType.A, RdataType.AAAA, RdataType.TXT]),
+        st.lists(st.integers(min_value=0, max_value=30), max_size=4),
+    )
+    def test_fixed_point(self, msg_id, rdtype, ede_codes):
+        message = Message.make_query("fixed.point.test.", rdtype, msg_id=msg_id)
+        message.qr = True
+        for code in ede_codes:
+            message.add_ede(code)
+        once = Message.from_wire(message.to_wire()).to_wire()
+        twice = Message.from_wire(once).to_wire()
+        assert once == twice

@@ -1,0 +1,171 @@
+"""The zone linter: every testbed damage class must be caught offline."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdata import A, NS
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.zones.builder import ZoneBuilder
+from repro.zones.lint import Severity, lint_zone
+from repro.zones.mutations import SigScope, Window, ZoneMutation
+
+NOW = 1_684_108_800
+ORIGIN = Name.from_text("lint.test.")
+
+
+def build(mutation: ZoneMutation | None = None):
+    builder = ZoneBuilder(ORIGIN, now=NOW, mutation=mutation or ZoneMutation(algorithm=13))
+    ns = Name.from_text("ns1.lint.test.")
+    builder.add(RRset.of(ORIGIN, RdataType.NS, NS(target=ns)))
+    builder.add(RRset.of(ns, RdataType.A, A(address="192.0.9.60")))
+    builder.add(RRset.of(ORIGIN, RdataType.A, A(address="93.184.216.1")))
+    return builder.build()
+
+
+def findings_for(mutation: ZoneMutation | None = None, use_parent_ds: bool = True):
+    built = build(mutation)
+    return lint_zone(
+        built.zone, now=NOW, parent_ds=built.ds_rdatas if use_parent_ds else None
+    )
+
+
+def checks(findings, severity=None):
+    return {
+        f.check
+        for f in findings
+        if severity is None or f.severity is severity
+    }
+
+
+class TestCleanZone:
+    def test_no_errors_on_valid_zone(self):
+        findings = findings_for()
+        assert not [f for f in findings if f.severity is Severity.ERROR], findings
+
+    def test_unsigned_zone_is_only_info(self):
+        built = build(ZoneMutation(signed=False))
+        findings = lint_zone(built.zone, now=NOW)
+        assert checks(findings) == {"unsigned"}
+
+    def test_signed_without_ds_warns(self):
+        findings = findings_for(use_parent_ds=False)
+        assert "no-ds" in checks(findings, Severity.WARNING)
+
+
+class TestDsChecks:
+    def test_ds_tag_mismatch(self):
+        findings = findings_for(ZoneMutation(algorithm=13, ds_tag_offset=1))
+        assert "ds-linkage" in checks(findings, Severity.ERROR)
+        assert "chain-of-trust" in checks(findings, Severity.ERROR)
+
+    def test_ds_digest_mismatch(self):
+        findings = findings_for(ZoneMutation(algorithm=13, ds_corrupt_digest=True))
+        assert "ds-linkage" in checks(findings, Severity.ERROR)
+
+    def test_ds_unassigned_algorithm(self):
+        findings = findings_for(ZoneMutation(algorithm=13, ds_algorithm_override=100))
+        assert "ds-algorithm" in checks(findings, Severity.ERROR)
+
+    def test_ds_unassigned_digest(self):
+        findings = findings_for(ZoneMutation(algorithm=13, ds_digest_type_override=100))
+        assert "ds-digest" in checks(findings, Severity.ERROR)
+
+
+class TestKeyChecks:
+    def test_zone_key_bits_clear(self):
+        findings = findings_for(
+            ZoneMutation(algorithm=13, clear_zone_bit_zsk=True, clear_zone_bit_ksk=True)
+        )
+        assert "zone-key-bit" in checks(findings, Severity.ERROR)
+
+    def test_unassigned_key_algorithm(self):
+        findings = findings_for(ZoneMutation(algorithm=13, zsk_algorithm_override=100))
+        assert "key-algorithm" in checks(findings, Severity.ERROR)
+
+    def test_deprecated_algorithm_warns(self):
+        findings = findings_for(ZoneMutation(algorithm=1))
+        assert "key-algorithm" in checks(findings, Severity.WARNING)
+
+    def test_standby_ksk_detected(self):
+        findings = findings_for(ZoneMutation(algorithm=13, add_standby_ksk=True))
+        assert "standby-key" in checks(findings, Severity.WARNING)
+        assert not [f for f in findings if f.severity is Severity.ERROR]
+
+
+class TestSignatureChecks:
+    def test_missing_signatures(self):
+        findings = findings_for(ZoneMutation(algorithm=13, drop_sigs=SigScope.ALL))
+        assert "rrsig-missing" in checks(findings, Severity.ERROR)
+
+    def test_expired_signatures(self):
+        findings = findings_for(ZoneMutation(algorithm=13, window_all=Window.EXPIRED))
+        assert "rrsig-invalid" in checks(findings, Severity.ERROR)
+        assert any("expired" in f.message for f in findings)
+
+    def test_inverted_window(self):
+        findings = findings_for(ZoneMutation(algorithm=13, window_all=Window.INVERTED))
+        assert any("before" in f.message and "inception" in f.message for f in findings)
+
+    def test_corrupt_zsk_detected(self):
+        findings = findings_for(ZoneMutation(algorithm=13, corrupt_zsk=True))
+        assert "rrsig-invalid" in checks(findings, Severity.ERROR)
+
+    def test_leaf_only_drop(self):
+        findings = findings_for(ZoneMutation(algorithm=13, drop_sigs=SigScope.LEAF_A))
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert len(errors) == 1
+        assert errors[0].check == "rrsig-missing"
+
+
+class TestNsec3Checks:
+    def test_missing_chain(self):
+        findings = findings_for(ZoneMutation(algorithm=13, drop_nsec3=True))
+        assert "nsec3-chain" in checks(findings, Severity.ERROR)
+
+    def test_missing_param(self):
+        findings = findings_for(ZoneMutation(algorithm=13, drop_nsec3param=True))
+        assert "nsec3param" in checks(findings, Severity.ERROR)
+
+    def test_salt_mismatch(self):
+        findings = findings_for(ZoneMutation(algorithm=13, nsec3param_salt_mismatch=True))
+        assert "nsec3param" in checks(findings, Severity.ERROR)
+
+    def test_broken_closure(self):
+        findings = findings_for(ZoneMutation(algorithm=13, corrupt_nsec3_next=True))
+        assert "nsec3-chain" in checks(findings, Severity.ERROR)
+
+    def test_high_iterations_warn(self):
+        findings = findings_for(ZoneMutation(algorithm=13, nsec3_iterations=200))
+        assert "nsec3-iterations" in checks(findings, Severity.WARNING)
+
+
+class TestAgainstTestbed:
+    """The linter's verdict must agree with live resolution: lint-clean
+    testbed zones resolve without EDE; damaged ones are flagged."""
+
+    def test_valid_case_is_clean(self, testbed):
+        deployed = testbed.cases["valid"]
+        findings = lint_zone(
+            deployed.built.zone, now=int(testbed.fabric.clock.now()),
+            parent_ds=deployed.built.ds_rdatas,
+        )
+        assert not [f for f in findings if f.severity is Severity.ERROR]
+
+    @pytest.mark.parametrize(
+        "label",
+        ["ds-bad-tag", "rrsig-exp-all", "no-zsk", "bad-nsec3param-salt",
+         "no-dnskey-256-257", "bad-rrsig-dnskey"],
+    )
+    def test_damaged_cases_flagged(self, testbed, label):
+        deployed = testbed.cases[label]
+        findings = lint_zone(
+            deployed.built.zone, now=int(testbed.fabric.clock.now()),
+            parent_ds=deployed.built.ds_rdatas,
+        )
+        assert [f for f in findings if f.severity is Severity.ERROR], label
+
+    def test_finding_rendering(self):
+        findings = findings_for(ZoneMutation(algorithm=13, ds_tag_offset=1))
+        text = "\n".join(str(f) for f in findings)
+        assert "[error]" in text and "ds-linkage" in text

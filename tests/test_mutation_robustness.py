@@ -1,0 +1,211 @@
+"""Property tests over the mutation space.
+
+The testbed pins 63 specific misconfigurations, but operators combine
+mistakes freely.  These properties assert the pipeline's global
+invariants for *arbitrary* mutation combinations: the builder always
+produces a servable zone, the resolver always terminates with a
+well-formed response (no exception, a legal RCODE), bogus validation
+always maps to SERVFAIL, and insecure downgrades never do.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.rdata import A, NS
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.net.fabric import NetworkFabric
+from repro.resolver.profiles import CLOUDFLARE, UNBOUND
+from repro.resolver.recursive import RecursiveResolver
+from repro.zones.builder import ZoneBuilder
+from repro.zones.mutations import SigScope, Window, ZoneMutation
+
+NOW = 1_684_108_800
+
+mutations = st.builds(
+    ZoneMutation,
+    signed=st.booleans(),
+    algorithm=st.sampled_from([8, 13, 15, 16]),
+    drop_zsk=st.booleans(),
+    corrupt_zsk=st.booleans(),
+    drop_ksk=st.booleans(),
+    corrupt_ksk=st.booleans(),
+    clear_zone_bit_zsk=st.booleans(),
+    clear_zone_bit_ksk=st.booleans(),
+    add_standby_ksk=st.booleans(),
+    window_all=st.sampled_from(list(Window)),
+    window_a=st.sampled_from(list(Window)),
+    drop_sigs=st.sampled_from([None, *SigScope]),
+    corrupt_sigs=st.sampled_from([None, *SigScope]),
+    nsec3_iterations=st.sampled_from([0, 10, 200]),
+    drop_nsec3=st.booleans(),
+    corrupt_nsec3_owner=st.booleans(),
+    corrupt_nsec3_next=st.booleans(),
+    drop_nsec3param=st.booleans(),
+    nsec3param_salt_mismatch=st.booleans(),
+    publish_ds=st.booleans(),
+    ds_tag_offset=st.sampled_from([0, 1]),
+    ds_corrupt_digest=st.booleans(),
+)
+
+
+def build_world(mutation: ZoneMutation):
+    """Root -> child with the given mutation; returns (fabric, anchors)."""
+    if mutation.algorithm == 8:
+        mutation.key_bits = 512  # keep RSA affordable inside hypothesis
+    fabric = NetworkFabric()
+    child_name = Name.from_text("victim.test.")
+
+    child_builder = ZoneBuilder(child_name, now=NOW, mutation=mutation, key_seed=9)
+    ns = Name.from_text("ns1.victim.test.")
+    child_builder.add(RRset.of(child_name, RdataType.NS, NS(target=ns)))
+    child_builder.add(RRset.of(ns, RdataType.A, A(address="192.0.9.52")))
+    child_builder.add(RRset.of(child_name, RdataType.A, A(address="93.184.216.1")))
+    child = child_builder.build()
+
+    root_builder = ZoneBuilder(
+        Name.root(), now=NOW, mutation=ZoneMutation(algorithm=13), key_seed=8
+    )
+    root_builder.add(RRset.of(child_name, RdataType.NS, NS(target=ns)))
+    root_builder.add(RRset.of(ns, RdataType.A, A(address="192.0.9.52")))
+    for ds in child.ds_rdatas:
+        root_builder.add(RRset.of(child_name, RdataType.DS, ds, ttl=300))
+    root = root_builder.build()
+
+    from repro.server.authoritative import AuthoritativeServer
+    from repro.dnssec.ds import make_ds
+
+    child_server = AuthoritativeServer("child")
+    child_server.add_zone(child.zone)
+    fabric.register("192.0.9.52", child_server)
+    root_server = AuthoritativeServer("root")
+    root_server.add_zone(root.zone)
+    fabric.register("192.0.9.51", root_server)
+    anchors = [make_ds(Name.root(), root.ksk.dnskey(), 2)]
+    return fabric, anchors
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(mutation=mutations, nonexistent=st.booleans())
+def test_any_mutated_zone_resolves_to_a_legal_outcome(mutation, nonexistent):
+    fabric, anchors = build_world(mutation)
+    resolver = RecursiveResolver(
+        fabric=fabric, profile=CLOUDFLARE, root_hints=["192.0.9.51"],
+        trust_anchors=anchors,
+    )
+    qname = "nx.victim.test." if nonexistent else "victim.test."
+    response = resolver.resolve(qname, RdataType.A)
+
+    # 1. A legal, parseable response always comes back.
+    assert response.rcode in (Rcode.NOERROR, Rcode.NXDOMAIN, Rcode.SERVFAIL)
+    Message.from_wire(response.to_wire())
+
+    # 2. Validation verdict and RCODE agree.
+    outcome = resolver._resolve_outcome(
+        Name.from_text(qname), RdataType.A
+    )
+    if outcome.validation.is_bogus:
+        assert outcome.rcode == Rcode.SERVFAIL
+
+    # 3. SERVFAIL never carries answer data.
+    if response.rcode == Rcode.SERVFAIL:
+        assert not response.answer
+
+    # 4. EDE codes, when present, are from the registered range we emit.
+    for code in response.ede_codes:
+        assert 0 <= code <= 29
+
+
+@settings(max_examples=25, deadline=None)
+@given(mutation=mutations)
+def test_vendors_agree_on_rcode_for_any_mutation(mutation):
+    """Paper 3.3: vendors differ in codes, not in resolution outcome —
+    *provided* their capabilities cover the zone's keys.  Two genuine
+    capability splits are excluded and pinned by dedicated tests: Ed448
+    (Cloudflare downgrades, others validate) and sub-1024-bit RSA
+    (Cloudflare's "unsupported key size" downgrade)."""
+    if mutation.algorithm in (8, 16):
+        mutation.algorithm = 13  # keep to the capability-equivalent set
+    fabric, anchors = build_world(mutation)
+    rcodes = set()
+    for profile in (CLOUDFLARE, UNBOUND):
+        resolver = RecursiveResolver(
+            fabric=fabric, profile=profile, root_hints=["192.0.9.51"],
+            trust_anchors=anchors,
+        )
+        rcodes.add(resolver.resolve("victim.test.", RdataType.A).rcode)
+    assert len(rcodes) == 1
+
+
+def test_ed448_rcode_asymmetry_is_real():
+    """A *bogus* Ed448 zone SERVFAILs on Unbound (which validates Ed448)
+    but answers NOERROR through Cloudflare (which treats the whole zone
+    as unsigned) — a genuine cross-vendor RCODE divergence this
+    hypothesis suite discovered, mirroring the paper's ed448 column."""
+    mutation = ZoneMutation(algorithm=16, clear_zone_bit_ksk=True)
+    fabric, anchors = build_world(mutation)
+    responses = {}
+    for profile in (CLOUDFLARE, UNBOUND):
+        resolver = RecursiveResolver(
+            fabric=fabric, profile=profile, root_hints=["192.0.9.51"],
+            trust_anchors=anchors,
+        )
+        responses[profile.policy.name] = resolver.resolve("victim.test.", RdataType.A)
+    assert responses["cloudflare"].rcode == Rcode.NOERROR
+    assert responses["cloudflare"].ede_codes == (1,)  # unsupported algorithm
+    assert responses["unbound"].rcode == Rcode.SERVFAIL
+
+
+def test_small_rsa_rcode_asymmetry_is_real():
+    """Same shape for key size: a *bogus* 512-bit-RSA zone SERVFAILs on
+    Unbound but resolves NOERROR + EDE 1 ("unsupported key size") through
+    Cloudflare, which refuses to validate keys below 1024 bits."""
+    mutation = ZoneMutation(algorithm=8, corrupt_sigs=SigScope.ALL)
+    fabric, anchors = build_world(mutation)  # build_world sets 512-bit RSA
+    responses = {}
+    for profile in (CLOUDFLARE, UNBOUND):
+        resolver = RecursiveResolver(
+            fabric=fabric, profile=profile, root_hints=["192.0.9.51"],
+            trust_anchors=anchors,
+        )
+        responses[profile.policy.name] = resolver.resolve("victim.test.", RdataType.A)
+    assert responses["cloudflare"].rcode == Rcode.NOERROR
+    assert responses["cloudflare"].ede_codes == (1,)
+    assert responses["unbound"].rcode == Rcode.SERVFAIL
+
+
+@settings(max_examples=30, deadline=None)
+@given(mutation=mutations)
+def test_builder_output_is_always_servable(mutation):
+    """Whatever the damage, the authoritative server must keep answering
+    (misconfigured zones stay online — that is the paper's premise)."""
+    if mutation.algorithm == 8:
+        mutation.key_bits = 512
+    builder = ZoneBuilder(Name.from_text("z.test."), now=NOW, mutation=mutation)
+    builder.add(
+        RRset.of(Name.from_text("z.test."), RdataType.A, A(address="192.0.2.1"))
+    )
+    builder.ensure_soa()
+    built = builder.build()
+
+    from repro.server.authoritative import AuthoritativeServer
+
+    server = AuthoritativeServer("ns")
+    server.add_zone(built.zone)
+    for qname, rdtype in (
+        ("z.test.", RdataType.A),
+        ("z.test.", RdataType.DNSKEY),
+        ("nx.z.test.", RdataType.A),
+        ("z.test.", RdataType.NSEC3PARAM),
+    ):
+        query = Message.make_query(qname, rdtype, want_dnssec=True)
+        raw = server.handle_datagram(query.to_wire(), "198.51.100.1")
+        assert raw is not None
+        Message.from_wire(raw)

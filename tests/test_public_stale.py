@@ -1,0 +1,129 @@
+"""Section 3.2 resolver selection and stale-NXDOMAIN (EDE 19) serving."""
+
+import pytest
+
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.resolver.public import (
+    TEN_PUBLIC_RESOLVERS,
+    probe_ede_support,
+    select_ede_capable,
+)
+
+
+class TestSection32Selection:
+    def test_ten_candidates(self):
+        assert len(TEN_PUBLIC_RESOLVERS) == 10
+        names = {p.policy.name for p in TEN_PUBLIC_RESOLVERS}
+        assert {"cloudflare", "quad9", "opendns", "google"} <= names
+
+    def test_probe_keeps_exactly_the_papers_three(self, testbed):
+        probes = probe_ede_support(testbed)
+        kept = select_ede_capable(probes)
+        assert sorted(p.policy.name for p in kept) == ["cloudflare", "opendns", "quad9"]
+
+    def test_silent_resolvers_still_resolve(self, testbed):
+        from repro.resolver.public import GOOGLE
+        from repro.resolver.recursive import RecursiveResolver
+
+        resolver = RecursiveResolver(
+            fabric=testbed.fabric, profile=GOOGLE,
+            root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+        )
+        ok = resolver.resolve(testbed.cases["valid"].query_name, RdataType.A)
+        assert ok.rcode == Rcode.NOERROR and not ok.ede_codes
+        bad = resolver.resolve(testbed.cases["rrsig-exp-all"].query_name, RdataType.A)
+        assert bad.rcode == Rcode.SERVFAIL and not bad.ede_codes
+
+    def test_probe_codes_recorded(self, testbed):
+        probes = probe_ede_support(testbed)
+        cloudflare = next(p for p in probes if p.profile.policy.name == "cloudflare")
+        assert cloudflare.codes_seen
+        assert len(cloudflare.probed_domains) == 8  # one per Table 2 group
+
+
+class TestStaleNxdomain:
+    """RFC 8767 applied to negative answers -> Stale NXDOMAIN Answer (19)."""
+
+    ROOT_IP, TLD_IP, DOM_IP = "192.0.9.1", "192.0.9.2", "192.0.9.3"
+
+    @pytest.fixture()
+    def world(self, fabric):
+        from repro.dns.name import Name
+        from repro.dns.rdata import A, NS
+        from repro.dns.rrset import RRset
+        from repro.server.authoritative import AuthoritativeServer
+        from repro.zones.builder import ZoneBuilder
+        from repro.zones.mutations import ZoneMutation
+
+        now = int(fabric.clock.now())
+
+        def host(origin_text, ip, extra=()):
+            origin = Name.from_text(origin_text)
+            builder = ZoneBuilder(
+                origin, now=now, mutation=ZoneMutation(algorithm=13, signed=False)
+            )
+            ns = Name.from_text("ns1", origin=origin)
+            builder.add(RRset.of(origin, RdataType.NS, NS(target=ns)))
+            builder.add(RRset.of(ns, RdataType.A, A(address=ip)))
+            builder.ensure_soa()
+            for rrset in extra:
+                builder.add(rrset)
+            server = AuthoritativeServer(f"ns1.{origin_text}")
+            server.add_zone(builder.build().zone)
+            fabric.register(ip, server)
+            return origin
+
+        from repro.dns.name import Name as N
+        from repro.dns.rdata import A as ARdata, NS as NSRdata
+        from repro.dns.rrset import RRset as RRs
+
+        host("stale.test.", self.DOM_IP)
+        host("test.", self.TLD_IP, extra=[
+            RRs.of(N.from_text("stale.test."), RdataType.NS,
+                   NSRdata(target=N.from_text("ns1.stale.test."))),
+            RRs.of(N.from_text("ns1.stale.test."), RdataType.A,
+                   ARdata(address=self.DOM_IP)),
+        ])
+        host(".", self.ROOT_IP, extra=[
+            RRs.of(N.from_text("test."), RdataType.NS,
+                   NSRdata(target=N.from_text("ns1.test."))),
+            RRs.of(N.from_text("ns1.test."), RdataType.A,
+                   ARdata(address=self.TLD_IP)),
+        ])
+        return fabric
+
+    def test_stale_nxdomain_served_with_ede_19(self, world):
+        from repro.resolver.profiles import CLOUDFLARE
+        from repro.resolver.recursive import RecursiveResolver
+
+        resolver = RecursiveResolver(
+            fabric=world, profile=CLOUDFLARE, root_hints=[self.ROOT_IP],
+            validate=False,
+        )
+        first = resolver.resolve("gone.stale.test.", RdataType.A)
+        assert first.rcode == Rcode.NXDOMAIN
+        # Negative TTL expires; then the authority disappears.
+        world.clock.advance(400)
+        world.unregister(self.DOM_IP)
+        second = resolver.resolve("gone.stale.test.", RdataType.A)
+        assert second.rcode == Rcode.NXDOMAIN
+        assert 19 in second.ede_codes
+
+    def test_no_stale_nxdomain_when_disabled(self, world):
+        import dataclasses
+
+        from repro.resolver.cache import CacheConfig
+        from repro.resolver.profiles import CLOUDFLARE
+        from repro.resolver.recursive import RecursiveResolver
+
+        profile = dataclasses.replace(CLOUDFLARE, cache=CacheConfig(serve_stale=False))
+        resolver = RecursiveResolver(
+            fabric=world, profile=profile, root_hints=[self.ROOT_IP], validate=False,
+        )
+        resolver.resolve("gone.stale.test.", RdataType.A)
+        world.clock.advance(400)
+        world.unregister(self.DOM_IP)
+        second = resolver.resolve("gone.stale.test.", RdataType.A)
+        assert second.rcode == Rcode.SERVFAIL
+        assert 19 not in second.ede_codes

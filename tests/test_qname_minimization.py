@@ -1,0 +1,146 @@
+"""QNAME minimization (RFC 9156): privacy without changed outcomes."""
+
+import pytest
+
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.rdata import A, NS
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.resolver.iterative import EngineConfig, IterativeEngine
+from repro.server.authoritative import AuthoritativeServer
+from repro.zones.builder import ZoneBuilder
+from repro.zones.mutations import ZoneMutation
+
+ROOT_IP, TLD_IP, DOM_IP = "192.0.9.21", "192.0.9.22", "192.0.9.23"
+TARGET = Name.from_text("www.deep.example.test.")
+
+
+class LoggingServer(AuthoritativeServer):
+    """Records every qname it is asked for."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.seen: list[str] = []
+
+    def handle_query(self, query, source="192.0.2.0"):
+        if query.question:
+            self.seen.append(str(query.question[0].name))
+        return super().handle_query(query, source)
+
+
+@pytest.fixture()
+def world(fabric):
+    now = int(fabric.clock.now())
+
+    def make_zone(origin_text, ip, extra=()):
+        origin = Name.from_text(origin_text)
+        builder = ZoneBuilder(
+            origin, now=now, mutation=ZoneMutation(algorithm=13, signed=False)
+        )
+        ns = Name.from_text("ns1", origin=origin)
+        builder.add(RRset.of(origin, RdataType.NS, NS(target=ns)))
+        builder.add(RRset.of(ns, RdataType.A, A(address=ip)))
+        builder.ensure_soa()
+        for rrset in extra:
+            builder.add(rrset)
+        server = LoggingServer(f"ns1.{origin_text}")
+        server.add_zone(builder.build().zone)
+        fabric.register(ip, server)
+        return server
+
+    dom = make_zone("example.test.", DOM_IP, extra=[
+        RRset.of(TARGET, RdataType.A, A(address="203.0.113.99")),
+    ])
+    tld = make_zone("test.", TLD_IP, extra=[
+        RRset.of(Name.from_text("example.test."), RdataType.NS,
+                 NS(target=Name.from_text("ns1.example.test."))),
+        RRset.of(Name.from_text("ns1.example.test."), RdataType.A,
+                 A(address=DOM_IP)),
+    ])
+    root = make_zone(".", ROOT_IP, extra=[
+        RRset.of(Name.from_text("test."), RdataType.NS,
+                 NS(target=Name.from_text("ns1.test."))),
+        RRset.of(Name.from_text("ns1.test."), RdataType.A, A(address=TLD_IP)),
+    ])
+    return {"root": root, "tld": tld, "dom": dom, "fabric": fabric}
+
+
+class TestMinimization:
+    def test_root_sees_only_one_label(self, world):
+        engine = IterativeEngine(
+            world["fabric"], [ROOT_IP], EngineConfig(qname_minimization=True)
+        )
+        result = engine.resolve(TARGET, RdataType.A, [])
+        assert result.ok
+        assert world["root"].seen == ["test."]
+
+    def test_tld_sees_only_two_labels(self, world):
+        engine = IterativeEngine(
+            world["fabric"], [ROOT_IP], EngineConfig(qname_minimization=True)
+        )
+        engine.resolve(TARGET, RdataType.A, [])
+        assert world["tld"].seen == ["example.test."]
+
+    def test_final_zone_walks_down_to_target(self, world):
+        engine = IterativeEngine(
+            world["fabric"], [ROOT_IP], EngineConfig(qname_minimization=True)
+        )
+        engine.resolve(TARGET, RdataType.A, [])
+        # deep.example.test. is an empty non-terminal, probed on the way.
+        assert world["dom"].seen == ["deep.example.test.", str(TARGET)]
+
+    def test_without_minimization_full_name_leaks(self, world):
+        engine = IterativeEngine(
+            world["fabric"], [ROOT_IP], EngineConfig(qname_minimization=False)
+        )
+        engine.resolve(TARGET, RdataType.A, [])
+        assert world["root"].seen == [str(TARGET)]
+        assert world["tld"].seen == [str(TARGET)]
+
+    def test_same_answer_either_way(self, world):
+        plain = IterativeEngine(world["fabric"], [ROOT_IP], EngineConfig())
+        minimized = IterativeEngine(
+            world["fabric"], [ROOT_IP], EngineConfig(qname_minimization=True)
+        )
+        result_a = plain.resolve(TARGET, RdataType.A, [])
+        result_b = minimized.resolve(TARGET, RdataType.A, [])
+        assert result_a.rcode == result_b.rcode == Rcode.NOERROR
+        addr = lambda r: [
+            rd.address
+            for rrset in r.answer if rrset.rdtype == RdataType.A
+            for rd in rrset.rdatas
+        ]
+        assert addr(result_a) == addr(result_b)
+
+    def test_nxdomain_at_ancestor_is_final(self, world):
+        engine = IterativeEngine(
+            world["fabric"], [ROOT_IP], EngineConfig(qname_minimization=True)
+        )
+        result = engine.resolve(
+            Name.from_text("a.b.nonexistent.test."), RdataType.A, []
+        )
+        assert result.rcode == Rcode.NXDOMAIN
+        # The TLD saw only the minimized probe, never the full query name.
+        assert "a.b.nonexistent.test." not in world["tld"].seen
+
+    def test_testbed_matrix_unchanged_with_minimization(self, testbed):
+        """The headline Table 4 reproduction must be invariant under
+        qname minimization."""
+        from repro.resolver.profiles import CLOUDFLARE, UNBOUND
+        from repro.resolver.recursive import RecursiveResolver
+
+        for profile, label, expected in (
+            (CLOUDFLARE, "ds-bad-tag", (9,)),
+            (UNBOUND, "rrsig-exp-all", (7,)),
+            (CLOUDFLARE, "valid", ()),
+        ):
+            resolver = RecursiveResolver(
+                fabric=testbed.fabric, profile=profile,
+                root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+                engine_config=EngineConfig(qname_minimization=True),
+            )
+            deployed = testbed.cases[label]
+            response = resolver.resolve(deployed.query_name, RdataType.A)
+            assert response.ede_codes == expected, label

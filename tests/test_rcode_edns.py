@@ -1,0 +1,111 @@
+"""RCODE splitting/joining and EDNS option plumbing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns import rcode as rcode_mod
+from repro.dns.edns import (
+    CookieOption,
+    Edns,
+    EdnsOption,
+    OptionCode,
+    PaddingOption,
+)
+from repro.dns.exceptions import OptionError
+from repro.dns.rcode import Rcode
+from repro.dns.wire import WireReader, WireWriter
+
+
+class TestRcode:
+    def test_header_bits(self):
+        assert rcode_mod.header_bits(Rcode.BADVERS) == 0
+        assert rcode_mod.header_bits(Rcode.NXDOMAIN) == 3
+
+    def test_extended_bits(self):
+        assert rcode_mod.extended_bits(Rcode.BADVERS) == 1
+        assert rcode_mod.extended_bits(Rcode.SERVFAIL) == 0
+
+    def test_join(self):
+        assert rcode_mod.join(0, 1) == 16
+
+    @given(st.integers(min_value=0, max_value=0xFFF))
+    def test_property_split_join(self, value):
+        assert rcode_mod.join(
+            rcode_mod.header_bits(value), rcode_mod.extended_bits(value)
+        ) == value
+
+    def test_make_from_string(self):
+        assert Rcode.make("servfail") is Rcode.SERVFAIL
+
+    def test_make_from_int(self):
+        assert Rcode.make(5) is Rcode.REFUSED
+
+    def test_str(self):
+        assert str(Rcode.NXDOMAIN) == "NXDOMAIN"
+
+    def test_notauth_is_nine(self):
+        # The value the paper's Cached Error domains kept returning.
+        assert Rcode.NOTAUTH == 9
+
+
+class TestEdnsWire:
+    def _round_trip(self, edns: Edns) -> Edns:
+        writer = WireWriter()
+        edns.write(writer)
+        reader = WireReader(writer.getvalue())
+        assert reader.read_u8() == 0  # root owner
+        assert reader.read_u16() == 41  # OPT
+        klass = reader.read_u16()
+        ttl = reader.read_u32()
+        rdlen = reader.read_u16()
+        rdata = reader.read_bytes(rdlen)
+        return Edns.from_opt_fields(klass, ttl, rdata)
+
+    def test_payload_round_trip(self):
+        assert self._round_trip(Edns(payload=4096)).payload == 4096
+
+    def test_do_flag(self):
+        assert self._round_trip(Edns(dnssec_ok=True)).dnssec_ok
+        assert not self._round_trip(Edns(dnssec_ok=False)).dnssec_ok
+
+    def test_version(self):
+        assert self._round_trip(Edns(version=0)).version == 0
+
+    def test_extended_rcode_bits(self):
+        decoded = self._round_trip(Edns(extended_rcode_bits=0xAB))
+        assert decoded.extended_rcode_bits == 0xAB
+
+    def test_options_round_trip(self):
+        edns = Edns(options=[EdnsOption(code=99, data=b"zz")])
+        decoded = self._round_trip(edns)
+        assert decoded.options[0].code == 99
+        assert decoded.options[0].data == b"zz"
+
+    def test_truncated_option_rejected(self):
+        with pytest.raises(OptionError):
+            Edns.from_opt_fields(1232, 0, b"\x00\x0f\x00")
+
+    def test_option_accessors(self):
+        edns = Edns(options=[EdnsOption(code=5, data=b"a"), EdnsOption(code=5, data=b"b")])
+        assert edns.option(5).data == b"a"
+        assert len(edns.options_with_code(5)) == 2
+        assert edns.option(7) is None
+
+
+class TestWellKnownOptions:
+    def test_cookie_parses(self):
+        option = EdnsOption.parse(OptionCode.COOKIE, b"12345678server00")
+        assert isinstance(option, CookieOption)
+        assert option.client_cookie == b"12345678"
+        assert option.server_cookie == b"server00"
+
+    def test_padding(self):
+        option = PaddingOption.of_length(8)
+        assert option.to_wire_data() == b"\x00" * 8
+        parsed = EdnsOption.parse(OptionCode.PADDING, b"\x00\x00")
+        assert isinstance(parsed, PaddingOption)
+
+    def test_unknown_option_is_generic(self):
+        option = EdnsOption.parse(61234, b"opaque")
+        assert type(option) is EdnsOption
+        assert option.data == b"opaque"

@@ -1,0 +1,163 @@
+"""Rdata types: encode/decode/presentation for every implemented type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.exceptions import FormError
+from repro.dns.name import Name
+from repro.dns.rdata import (
+    A,
+    AAAA,
+    CAA,
+    CNAME,
+    GenericRdata,
+    MX,
+    NS,
+    PTR,
+    Rdata,
+    SOA,
+    SRV,
+    TXT,
+)
+from repro.dns.types import RdataType
+from repro.dns.wire import WireReader
+
+
+def round_trip(rdata, rdtype):
+    wire = rdata.to_wire()
+    return Rdata.from_wire(rdtype, wire)
+
+
+class TestAddressRecords:
+    def test_a_round_trip(self):
+        rdata = A(address="192.0.2.1")
+        assert round_trip(rdata, RdataType.A) == rdata
+
+    def test_a_wire_is_four_octets(self):
+        assert A(address="10.1.2.3").to_wire() == bytes([10, 1, 2, 3])
+
+    def test_a_text(self):
+        assert A(address="192.0.2.1").to_text() == "192.0.2.1"
+
+    def test_a_invalid_address(self):
+        with pytest.raises(ValueError):
+            A(address="not-an-ip")
+
+    def test_a_wrong_rdlength(self):
+        with pytest.raises(FormError):
+            Rdata.from_wire(RdataType.A, b"\x01\x02\x03")
+
+    def test_aaaa_round_trip(self):
+        rdata = AAAA(address="2001:db8::53")
+        assert round_trip(rdata, RdataType.AAAA) == rdata
+
+    def test_aaaa_normalizes(self):
+        assert AAAA(address="2001:0db8:0::1").address == "2001:db8::1"
+
+    def test_aaaa_wrong_rdlength(self):
+        with pytest.raises(FormError):
+            Rdata.from_wire(RdataType.AAAA, b"\x00" * 15)
+
+
+class TestNameRecords:
+    def test_ns_round_trip(self):
+        rdata = NS(target=Name.from_text("ns1.example.com."))
+        assert round_trip(rdata, RdataType.NS) == rdata
+
+    def test_cname_round_trip(self):
+        rdata = CNAME(target=Name.from_text("alias.example.com."))
+        assert round_trip(rdata, RdataType.CNAME) == rdata
+
+    def test_ptr_round_trip(self):
+        rdata = PTR(target=Name.from_text("host.example.com."))
+        assert round_trip(rdata, RdataType.PTR) == rdata
+
+    def test_canonical_lowercases_target(self):
+        rdata = NS(target=Name.from_text("NS1.Example.COM."))
+        assert b"Example" not in rdata.to_wire(canonical=True)
+        assert b"example" in rdata.to_wire(canonical=True)
+
+    def test_mx_round_trip(self):
+        rdata = MX(preference=10, exchange=Name.from_text("mail.example.com."))
+        assert round_trip(rdata, RdataType.MX) == rdata
+
+    def test_mx_text(self):
+        rdata = MX(preference=5, exchange=Name.from_text("mx.test."))
+        assert rdata.to_text() == "5 mx.test."
+
+    def test_srv_round_trip(self):
+        rdata = SRV(priority=1, weight=2, port=443, target=Name.from_text("svc.test."))
+        assert round_trip(rdata, RdataType.SRV) == rdata
+
+
+class TestSOA:
+    def test_round_trip(self):
+        rdata = SOA(
+            mname=Name.from_text("ns1.example.com."),
+            rname=Name.from_text("hostmaster.example.com."),
+            serial=2023051500,
+            refresh=7200,
+            retry=3600,
+            expire=1209600,
+            minimum=300,
+        )
+        assert round_trip(rdata, RdataType.SOA) == rdata
+
+    def test_text_format(self):
+        rdata = SOA(
+            mname=Name.from_text("a."), rname=Name.from_text("b."), serial=7
+        )
+        assert rdata.to_text().startswith("a. b. 7 ")
+
+
+class TestTXT:
+    def test_round_trip(self):
+        rdata = TXT(strings=(b"hello", b"world"))
+        assert round_trip(rdata, RdataType.TXT) == rdata
+
+    def test_from_text_value(self):
+        rdata = TXT.from_text_value("v=spf1 -all")
+        assert rdata.strings == (b"v=spf1 -all",)
+
+    def test_string_too_long(self):
+        with pytest.raises(FormError):
+            TXT(strings=(b"x" * 256,)).to_wire()
+
+    def test_text_quotes(self):
+        assert TXT(strings=(b"a",)).to_text() == '"a"'
+
+
+class TestCAA:
+    def test_round_trip(self):
+        rdata = CAA(flags=128, tag=b"issue", value=b"ca.example.net")
+        assert round_trip(rdata, RdataType.CAA) == rdata
+
+
+class TestGeneric:
+    def test_unknown_type_parses_as_generic(self):
+        rdata = Rdata.parse(RdataType.NONE, WireReader(b"\x01\x02"), 2)
+        assert isinstance(rdata, GenericRdata)
+        assert rdata.data == b"\x01\x02"
+
+    def test_rfc3597_text(self):
+        rdata = GenericRdata(rdtype_value=RdataType.NONE, data=b"\xab\xcd")
+        assert rdata.to_text() == "\\# 2 abcd"
+
+    def test_overlong_rdata_rejected(self):
+        # A-records must consume exactly their rdlength.
+        with pytest.raises(FormError):
+            Rdata.from_wire(RdataType.A, b"\x01\x02\x03\x04\x05")
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_a_round_trip(packed):
+    import ipaddress
+
+    address = str(ipaddress.IPv4Address(packed))
+    assert round_trip(A(address=address), RdataType.A).address == address
+
+
+@given(st.lists(st.binary(min_size=0, max_size=50), min_size=1, max_size=5))
+def test_property_txt_round_trip(strings):
+    rdata = TXT(strings=tuple(strings))
+    assert round_trip(rdata, RdataType.TXT) == rdata

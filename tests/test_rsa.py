@@ -1,0 +1,158 @@
+"""Pure-Python RSA: keygen, PKCS#1 v1.5 signatures, RFC 3110 key format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnssec import rsa
+
+
+@pytest.fixture(scope="module")
+def key():
+    return rsa.generate_keypair(bits=512, seed=12345)
+
+
+class TestKeygen:
+    def test_deterministic_for_seed(self):
+        a = rsa.generate_keypair(bits=512, seed=1)
+        b = rsa.generate_keypair(bits=512, seed=1)
+        assert a.n == b.n and a.d == b.d
+
+    def test_different_seeds_differ(self):
+        assert rsa.generate_keypair(512, seed=1).n != rsa.generate_keypair(512, seed=2).n
+
+    def test_exact_modulus_size(self):
+        for bits in (512, 768, 1024):
+            assert rsa.generate_keypair(bits, seed=3).n.bit_length() == bits
+
+    def test_public_exponent(self, key):
+        assert key.e == 65537
+
+    def test_private_key_inverts(self, key):
+        message = 0x1234567890
+        assert pow(pow(message, key.e, key.n), key.d, key.n) == message
+
+
+class TestSignVerify:
+    def test_sign_verify(self, key):
+        signature = rsa.sign(key, b"hello world")
+        assert rsa.verify(key.public, b"hello world", signature)
+
+    def test_signature_length_is_modulus_length(self, key):
+        assert len(rsa.sign(key, b"x")) == key.byte_length
+
+    def test_tampered_message_fails(self, key):
+        signature = rsa.sign(key, b"hello world")
+        assert not rsa.verify(key.public, b"hello worle", signature)
+
+    def test_tampered_signature_fails(self, key):
+        signature = bytearray(rsa.sign(key, b"msg"))
+        signature[10] ^= 0x01
+        assert not rsa.verify(key.public, b"msg", bytes(signature))
+
+    def test_wrong_key_fails(self, key):
+        other = rsa.generate_keypair(512, seed=777)
+        signature = rsa.sign(key, b"msg")
+        assert not rsa.verify(other.public, b"msg", signature)
+
+    def test_wrong_digest_fails(self, key):
+        signature = rsa.sign(key, b"msg", digest_name="sha256")
+        assert not rsa.verify(key.public, b"msg", signature, digest_name="sha1")
+
+    def test_sha1_and_sha512(self, key):
+        for digest in ("sha1", "sha512"):
+            if digest == "sha512":
+                # 512-bit modulus is too small for SHA-512 EMSA encoding.
+                with pytest.raises(ValueError):
+                    rsa.sign(key, b"m", digest_name=digest)
+            else:
+                signature = rsa.sign(key, b"m", digest_name=digest)
+                assert rsa.verify(key.public, b"m", signature, digest_name=digest)
+
+    def test_sha512_with_big_key(self):
+        key = rsa.generate_keypair(1024, seed=9)
+        signature = rsa.sign(key, b"m", digest_name="sha512")
+        assert rsa.verify(key.public, b"m", signature, digest_name="sha512")
+
+    def test_deterministic_signature(self, key):
+        assert rsa.sign(key, b"same") == rsa.sign(key, b"same")
+
+    def test_bad_signature_length_rejected(self, key):
+        assert not rsa.verify(key.public, b"m", b"\x00" * (key.byte_length - 1))
+
+    def test_signature_ge_modulus_rejected(self, key):
+        too_big = (key.n + 1).to_bytes(key.byte_length, "big", signed=False) \
+            if (key.n + 1).bit_length() <= key.byte_length * 8 else b"\xff" * key.byte_length
+        assert not rsa.verify(key.public, b"m", too_big)
+
+    def test_verify_never_raises_on_garbage(self, key):
+        for garbage in (b"", b"\x00", b"\xff" * 64, b"a" * 200):
+            assert rsa.verify(key.public, b"m", garbage) in (True, False)
+
+
+class TestDnskeyFormat:
+    def test_round_trip(self, key):
+        data = key.public.to_dnskey_format()
+        decoded = rsa.RsaPublicKey.from_dnskey_format(data)
+        assert decoded == key.public
+
+    def test_layout_short_exponent(self, key):
+        data = key.public.to_dnskey_format()
+        assert data[0] == 3  # 65537 is three octets
+        assert data[1:4] == b"\x01\x00\x01"
+
+    def test_long_exponent_encoding(self):
+        public = rsa.RsaPublicKey(n=(1 << 512) + 1, e=(1 << 2050) + 1)
+        data = public.to_dnskey_format()
+        assert data[0] == 0  # long form marker
+        assert rsa.RsaPublicKey.from_dnskey_format(data) == public
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rsa.RsaPublicKey.from_dnskey_format(b"")
+
+    def test_truncated_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            rsa.RsaPublicKey.from_dnskey_format(b"\x05\x01\x02")
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            rsa.RsaPublicKey.from_dnskey_format(b"\x01\x03")
+
+
+class TestPrimality:
+    def test_small_primes_detected(self):
+        import random
+
+        rng = random.Random(0)
+        for p in (2, 3, 5, 7, 97, 101, 65537):
+            assert rsa._is_probable_prime(p, rng)
+
+    def test_small_composites_rejected(self):
+        import random
+
+        rng = random.Random(0)
+        for c in (0, 1, 4, 9, 15, 91, 561, 6601):  # incl. Carmichael numbers
+            assert not rsa._is_probable_prime(c, rng)
+
+    def test_carmichael_numbers_rejected(self):
+        import random
+
+        rng = random.Random(0)
+        for c in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not rsa._is_probable_prime(c, rng)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=0, max_size=256))
+def test_property_sign_verify(message):
+    key = rsa.generate_keypair(512, seed=42)
+    assert rsa.verify(key.public, message, rsa.sign(key, message))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=63))
+def test_property_bitflip_breaks_signature(message, position):
+    key = rsa.generate_keypair(512, seed=42)
+    signature = bytearray(rsa.sign(key, message))
+    signature[position % len(signature)] ^= 0x80
+    assert not rsa.verify(key.public, message, bytes(signature))

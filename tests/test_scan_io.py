@@ -1,0 +1,68 @@
+"""NDJSON persistence of scan results."""
+
+import json
+
+import pytest
+
+from repro.scan.analysis import analyze
+from repro.scan.io import iter_ndjson, read_ndjson, record_to_json, write_ndjson
+
+
+class TestNdjson:
+    def test_write_and_count(self, small_scan, tmp_path):
+        path = tmp_path / "scan.ndjson"
+        written = write_ndjson(small_scan, path)
+        assert written == len(small_scan.records)
+        assert len(path.read_text().splitlines()) == written
+
+    def test_lines_are_valid_json(self, small_scan, tmp_path):
+        path = tmp_path / "scan.ndjson"
+        write_ndjson(small_scan, path)
+        for line in path.read_text().splitlines()[:50]:
+            obj = json.loads(line)
+            assert "name" in obj and "data" in obj
+
+    def test_gzip_round_trip(self, small_scan, tmp_path):
+        path = tmp_path / "scan.ndjson.gz"
+        write_ndjson(small_scan, path)
+        loaded = read_ndjson(path)
+        assert len(loaded.records) == len(small_scan.records)
+
+    def test_round_trip_preserves_analysis(self, small_scan, small_population, tmp_path):
+        path = tmp_path / "scan.ndjson"
+        write_ndjson(small_scan, path)
+        loaded = read_ndjson(path)
+        original = analyze(small_scan, small_population)
+        reloaded = analyze(loaded, small_population)
+        assert {c.code: c.domains for c in original.categories} == {
+            c.code: c.domains for c in reloaded.categories
+        }
+        assert original.ede_domains == reloaded.ede_domains
+        assert original.lame_union == reloaded.lame_union
+
+    def test_round_trip_preserves_records(self, small_scan, tmp_path):
+        path = tmp_path / "scan.ndjson"
+        write_ndjson(small_scan, path)
+        loaded = read_ndjson(path)
+        by_name_orig = {r.name: r for r in small_scan.records}
+        for record in loaded.records[:100]:
+            original = by_name_orig[record.name]
+            assert record.rcode == original.rcode
+            assert record.ede_codes == original.ede_codes
+            assert record.profile == original.profile
+            assert record.rank == original.rank
+
+    def test_ground_truth_optional(self, small_scan, tmp_path):
+        path = tmp_path / "plain.ndjson"
+        write_ndjson(small_scan, path, ground_truth=False)
+        first = next(iter_ndjson(path))
+        assert "ground_truth" not in first
+        loaded = read_ndjson(path)
+        assert loaded.records[0].profile == -1  # refuses to fake truth
+
+    def test_zdns_shape(self, small_scan):
+        obj = record_to_json(small_scan.records[0])
+        assert obj["class"] == "IN"
+        assert obj["type"] == "A"
+        assert "rcode" in obj["data"]
+        assert isinstance(obj["data"]["ede"], list)

@@ -1,0 +1,154 @@
+"""The paper's core experiment: the testbed and the 63x7 Table 4 matrix."""
+
+import pytest
+
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.testbed.expected import CONSISTENT_CASES, EXPECTED_TABLE4, PROFILE_ORDER
+from repro.testbed.infra import child_server_address
+from repro.testbed.subdomains import ALL_CASES, CASES_BY_LABEL, cases_in_group
+
+
+class TestCaseSpecs:
+    def test_sixty_three_cases(self):
+        assert len(ALL_CASES) == 63
+
+    def test_labels_unique(self):
+        assert len(CASES_BY_LABEL) == 63
+
+    def test_expected_table_covers_all_cases(self):
+        assert set(EXPECTED_TABLE4) == set(CASES_BY_LABEL)
+
+    def test_group_sizes_match_table2(self):
+        sizes = {g: len(cases_in_group(g)) for g in range(1, 9)}
+        assert sizes == {1: 1, 2: 7, 3: 8, 4: 9, 5: 14, 6: 10, 7: 8, 8: 6}
+
+    def test_paper_subdomain_names_present(self):
+        for label in (
+            "valid", "no-ds", "ds-bad-tag", "rrsig-exp-all", "nsec3-iter-200",
+            "no-dnskey-256-257", "v6-nat64", "v4-loopback", "ed448",
+            "allow-query-localhost",
+        ):
+            assert label in CASES_BY_LABEL
+
+    def test_nsec3_cases_query_nonexistent(self):
+        for case in cases_in_group(4):
+            if case.label == "nsec3-iter-200":
+                assert not case.query_nonexistent
+            else:
+                assert case.query_nonexistent
+
+    def test_glue_cases_are_unsigned(self):
+        for case in [*cases_in_group(6), *cases_in_group(7)]:
+            assert not case.mutation.signed
+            assert case.mutation.glue_override is not None
+
+    def test_subdomain_fqdn(self):
+        assert CASES_BY_LABEL["valid"].subdomain == "valid.extended-dns-errors.com."
+
+
+class TestDeployment:
+    def test_all_cases_deployed(self, testbed):
+        assert set(testbed.cases) == set(CASES_BY_LABEL)
+
+    def test_glue_cases_not_hosted(self, testbed):
+        assert testbed.cases["v6-localhost"].built is None
+        assert testbed.cases["v4-loopback"].built is None
+
+    def test_hosted_cases_have_zone(self, testbed):
+        assert testbed.cases["valid"].built is not None
+        assert testbed.cases["no-ds"].built is not None
+
+    def test_trust_anchor_matches_root_ksk(self, testbed):
+        from repro.dnssec.ds import ds_matches_dnskey
+        from repro.dns.name import Name
+
+        anchor = testbed.trust_anchors[0]
+        assert ds_matches_dnskey(anchor, Name.root(), testbed.root_built.ksk.dnskey())
+
+    def test_server_addresses_unique(self, testbed):
+        addresses = [d.server_address for d in testbed.cases.values()]
+        assert len(set(addresses)) == len(addresses)
+
+    def test_child_address_generator(self):
+        assert child_server_address(0) != child_server_address(1)
+        from repro.net.addresses import is_globally_routable
+
+        for index in range(63):
+            assert is_globally_routable(child_server_address(index))
+
+    def test_parent_zone_delegates_everything(self, testbed):
+        from repro.dns.name import Name
+
+        parent = testbed.parent_built.zone
+        for label in CASES_BY_LABEL:
+            child = Name.from_text(f"{label}.extended-dns-errors.com.")
+            assert parent.find(child, RdataType.NS) is not None, label
+
+    def test_no_ds_case_has_no_ds_in_parent(self, testbed):
+        from repro.dns.name import Name
+
+        parent = testbed.parent_built.zone
+        assert parent.find(
+            Name.from_text("no-ds.extended-dns-errors.com."), RdataType.DS
+        ) is None
+        assert parent.find(
+            Name.from_text("valid.extended-dns-errors.com."), RdataType.DS
+        ) is not None
+
+
+class TestMatrixAgainstPaper:
+    """The headline result: our engine reproduces Table 4 cell by cell."""
+
+    def test_full_matrix_matches_published_table(self, matrix):
+        mismatches = matrix.diff_against_paper()
+        assert mismatches == [], (
+            f"{len(mismatches)} cells deviate from the paper: {mismatches[:10]}"
+        )
+
+    def test_agreement_is_total(self, matrix):
+        assert matrix.agreement_with_paper() == 1.0
+
+    @pytest.mark.parametrize("label", sorted(EXPECTED_TABLE4))
+    def test_row(self, matrix, label):
+        expected = EXPECTED_TABLE4[label]
+        for profile in PROFILE_ORDER:
+            measured = tuple(sorted(matrix.codes(label, profile)))
+            assert measured == tuple(sorted(expected[profile])), (
+                f"{label}/{profile}: measured {measured}, paper {expected[profile]}"
+            )
+
+    def test_consistent_cases_match_paper(self, matrix):
+        assert sorted(matrix.consistent_cases()) == sorted(CONSISTENT_CASES)
+
+    def test_inconsistency_ratio_about_94_percent(self, matrix):
+        assert matrix.inconsistency_ratio() == pytest.approx(59 / 63)
+
+    def test_twelve_unique_codes(self, matrix):
+        assert matrix.unique_codes() == (0, 1, 2, 6, 7, 8, 9, 10, 12, 18, 22, 23)
+
+    def test_dominant_codes(self, matrix):
+        frequencies = matrix.code_frequencies()
+        assert sorted(list(frequencies)[:3]) == [6, 9, 10]
+
+    def test_bind_column_empty(self, matrix):
+        for case in ALL_CASES:
+            assert matrix.codes(case.label, "bind") == ()
+
+    def test_rcode_consistency(self, matrix):
+        # The four no-error cases answer NOERROR everywhere; DNSSEC-bogus
+        # cases answer SERVFAIL on every validating profile.
+        for label in CONSISTENT_CASES:
+            for profile in PROFILE_ORDER:
+                assert matrix.cells[(label, profile)].rcode == Rcode.NOERROR
+        for label in ("rrsig-exp-all", "bad-zsk", "ds-bogus-digest-value"):
+            for profile in PROFILE_ORDER:
+                assert matrix.cells[(label, profile)].rcode == Rcode.SERVFAIL
+
+    def test_cloudflare_extra_text_on_acl_cases(self, matrix):
+        cell = matrix.cells[("allow-query-none", "cloudflare")]
+        assert any("rcode=REFUSED" in text for text in cell.extra_texts)
+
+    def test_knot_lslc_text(self, matrix):
+        cell = matrix.cells[("rsamd5", "knot")]
+        assert "LSLC: unsupported digest/key" in cell.extra_texts

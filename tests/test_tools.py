@@ -1,0 +1,76 @@
+"""The CLI / library tools: chain inspector and the experiments driver."""
+
+import pytest
+
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.tools.inspect import ChainInspector
+
+
+class TestChainInspector:
+    @pytest.fixture(scope="class")
+    def inspector(self, testbed):
+        from repro.resolver.profiles import CLOUDFLARE, UNBOUND
+
+        return ChainInspector(testbed, profiles=(UNBOUND, CLOUDFLARE))
+
+    def test_valid_chain(self, inspector):
+        report = inspector.inspect("valid.extended-dns-errors.com.")
+        assert report.rcode == Rcode.NOERROR
+        assert report.validation_state == "secure"
+        assert len(report.zones) == 4  # . com edey.com valid.edey.com
+        leaf = report.zones[-1]
+        assert leaf.ds_records and leaf.ds_matches
+
+    def test_root_zone_first(self, inspector):
+        report = inspector.inspect("valid.extended-dns-errors.com.")
+        assert str(report.zones[0].zone) == "."
+
+    def test_ds_mismatch_surfaces(self, inspector):
+        report = inspector.inspect("ds-bad-tag.extended-dns-errors.com.")
+        assert report.validation_state == "bogus"
+        assert report.failure_reason == "DS_DNSKEY_MISMATCH"
+        leaf = report.zones[-1]
+        assert leaf.ds_matches is False
+
+    def test_vendor_codes_in_report(self, inspector):
+        report = inspector.inspect("ds-bad-tag.extended-dns-errors.com.")
+        assert report.vendor_codes["unbound"] == (9,)
+        assert report.vendor_codes["cloudflare"] == (9,)
+
+    def test_unreachable_note(self, inspector):
+        report = inspector.inspect("allow-query-none.extended-dns-errors.com.")
+        leaf = report.zones[-1]
+        assert any("unfetchable" in note for note in leaf.notes)
+
+    def test_render_is_printable(self, inspector):
+        text = inspector.inspect("bad-zsk.extended-dns-errors.com.").render()
+        assert "DS <-> DNSKEY" in text
+        assert "vendor EDE codes" in text
+
+    def test_relative_name_accepted(self, inspector):
+        report = inspector.inspect("valid.extended-dns-errors.com")
+        assert report.rcode == Rcode.NOERROR
+
+
+class TestExperimentsCli:
+    def test_table1_via_cli(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "1 experiments, 1 fully matching" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+
+class TestDigCliHelpers:
+    def test_rdtype_validation(self, capsys):
+        from repro.tools.dig import main
+
+        assert main(["example.com", "BOGUS"]) == 2

@@ -1,0 +1,98 @@
+"""Truncation and TCP fallback (RFC 6891 size limits, RFC 7766 retry)."""
+
+import pytest
+
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.rdata import A, NS, TXT
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.net.fabric import NetworkFabric
+from repro.resolver.iterative import EngineConfig, IterativeEngine
+from repro.server.authoritative import AuthoritativeServer
+from repro.zones.builder import ZoneBuilder
+from repro.zones.mutations import ZoneMutation
+
+BIG = Name.from_text("big.test.")
+SERVER_IP = "192.0.9.10"
+
+
+@pytest.fixture()
+def big_server(fabric):
+    """A zone whose TXT RRset cannot fit in 512 octets."""
+    builder = ZoneBuilder(
+        BIG, now=int(fabric.clock.now()),
+        mutation=ZoneMutation(algorithm=13, signed=False),
+    )
+    ns = Name.from_text("ns1.big.test.")
+    builder.add(RRset.of(BIG, RdataType.NS, NS(target=ns)))
+    builder.add(RRset.of(ns, RdataType.A, A(address=SERVER_IP)))
+    big_txt = RRset.of(
+        BIG, RdataType.TXT,
+        *[TXT(strings=(bytes([65 + i]) * 200,)) for i in range(6)],
+    )
+    builder.add(big_txt)
+    builder.ensure_soa()
+    server = AuthoritativeServer("ns1.big.test")
+    server.add_zone(builder.build().zone)
+    fabric.register(SERVER_IP, server)
+    return server
+
+
+class TestServerSideTruncation:
+    def test_small_payload_gets_tc(self, big_server):
+        query = Message.make_query(BIG, RdataType.TXT, use_edns=False)
+        raw = big_server.handle_datagram(query.to_wire(), "1.2.3.4")
+        assert len(raw) <= 512
+        response = Message.from_wire(raw)
+        assert response.tc
+        assert not response.answer
+
+    def test_big_edns_payload_fits(self, big_server):
+        query = Message.make_query(BIG, RdataType.TXT, payload=4096)
+        raw = big_server.handle_datagram(query.to_wire(), "1.2.3.4")
+        response = Message.from_wire(raw)
+        assert not response.tc
+        assert response.answer
+
+    def test_stream_never_truncates(self, big_server):
+        query = Message.make_query(BIG, RdataType.TXT, use_edns=False)
+        raw = big_server.handle_stream(query.to_wire(), "1.2.3.4")
+        response = Message.from_wire(raw)
+        assert not response.tc
+        assert len(response.answer[0]) == 6
+
+    def test_small_answers_unaffected(self, big_server):
+        query = Message.make_query(BIG, RdataType.NS, use_edns=False)
+        response = Message.from_wire(
+            big_server.handle_datagram(query.to_wire(), "1.2.3.4")
+        )
+        assert not response.tc and response.answer
+
+
+class TestEngineTcpFallback:
+    def test_engine_retries_over_tcp(self, fabric, big_server):
+        engine = IterativeEngine(
+            fabric, [SERVER_IP], EngineConfig(payload=512)
+        )
+        events = []
+        result = engine.resolve(BIG, RdataType.TXT, events)
+        assert result.ok
+        answer = [r for r in result.answer if r.rdtype == RdataType.TXT]
+        assert answer and len(answer[0]) == 6
+        assert fabric.stats.tcp_queries == 1
+
+    def test_no_tcp_when_it_fits(self, fabric, big_server):
+        engine = IterativeEngine(fabric, [SERVER_IP], EngineConfig(payload=4096))
+        events = []
+        result = engine.resolve(BIG, RdataType.TXT, events)
+        assert result.ok
+        assert fabric.stats.tcp_queries == 0
+
+    def test_tcp_costs_extra_latency(self, fabric, big_server):
+        engine = IterativeEngine(fabric, [SERVER_IP], EngineConfig(payload=512))
+        before = fabric.clock.now()
+        engine.resolve(BIG, RdataType.TXT, [])
+        # one UDP round trip (0.01) + TCP handshake + query (0.02)
+        assert fabric.clock.now() - before == pytest.approx(0.03)

@@ -1,0 +1,186 @@
+"""The wild-Internet tier: virtual TLD servers, lazy hosting, mutations."""
+
+import pytest
+
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.scan.population import Profile
+from repro.scan.wild import (
+    WILD_ALGORITHM,
+    WildInternet,
+    domain_mutation,
+    hosting_address,
+    tld_server_address,
+)
+from repro.zones.mutations import SigScope, Window
+
+
+def first_domain(population, profile: Profile):
+    for domain in population.domains:
+        if domain.profile is profile:
+            return domain
+    pytest.skip(f"no {profile.name} domain in this universe")
+
+
+class TestDomainMutation:
+    def _domain(self, small_population, profile):
+        return first_domain(small_population, profile)
+
+    def test_valid_signed(self, small_population):
+        mutation = domain_mutation(self._domain(small_population, Profile.VALID_SIGNED))
+        assert mutation.signed
+        assert mutation.algorithm == WILD_ALGORITHM
+        assert not mutation.is_mutated() or mutation.nsec3_iterations == 0
+
+    def test_standby(self, small_population):
+        mutation = domain_mutation(self._domain(small_population, Profile.STANDBY_KSK))
+        assert mutation.add_standby_ksk
+
+    def test_dnskey_missing(self, small_population):
+        mutation = domain_mutation(self._domain(small_population, Profile.DNSKEY_MISSING))
+        assert mutation.ds_tag_offset == 1
+
+    def test_bogus(self, small_population):
+        mutation = domain_mutation(self._domain(small_population, Profile.BOGUS))
+        assert mutation.corrupt_sigs is SigScope.DNSKEY_SIGS
+
+    def test_sig_windows(self, small_population):
+        assert (
+            domain_mutation(self._domain(small_population, Profile.SIG_EXPIRED)).window_all
+            is Window.EXPIRED
+        )
+        assert (
+            domain_mutation(self._domain(small_population, Profile.SIG_NOT_YET)).window_all
+            is Window.NOT_YET_VALID
+        )
+
+    def test_lame_profiles_unsigned(self, small_population):
+        for profile in (Profile.LAME_REFUSED, Profile.LAME_UNREACHABLE):
+            mutation = domain_mutation(self._domain(small_population, profile))
+            assert not mutation.signed
+
+
+class TestWildDeployment:
+    def test_root_trust_anchor(self, small_wild):
+        assert small_wild.trust_anchors
+
+    def test_tld_servers_for_every_tld(self, small_wild):
+        assert len(small_wild.tld_servers) == len(small_wild.population.tlds)
+
+    def test_addresses_routable(self):
+        from repro.net.addresses import is_globally_routable
+
+        for index in (0, 100, 1474):
+            assert is_globally_routable(tld_server_address(index))
+        for index in (0, 50):
+            assert is_globally_routable(hosting_address(index))
+
+    def test_registered_domain_lookup(self, small_wild):
+        domain = small_wild.population.domains[0]
+        qname = Name.from_text(domain.fqdn)
+        assert small_wild.registered_domain_of(qname) is domain
+        sub = qname.prepend(b"www")
+        assert small_wild.registered_domain_of(sub) is domain
+        assert small_wild.registered_domain_of(Name.from_text("unknown.zz.")) is None
+
+    def test_domain_keys_deterministic(self, small_wild, small_population):
+        domain = first_domain(small_population, Profile.VALID_SIGNED)
+        ksk1, _ = small_wild.domain_keys(domain)
+        ksk2, _ = small_wild.domain_keys(domain)
+        assert ksk1 is ksk2  # cached
+
+    def test_delegation_signed_has_ds(self, small_wild, small_population):
+        domain = first_domain(small_population, Profile.VALID_SIGNED)
+        delegation = small_wild.delegation_for(domain)
+        assert delegation.ds_rdatas
+
+    def test_delegation_unsigned_has_no_ds(self, small_wild, small_population):
+        domain = first_domain(small_population, Profile.VALID_UNSIGNED)
+        assert small_wild.delegation_for(domain).ds_rdatas == []
+
+    def test_partial_refused_has_two_ns(self, small_wild, small_population):
+        domain = first_domain(small_population, Profile.PARTIAL_REFUSED)
+        delegation = small_wild.delegation_for(domain)
+        assert len(delegation.ns_names) == 2
+        assert len(delegation.glue) == 2
+
+    def test_unreachable_glue_is_special(self, small_wild, small_population):
+        from repro.net.addresses import classify
+
+        domain = first_domain(small_population, Profile.LAME_UNREACHABLE)
+        delegation = small_wild.delegation_for(domain)
+        assert classify(delegation.glue[0][1]).special
+
+
+class TestVirtualTldServer:
+    def _query(self, small_wild, qname, rdtype=RdataType.A, tld=None):
+        if tld is None:
+            domain = small_wild.registered_domain_of(Name.from_text(qname))
+            tld = domain.tld
+        server = small_wild.tld_servers[tld]
+        query = Message.make_query(qname, rdtype, want_dnssec=True)
+        return server.handle_query(query)
+
+    def test_referral(self, small_wild, small_population):
+        domain = first_domain(small_population, Profile.VALID_UNSIGNED)
+        response = self._query(small_wild, domain.fqdn)
+        assert not response.aa
+        assert any(r.rdtype == RdataType.NS for r in response.authority)
+        assert any(r.rdtype == RdataType.A for r in response.additional)
+
+    def test_unsigned_referral_has_optout_denial(self, small_wild, small_population):
+        domain = first_domain(small_population, Profile.VALID_UNSIGNED)
+        response = self._query(small_wild, domain.fqdn)
+        nsec3 = [r for r in response.authority if r.rdtype == RdataType.NSEC3]
+        assert nsec3
+        assert nsec3[0].rdatas[0].opt_out
+
+    def test_signed_referral_has_ds(self, small_wild, small_population):
+        domain = first_domain(small_population, Profile.VALID_SIGNED)
+        response = self._query(small_wild, domain.fqdn)
+        assert any(r.rdtype == RdataType.DS for r in response.authority)
+
+    def test_ds_query_answered_with_signature(self, small_wild, small_population):
+        domain = first_domain(small_population, Profile.VALID_SIGNED)
+        response = self._query(small_wild, domain.fqdn, RdataType.DS)
+        assert response.aa
+        assert any(r.rdtype == RdataType.DS for r in response.answer)
+        assert any(r.rdtype == RdataType.RRSIG for r in response.answer)
+
+    def test_apex_dnskey(self, small_wild, small_population):
+        domain = small_population.domains[0]
+        response = self._query(
+            small_wild, domain.tld + ".", RdataType.DNSKEY, tld=domain.tld
+        )
+        assert response.aa
+        assert any(r.rdtype == RdataType.DNSKEY for r in response.answer)
+
+    def test_unknown_child_nxdomain(self, small_wild, small_population):
+        domain = small_population.domains[0]
+        response = self._query(
+            small_wild, f"never-registered-zzz.{domain.tld}.", tld=domain.tld
+        )
+        assert response.rcode == Rcode.NXDOMAIN
+
+
+class TestHostingLaziness:
+    def test_zone_built_on_first_query(self, small_wild, small_population):
+        domain = first_domain(small_population, Profile.VALID_UNSIGNED)
+        server = small_wild.hosting_servers[domain.hosting_index]
+        query = Message.make_query(domain.fqdn, RdataType.A, want_dnssec=True)
+        raw = server.handle_datagram(query.to_wire(), "198.51.100.1")
+        response = Message.from_wire(raw)
+        assert response.rcode == Rcode.NOERROR
+        built_after_first = server.zones_built
+        assert Name.from_text(domain.fqdn) in server._materialized
+        # repeated queries do not rebuild
+        server.handle_datagram(query.to_wire(), "198.51.100.1")
+        assert server.zones_built == built_after_first
+
+    def test_zone_cache_reused_across_servers(self, small_wild, small_population):
+        domain = first_domain(small_population, Profile.VALID_SIGNED)
+        built_a = small_wild.materialize_zone(domain)
+        built_b = small_wild.materialize_zone(domain)
+        assert built_a is built_b

@@ -1,0 +1,186 @@
+"""Wire buffer primitives: scalars, names, compression, pointer abuse."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.exceptions import BadLabelType, BadPointer, TruncatedMessage
+from repro.dns.name import Name
+from repro.dns.wire import WireReader, WireWriter
+
+
+class TestScalars:
+    def test_u8_round_trip(self):
+        writer = WireWriter()
+        writer.write_u8(0xAB)
+        assert WireReader(writer.getvalue()).read_u8() == 0xAB
+
+    def test_u16_round_trip(self):
+        writer = WireWriter()
+        writer.write_u16(0xBEEF)
+        assert WireReader(writer.getvalue()).read_u16() == 0xBEEF
+
+    def test_u32_round_trip(self):
+        writer = WireWriter()
+        writer.write_u32(0xDEADBEEF)
+        assert WireReader(writer.getvalue()).read_u32() == 0xDEADBEEF
+
+    def test_network_byte_order(self):
+        writer = WireWriter()
+        writer.write_u16(0x0102)
+        assert writer.getvalue() == b"\x01\x02"
+
+    def test_patch_u16(self):
+        writer = WireWriter()
+        writer.write_u16(0)
+        writer.write_bytes(b"xyz")
+        writer.patch_u16(0, 3)
+        assert writer.getvalue()[:2] == b"\x00\x03"
+
+    def test_truncated_u16(self):
+        with pytest.raises(TruncatedMessage):
+            WireReader(b"\x01").read_u16()
+
+    def test_truncated_u32(self):
+        with pytest.raises(TruncatedMessage):
+            WireReader(b"\x01\x02\x03").read_u32()
+
+    def test_truncated_bytes(self):
+        with pytest.raises(TruncatedMessage):
+            WireReader(b"ab").read_bytes(3)
+
+    def test_remaining_and_at_end(self):
+        reader = WireReader(b"abcd")
+        assert reader.remaining() == 4
+        reader.read_bytes(4)
+        assert reader.at_end()
+
+
+class TestNameCompression:
+    def test_name_round_trip(self):
+        writer = WireWriter()
+        name = Name.from_text("www.example.com.")
+        writer.write_name(name)
+        assert WireReader(writer.getvalue()).read_name() == name
+
+    def test_second_name_compressed(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("www.example.com."))
+        before = writer.offset
+        writer.write_name(Name.from_text("ftp.example.com."))
+        # "ftp" label (4 bytes) + 2-byte pointer = 6 bytes.
+        assert writer.offset - before == 6
+
+    def test_identical_name_is_single_pointer(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("a.example."))
+        before = writer.offset
+        writer.write_name(Name.from_text("a.example."))
+        assert writer.offset - before == 2
+
+    def test_case_insensitive_compression_targets(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("EXAMPLE.com."))
+        before = writer.offset
+        writer.write_name(Name.from_text("example.COM."))
+        assert writer.offset - before == 2
+
+    def test_compressed_decode(self):
+        writer = WireWriter()
+        names = [
+            Name.from_text("www.example.com."),
+            Name.from_text("mail.example.com."),
+            Name.from_text("example.com."),
+        ]
+        for name in names:
+            writer.write_name(name)
+        reader = WireReader(writer.getvalue())
+        assert [reader.read_name() for _ in names] == names
+
+    def test_compression_disabled(self):
+        writer = WireWriter(enable_compression=False)
+        name = Name.from_text("example.com.")
+        writer.write_name(name)
+        before = writer.offset
+        writer.write_name(name)
+        assert writer.offset - before == len(name)
+
+    def test_compress_false_per_name(self):
+        writer = WireWriter()
+        name = Name.from_text("example.com.")
+        writer.write_name(name)
+        before = writer.offset
+        writer.write_name(name, compress=False)
+        assert writer.offset - before == len(name)
+
+    def test_root_name(self):
+        writer = WireWriter()
+        writer.write_name(Name.root())
+        assert writer.getvalue() == b"\x00"
+        assert WireReader(b"\x00").read_name().is_root()
+
+    def test_relative_name_rejected(self):
+        with pytest.raises(ValueError):
+            WireWriter().write_name(Name.from_text("relative"))
+
+
+class TestPointerAbuse:
+    def test_forward_pointer_rejected(self):
+        # Pointer at offset 0 pointing to offset 4 (forward).
+        with pytest.raises(BadPointer):
+            WireReader(b"\xc0\x04\x00\x00\x01a\x00").read_name()
+
+    def test_self_pointer_rejected(self):
+        with pytest.raises(BadPointer):
+            WireReader(b"\xc0\x00").read_name()
+
+    def test_pointer_cycle_rejected(self):
+        # name at 0: label "a" then pointer to 4; at 4: pointer back to 0.
+        data = b"\x01a\xc0\x00"
+        with pytest.raises(BadPointer):
+            WireReader(data).read_name()
+
+    def test_unknown_label_type(self):
+        with pytest.raises(BadLabelType):
+            WireReader(b"\x80abc").read_name()
+
+    def test_truncated_label(self):
+        with pytest.raises(TruncatedMessage):
+            WireReader(b"\x05ab").read_name()
+
+    def test_truncated_pointer(self):
+        with pytest.raises(TruncatedMessage):
+            WireReader(b"\xc0").read_name()
+
+    def test_missing_terminator(self):
+        with pytest.raises(TruncatedMessage):
+            WireReader(b"\x01a").read_name()
+
+    def test_reader_position_after_pointer(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("example.com."))
+        writer.write_name(Name.from_text("example.com."))
+        writer.write_u16(0x1234)
+        reader = WireReader(writer.getvalue())
+        reader.read_name()
+        reader.read_name()
+        assert reader.read_u16() == 0x1234
+
+
+_label = st.binary(min_size=1, max_size=15)
+
+
+@given(st.lists(st.lists(_label, min_size=0, max_size=4), min_size=1, max_size=6))
+def test_property_many_names_round_trip(all_labels):
+    names = [Name(tuple(labels) + (b"",)) for labels in all_labels]
+    writer = WireWriter()
+    for name in names:
+        writer.write_name(name)
+    reader = WireReader(writer.getvalue())
+    assert [reader.read_name() for _ in names] == names
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_property_u32_round_trip(value):
+    writer = WireWriter()
+    writer.write_u32(value)
+    assert WireReader(writer.getvalue()).read_u32() == value

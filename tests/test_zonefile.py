@@ -1,0 +1,169 @@
+"""Master-file parsing and serialization."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdata import A, MX, NS, SOA, TXT
+from repro.dns.types import RdataType
+from repro.zones.builder import ZoneBuilder
+from repro.zones.mutations import ZoneMutation
+from repro.zones.zonefile import ZoneFileError, parse_zone, write_zone
+
+SIMPLE = """
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1 hostmaster 2023051500 7200 3600 1209600 300
+@   IN NS  ns1
+ns1 IN A   192.0.2.53
+www 600 IN A 192.0.2.80
+    IN AAAA 2001:db8::80
+mail IN MX 10 mx.example.com.
+txt  IN TXT "hello world" "second"
+"""
+
+
+class TestParsing:
+    def test_basic_zone(self):
+        zone = parse_zone(SIMPLE)
+        assert zone.origin == Name.from_text("example.com.")
+        assert len(zone) == 7
+
+    def test_soa_fields(self):
+        zone = parse_zone(SIMPLE)
+        soa = zone.find(zone.origin, RdataType.SOA).rdatas[0]
+        assert soa.serial == 2023051500
+        assert soa.mname == Name.from_text("ns1.example.com.")
+        assert soa.minimum == 300
+
+    def test_relative_names_resolved(self):
+        zone = parse_zone(SIMPLE)
+        assert zone.find(Name.from_text("ns1.example.com."), RdataType.A) is not None
+
+    def test_ttl_per_record(self):
+        zone = parse_zone(SIMPLE)
+        assert zone.find(Name.from_text("www.example.com."), RdataType.A).ttl == 600
+
+    def test_default_ttl(self):
+        zone = parse_zone(SIMPLE)
+        assert zone.find(Name.from_text("ns1.example.com."), RdataType.A).ttl == 3600
+
+    def test_owner_inheritance(self):
+        zone = parse_zone(SIMPLE)
+        aaaa = zone.find(Name.from_text("www.example.com."), RdataType.AAAA)
+        assert aaaa is not None
+
+    def test_quoted_txt(self):
+        zone = parse_zone(SIMPLE)
+        txt = zone.find(Name.from_text("txt.example.com."), RdataType.TXT).rdatas[0]
+        assert txt.strings == (b"hello world", b"second")
+
+    def test_comments_ignored(self):
+        zone = parse_zone("$ORIGIN t.\n@ IN SOA ns1 h 1 2 3 4 5 ; comment\n@ IN NS ns1 ;x\n")
+        assert len(zone) == 2
+
+    def test_parenthesized_soa(self):
+        text = (
+            "$ORIGIN p.\n@ IN SOA ns1 hostmaster (\n"
+            "    2023051500 ; serial\n    7200\n    3600\n    1209600\n    300 )\n"
+        )
+        zone = parse_zone(text)
+        assert zone.find(zone.origin, RdataType.SOA).rdatas[0].serial == 2023051500
+
+    def test_ttl_units(self):
+        zone = parse_zone("$ORIGIN u.\n$TTL 1h\n@ IN SOA ns1 h 1 2h 30m 2w 5m\n@ IN NS ns1\n")
+        assert zone.find(zone.origin, RdataType.NS).ttl == 3600
+        soa = zone.find(zone.origin, RdataType.SOA).rdatas[0]
+        assert soa.refresh == 7200 and soa.expire == 1209600
+
+    def test_origin_argument(self):
+        zone = parse_zone("@ IN SOA ns1 h 1 2 3 4 5\n", origin="arg.test.")
+        assert zone.origin == Name.from_text("arg.test.")
+
+    def test_apex_from_soa_owner(self):
+        zone = parse_zone("$ORIGIN x.\nsub IN SOA ns1 h 1 2 3 4 5\n")
+        assert zone.origin == Name.from_text("sub.x.")
+
+
+class TestErrors:
+    def test_relative_without_origin(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("www IN A 192.0.2.1\n")
+
+    def test_unknown_type(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN t.\n@ IN BOGUSTYPE data\n")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN t.\n@ IN SOA ns1 h ( 1 2 3 4 5\n")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone('$ORIGIN t.\n@ IN TXT "oops\n')
+
+    def test_bad_soa_field_count(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN t.\n@ IN SOA ns1 h 1 2 3\n")
+
+    def test_missing_type(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN t.\n@ 300 IN\n")
+
+    def test_unsupported_directive(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$INCLUDE other.db\n")
+
+    def test_no_origin_at_all(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("; nothing here\n")
+
+
+class TestRoundTrip:
+    def test_plain_zone_round_trip(self):
+        zone = parse_zone(SIMPLE)
+        text = write_zone(zone)
+        reparsed = parse_zone(text)
+        assert reparsed.origin == zone.origin
+        assert len(reparsed) == len(zone)
+        for rrset in zone.all_rrsets():
+            other = reparsed.find(rrset.name, rrset.rdtype)
+            assert other is not None
+            assert frozenset(other.rdatas) == frozenset(rrset.rdatas)
+
+    def test_signed_zone_round_trip(self):
+        """A fully signed zone (DNSKEY/RRSIG/NSEC3/NSEC3PARAM) survives
+        serialization to text and back, byte-identical rdata."""
+        builder = ZoneBuilder(
+            Name.from_text("signed.test."), now=1_684_108_800,
+            mutation=ZoneMutation(algorithm=13),
+        )
+        builder.add_record(
+            Name.from_text("signed.test."), RdataType.A, A(address="192.0.2.1")
+        )
+        builder.add_record(
+            Name.from_text("signed.test."), RdataType.NS,
+            NS(target=Name.from_text("ns1.signed.test.")),
+        )
+        builder.add_record(
+            Name.from_text("ns1.signed.test."), RdataType.A, A(address="192.0.2.2")
+        )
+        zone = builder.build().zone
+        reparsed = parse_zone(write_zone(zone))
+        assert len(reparsed) == len(zone)
+        for rrset in zone.all_rrsets():
+            other = reparsed.find(rrset.name, rrset.rdtype)
+            assert other is not None, rrset.name
+            assert frozenset(r.to_wire() for r in other.rdatas) == frozenset(
+                r.to_wire() for r in rrset.rdatas
+            ), (rrset.name, rrset.rdtype)
+
+    def test_written_zone_is_loadable_and_servable(self):
+        from repro.server.authoritative import AuthoritativeServer
+        from repro.dns.message import Message
+
+        zone = parse_zone(SIMPLE)
+        server = AuthoritativeServer("ns")
+        server.add_zone(parse_zone(write_zone(zone)))
+        query = Message.make_query("www.example.com.", RdataType.A)
+        response = server.handle_query(query)
+        assert response.answer

@@ -1,0 +1,111 @@
+"""Property tests: arbitrary zones survive the master-file round trip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.name import Name
+from repro.dns.rdata import A, AAAA, MX, NS, TXT
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.zones.zone import Zone
+from repro.zones.zonefile import parse_zone, write_zone
+
+ORIGIN = Name.from_text("prop.test.")
+
+_label = st.from_regex(r"[a-z]([a-z0-9-]{0,10}[a-z0-9])?", fullmatch=True)
+_owner = st.lists(_label, min_size=0, max_size=3).map(
+    lambda labels: Name(tuple(l.encode() for l in labels) + ORIGIN.labels)
+)
+
+_a = st.integers(min_value=0x01000000, max_value=0xDFFFFFFF).map(
+    lambda packed: A(address=".".join(str((packed >> s) & 0xFF) for s in (24, 16, 8, 0)))
+)
+_aaaa = st.integers(min_value=1, max_value=2**64).map(
+    lambda value: AAAA(address=f"2001:db8::{value & 0xffff:x}")
+)
+_ns = _label.map(lambda l: NS(target=Name((l.encode(),) + ORIGIN.labels)))
+_mx = st.tuples(st.integers(min_value=0, max_value=65535), _label).map(
+    lambda pair: MX(preference=pair[0], exchange=Name((pair[1].encode(),) + ORIGIN.labels))
+)
+_txt = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E,
+                               blacklist_characters='"\\'),
+        min_size=0, max_size=30,
+    ),
+    min_size=1, max_size=3,
+).map(lambda texts: TXT(strings=tuple(t.encode() for t in texts)))
+
+_record = st.one_of(
+    st.tuples(st.just(RdataType.A), _a),
+    st.tuples(st.just(RdataType.AAAA), _aaaa),
+    st.tuples(st.just(RdataType.NS), _ns),
+    st.tuples(st.just(RdataType.MX), _mx),
+    st.tuples(st.just(RdataType.TXT), _txt),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(records=st.lists(st.tuples(_owner, _record), min_size=0, max_size=12))
+def test_zone_round_trips_through_text(records):
+    zone = Zone(ORIGIN)
+    from repro.dns.rdata import SOA
+
+    zone.add(
+        RRset.of(
+            ORIGIN, RdataType.SOA,
+            SOA(mname=Name.from_text("ns1", origin=ORIGIN),
+                rname=Name.from_text("root", origin=ORIGIN), serial=1),
+        )
+    )
+    for owner, (rdtype, rdata) in records:
+        zone.add(RRset.of(owner, rdtype, rdata, ttl=300))
+
+    reparsed = parse_zone(write_zone(zone))
+    assert reparsed.origin == zone.origin
+    assert len(reparsed) == len(zone)
+    for rrset in zone.all_rrsets():
+        other = reparsed.find(rrset.name, rrset.rdtype)
+        assert other is not None, (rrset.name, rrset.rdtype)
+        assert frozenset(r.to_wire() for r in other.rdatas) == frozenset(
+            r.to_wire() for r in rrset.rdatas
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=st.lists(st.tuples(_owner, _record), min_size=1, max_size=8))
+def test_written_zone_always_reparses(records):
+    zone = Zone(ORIGIN)
+    from repro.dns.rdata import SOA
+
+    zone.add(
+        RRset.of(
+            ORIGIN, RdataType.SOA,
+            SOA(mname=Name.from_text("ns1", origin=ORIGIN),
+                rname=Name.from_text("root", origin=ORIGIN), serial=1),
+        )
+    )
+    for owner, (rdtype, rdata) in records:
+        zone.add(RRset.of(owner, rdtype, rdata, ttl=300))
+    # Must not raise, whatever the content.
+    parse_zone(write_zone(zone))
+
+
+class TestLintCli:
+    def test_lint_file(self, tmp_path, capsys):
+        from repro.tools.lint import main
+
+        path = tmp_path / "z.db"
+        path.write_text(
+            "$ORIGIN clean.test.\n@ IN SOA ns1 h 1 2 3 4 5\n@ IN NS ns1\n"
+            "ns1 IN A 192.0.2.1\n"
+        )
+        code = main(["--file", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unsigned" in out or "clean" in out
+
+    def test_lint_unknown_label(self, capsys):
+        from repro.tools.lint import main
+
+        assert main(["definitely-not-a-case"]) == 2
