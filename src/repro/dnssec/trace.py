@@ -120,6 +120,10 @@ class ResolutionEvent(Enum):
     CACHED_ERROR_SERVED = auto()
     ITERATION_LIMIT_EXCEEDED = auto()
     CNAME_CHASED = auto()
+    #: response ID != query ID (spoofed, reordered, or duplicated datagram)
+    MISMATCHED_ID = auto()
+    #: the per-resolution anti-amplification query budget was spent
+    QUERY_BUDGET_EXCEEDED = auto()
 
 
 @dataclass

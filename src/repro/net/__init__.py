@@ -1,6 +1,17 @@
 """Simulated network: virtual clock, address registries, and the fabric."""
 
 from .addresses import AddressClass, TESTBED_GLUE, classify, is_globally_routable
+from .chaos import (
+    ChaosAction,
+    ChaosDecision,
+    ChaosPolicy,
+    ChaosStats,
+    Impairment,
+    LinkFlap,
+    Outage,
+    synthesize_refused,
+    target_matches,
+)
 from .clock import Clock, SimulatedClock
 from .fabric import (
     DNS_PORT,
@@ -16,8 +27,17 @@ from .udp import UdpServer, serve_and_query, udp_query
 
 __all__ = [
     "AddressClass",
+    "ChaosAction",
+    "ChaosDecision",
+    "ChaosPolicy",
+    "ChaosStats",
     "Clock",
     "DNS_PORT",
+    "Impairment",
+    "LinkFlap",
+    "Outage",
+    "synthesize_refused",
+    "target_matches",
     "Endpoint",
     "FabricStats",
     "LinkProperties",

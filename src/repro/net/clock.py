@@ -19,6 +19,11 @@ class Clock:
     def advance(self, seconds: float) -> None:  # pragma: no cover - wall clock
         raise NotImplementedError("cannot advance the wall clock")
 
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - wall clock
+        """Wait out a delay (retry backoff); real time on the wall clock."""
+        if seconds > 0:
+            time.sleep(seconds)
+
 
 class SimulatedClock(Clock):
     """A manually advanced clock starting at a fixed epoch.
@@ -40,6 +45,11 @@ class SimulatedClock(Clock):
         if seconds < 0:
             raise ValueError("time only moves forward")
         self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Simulated waits advance virtual time instantly."""
+        if seconds > 0:
+            self._now += seconds
 
     def set(self, timestamp: float) -> None:
         if timestamp < self._now:

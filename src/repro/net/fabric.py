@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
+from .chaos import ChaosAction, ChaosPolicy, synthesize_refused
 from .clock import Clock, SimulatedClock
 
 DNS_PORT = 53
@@ -55,6 +56,16 @@ class LinkProperties:
     loss_rate: float = 0.0  # fraction of datagrams silently dropped
     #: When True the endpoint is administratively down (always times out).
     down: bool = False
+    #: Max extra per-delivery latency, uniform in [0, jitter].
+    jitter: float = 0.0
+    #: Scripted down-windows as (start, end) pairs in absolute
+    #: virtual-clock seconds; the link times out while one is active.
+    down_windows: tuple[tuple[float, float], ...] = ()
+
+    def is_down(self, now: float) -> bool:
+        if self.down:
+            return True
+        return any(start <= now < end for start, end in self.down_windows)
 
 
 @dataclass
@@ -72,13 +83,29 @@ class FabricStats:
 class NetworkFabric:
     """Synchronous in-process packet switch with a virtual clock."""
 
-    def __init__(self, clock: Clock | None = None, seed: int = 20230524):
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        seed: int = 20230524,
+        chaos: ChaosPolicy | None = None,
+    ):
         self.clock = clock or SimulatedClock()
         self._rng = random.Random(seed)
         self._endpoints: dict[tuple[str, int], Endpoint] = {}
         self._links: dict[tuple[str, int], LinkProperties] = {}
         self._route_filter: Callable[[str], bool] | None = None
         self.stats = FabricStats()
+        self.chaos: ChaosPolicy | None = None
+        if chaos is not None:
+            self.install_chaos(chaos)
+
+    def install_chaos(self, policy: ChaosPolicy) -> None:
+        """Attach a fault schedule; its t=0 is the current virtual time."""
+        policy.attach(self.clock)
+        self.chaos = policy
+
+    def remove_chaos(self) -> None:
+        self.chaos = None
 
     # -- topology ------------------------------------------------------------
 
@@ -159,27 +186,55 @@ class NetworkFabric:
             raise Timeout(f"{destination}:{port}")
 
         link = self._links[(destination, port)]
-        if link.down:
+        if link.is_down(self.clock.now()):
             self.stats.timeouts += 1
             self.clock.advance(timeout)
             raise Timeout(f"{destination}:{port}")
+
+        decision = None
+        if self.chaos is not None:
+            decision = self.chaos.on_send(destination, self.clock.now())
+            if decision.action is ChaosAction.DROP:
+                self.stats.datagrams_lost += 1
+                self.clock.advance(timeout)
+                raise Timeout(f"{destination}:{port}")
+            if decision.action is ChaosAction.REFUSE:
+                self.clock.advance(link.latency)
+                refused = synthesize_refused(wire)
+                self.stats.datagrams_delivered += 1
+                self.stats.bytes_received += len(refused)
+                return refused
+            if decision.extra_latency:
+                self.clock.advance(decision.extra_latency)
+
         if link.loss_rate and self._rng.random() < link.loss_rate:
             self.stats.datagrams_lost += 1
             self.clock.advance(timeout)
             raise Timeout(f"{destination}:{port}")
 
         self.clock.advance(link.latency)
-        if transport == "tcp":
-            # TCP costs an extra round trip for the handshake.
-            self.clock.advance(link.latency)
-            handler = getattr(endpoint, "handle_stream", None)
-            response = (
-                handler(wire, source)
-                if handler is not None
-                else endpoint.handle_datagram(wire, source)
-            )
-        else:
-            response = endpoint.handle_datagram(wire, source)
+        if link.jitter:
+            self.clock.advance(self._rng.random() * link.jitter)
+
+        def deliver() -> bytes | None:
+            if transport == "tcp":
+                # TCP costs an extra round trip for the handshake.
+                self.clock.advance(link.latency)
+                handler = getattr(endpoint, "handle_stream", None)
+                if handler is not None:
+                    return handler(wire, source)
+                return endpoint.handle_datagram(wire, source)
+            return endpoint.handle_datagram(wire, source)
+
+        response = deliver()
+        if decision is not None and decision.duplicate:
+            # The duplicated datagram also reaches the endpoint; the
+            # sender only ever sees the second response.
+            duplicate_response = deliver()
+            if duplicate_response is not None:
+                response = duplicate_response
+        if response is not None and self.chaos is not None:
+            response = self.chaos.on_response(destination, response)
         if response is None:
             self.stats.timeouts += 1
             self.clock.advance(timeout)

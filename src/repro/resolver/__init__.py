@@ -13,7 +13,14 @@ from .error_reporting import (
     encode_report_qname,
 )
 from .forwarder import ForwarderStats, ForwardingResolver
-from .iterative import EngineConfig, IterationResult, IterativeEngine
+from .iterative import (
+    EngineConfig,
+    EngineStats,
+    IterationResult,
+    IterativeEngine,
+    QueryBudget,
+)
+from .server_stats import ServerSelectionConfig, ServerStat, ServerStatsBook
 from .public import (
     TEN_PUBLIC_RESOLVERS,
     SupportProbe,
@@ -56,6 +63,11 @@ __all__ = [
     "EdeEmission",
     "EdePolicy",
     "EngineConfig",
+    "EngineStats",
+    "QueryBudget",
+    "ServerSelectionConfig",
+    "ServerStat",
+    "ServerStatsBook",
     "ErrorReporter",
     "ForwarderStats",
     "ForwardingResolver",

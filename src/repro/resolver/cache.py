@@ -130,6 +130,7 @@ class ResolverCache:
             expires_at=now + ttl,
             stored_at=now,
         )
+        self._evict_store(self._negative)
 
     def get_negative(self, name: Name, rdtype: RdataType) -> _NegativeEntry | None:
         entry = self._negative.get((name, int(rdtype)))
@@ -163,6 +164,7 @@ class ResolverCache:
         self._errors[(name, int(rdtype))] = _ErrorEntry(
             rcode=rcode, expires_at=self._clock.now() + self.config.error_ttl, detail=detail
         )
+        self._evict_store(self._errors)
 
     def get_error(self, name: Name, rdtype: RdataType) -> _ErrorEntry | None:
         entry = self._errors.get((name, int(rdtype)))
@@ -185,10 +187,16 @@ class ResolverCache:
         return len(self._positive) + len(self._negative) + len(self._errors)
 
     def _evict_if_needed(self) -> None:
-        if len(self._positive) <= self.config.max_entries:
+        self._evict_store(self._positive)
+
+    def _evict_store(self, store: dict) -> None:
+        """Bound any of the three stores.  Mass failures (outages, chaos
+        runs) would otherwise grow the negative/error stores without
+        limit — one entry per failed name, forever."""
+        if len(store) <= self.config.max_entries:
             return
         # Drop the entries closest to expiry (cheap approximation of LRU).
-        by_expiry = sorted(self._positive.items(), key=lambda item: item[1].expires_at)
+        by_expiry = sorted(store.items(), key=lambda item: item[1].expires_at)
         for key, _entry in by_expiry[: len(by_expiry) // 10 or 1]:
-            del self._positive[key]
+            del store[key]
             self.stats.evictions += 1

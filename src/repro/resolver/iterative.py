@@ -12,7 +12,9 @@ signed zones.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
+from enum import Enum, auto
 
 from ..dns.message import Message
 from ..dns.name import Name
@@ -22,6 +24,7 @@ from ..dns.rrset import RRset
 from ..dns.types import RdataType
 from ..dnssec.trace import EventRecord, ResolutionEvent
 from ..net.fabric import NetworkFabric, Timeout, TransportError, Unreachable
+from .server_stats import ServerSelectionConfig, ServerStatsBook
 
 
 @dataclass
@@ -51,6 +54,63 @@ class EngineConfig:
     payload: int = 1232
     #: RFC 9156: expose only one extra label per zone while iterating.
     qname_minimization: bool = False
+    #: Exponential backoff between retries to one server: the n-th retry
+    #: waits ``backoff_base * 2**n`` seconds (capped at ``backoff_max``),
+    #: spread by ±``backoff_jitter`` to avoid synchronized retry storms.
+    backoff_base: float = 0.4
+    backoff_max: float = 3.0
+    backoff_jitter: float = 0.25
+    #: Unbound-style anti-amplification guard: total upstream queries
+    #: one client resolution may spend before it turns into SERVFAIL.
+    max_queries_per_resolution: int = 100
+    #: Best-server-first selection from SRTT/lameness memory.  Off by
+    #: default (referral order, the seed behaviour); automatically
+    #: enabled while a chaos policy is installed on the fabric.
+    adaptive_server_selection: bool = False
+    #: Per-server quality-memory knobs (SRTT smoothing, lame TTL).
+    selection: ServerSelectionConfig = field(default_factory=ServerSelectionConfig)
+    #: Seed for retry-jitter decisions, so hardened runs replay exactly.
+    rng_seed: int = 20230524
+
+
+@dataclass
+class EngineStats:
+    """Counters for the hardened failure-handling path."""
+
+    queries: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    tcp_fallbacks: int = 0
+    mismatched_ids: int = 0
+    budget_exhaustions: int = 0
+
+
+@dataclass
+class QueryBudget:
+    """Total-query allowance for one client resolution (and all the
+    sub-resolutions it spawns while chasing NS addresses)."""
+
+    limit: int
+    used: int = 0
+    reported: bool = False
+
+    def take(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.limit
+
+
+class _Vet(Enum):
+    """Outcome of validating one response against its query."""
+
+    OK = auto()
+    RETRY = auto()  # mismatched ID: possibly spoofed/stale, try again
+    FAIL = auto()  # give up on this server
 
 
 class IterativeEngine:
@@ -77,6 +137,9 @@ class IterativeEngine:
         #: learned from Report-Channel options on authoritative answers.
         self.report_channels: dict[Name, Name] = {}
         self._msg_id = 0
+        self._rng = random.Random(self.config.rng_seed)
+        self.server_stats = ServerStatsBook(fabric.clock, self.config.selection)
+        self.stats = EngineStats()
 
     # -- low-level query ------------------------------------------------------------
 
@@ -84,25 +147,170 @@ class IterativeEngine:
         self._msg_id = (self._msg_id + 1) & 0xFFFF
         return self._msg_id
 
+    def _backoff(self, attempt: int, attempts: int) -> None:
+        """Exponential backoff + jitter before the next retry (if any)."""
+        if attempt + 1 >= attempts or self.config.backoff_base <= 0:
+            return
+        delay = min(self.config.backoff_max, self.config.backoff_base * (2 ** attempt))
+        jitter = self.config.backoff_jitter
+        if jitter:
+            delay *= 1 + jitter * (2 * self._rng.random() - 1)
+        self.stats.retries += 1
+        self.stats.backoff_seconds += delay
+        self.fabric.clock.sleep(delay)
+
+    def _note_budget_exhausted(
+        self,
+        budget: QueryBudget,
+        qname: Name,
+        rdtype: RdataType,
+        events: list[EventRecord],
+    ) -> None:
+        if budget.reported:
+            return
+        budget.reported = True
+        self.stats.budget_exhaustions += 1
+        events.append(
+            EventRecord(
+                ResolutionEvent.QUERY_BUDGET_EXCEEDED,
+                qname=qname,
+                rdtype=str(rdtype),
+                detail=f"query budget ({budget.limit}) exhausted",
+            )
+        )
+
+    def _parse_response(
+        self,
+        raw: bytes,
+        server: str,
+        qname: Name,
+        rdtype: RdataType,
+        events: list[EventRecord],
+    ) -> Message | None:
+        try:
+            return Message.from_wire(raw)
+        except Exception:
+            events.append(
+                EventRecord(
+                    ResolutionEvent.SERVER_FORMERR,
+                    server=f"{server}:53",
+                    qname=qname,
+                    rdtype=str(rdtype),
+                    detail="unparseable response",
+                )
+            )
+            return None
+
+    def _vet_response(
+        self,
+        query: Message,
+        response: Message,
+        server: str,
+        qname: Name,
+        rdtype: RdataType,
+        events: list[EventRecord],
+    ) -> _Vet:
+        """Sanity checks every response must pass, UDP or TCP alike."""
+        if response.id != query.id:
+            # Spoofed, reordered, or duplicated datagram: never accept,
+            # but do not give up on the server either — a fresh query
+            # (with a fresh ID) may well succeed.
+            self.stats.mismatched_ids += 1
+            events.append(
+                EventRecord(
+                    ResolutionEvent.MISMATCHED_ID,
+                    server=f"{server}:53",
+                    qname=qname,
+                    rdtype=str(rdtype),
+                    detail=f"response ID {response.id} != query ID {query.id}",
+                )
+            )
+            return _Vet.RETRY
+        if not response.question or response.question[0].name != qname:
+            events.append(
+                EventRecord(
+                    ResolutionEvent.MISMATCHED_QUESTION,
+                    server=f"{server}:53",
+                    qname=qname,
+                    rdtype=str(rdtype),
+                )
+            )
+            return _Vet.FAIL
+        if query.edns is not None and response.edns is None:
+            # Pre-EDNS server silently dropped the OPT record instead of
+            # answering FORMERR (wild-scan Invalid Data category).
+            events.append(
+                EventRecord(
+                    ResolutionEvent.SERVER_NO_EDNS,
+                    server=f"{server}:53",
+                    qname=qname,
+                    rdtype=str(rdtype),
+                )
+            )
+        return _Vet.OK
+
+    _BAD_RCODE_EVENTS = {
+        Rcode.REFUSED: ResolutionEvent.SERVER_REFUSED,
+        Rcode.SERVFAIL: ResolutionEvent.SERVER_SERVFAIL,
+        Rcode.NOTAUTH: ResolutionEvent.SERVER_NOTAUTH,
+        Rcode.FORMERR: ResolutionEvent.SERVER_FORMERR,
+    }
+
+    def _check_rcode(
+        self,
+        response: Message,
+        server: str,
+        qname: Name,
+        rdtype: RdataType,
+        events: list[EventRecord],
+    ) -> bool:
+        """True when the RCODE is fatal; records the event and marks the
+        server lame so adaptive selection deprioritizes it."""
+        if response.rcode not in self._BAD_RCODE_EVENTS:
+            return False
+        events.append(
+            EventRecord(
+                self._BAD_RCODE_EVENTS[Rcode(response.rcode)],
+                server=f"{server}:53",
+                qname=qname,
+                rdtype=str(rdtype),
+                detail=f"rcode={Rcode(response.rcode).name}",
+            )
+        )
+        self.server_stats.note_lame(server)
+        return True
+
     def query_server(
         self,
         server: str,
         qname: Name,
         rdtype: RdataType,
         events: list[EventRecord],
+        budget: QueryBudget | None = None,
     ) -> Message | None:
-        """One query (with retries) to one server; None on failure."""
-        query = Message.make_query(
-            qname,
-            rdtype,
-            want_dnssec=True,
-            recursion_desired=False,
-            payload=self.config.payload,
-            msg_id=self._next_id(),
-        )
-        wire = query.to_wire()
-        attempts = 1 + self.config.retries
+        """One query (with retries) to one server; None on failure.
+
+        Every attempt uses a fresh message ID; retries back off
+        exponentially with jitter; RTTs, timeouts, and lame answers feed
+        the per-server quality book.  TCP truncation fallbacks pass
+        through exactly the same response validation as UDP.
+        """
+        attempts = 1 + max(0, self.config.retries)
         for attempt in range(attempts):
+            if budget is not None and not budget.take():
+                self._note_budget_exhausted(budget, qname, rdtype, events)
+                return None
+            query = Message.make_query(
+                qname,
+                rdtype,
+                want_dnssec=True,
+                recursion_desired=False,
+                payload=self.config.payload,
+                msg_id=self._next_id(),
+            )
+            wire = query.to_wire()
+            self.stats.queries += 1
+            started = self.fabric.clock.now()
             try:
                 raw = self.fabric.send(
                     server, wire, source=self.config.source_ip, timeout=self.config.timeout
@@ -116,6 +324,7 @@ class IterativeEngine:
                         rdtype=str(rdtype),
                     )
                 )
+                self.server_stats.note_lame(server)
                 return None  # no point retrying an unroutable address
             except Timeout:
                 events.append(
@@ -127,53 +336,34 @@ class IterativeEngine:
                         detail="timeout",
                     )
                 )
+                self.server_stats.note_timeout(server)
+                self._backoff(attempt, attempts)
                 continue
             except TransportError:
                 return None
-            try:
-                response = Message.from_wire(raw)
-            except Exception:
-                events.append(
-                    EventRecord(
-                        ResolutionEvent.SERVER_FORMERR,
-                        server=f"{server}:53",
-                        qname=qname,
-                        rdtype=str(rdtype),
-                        detail="unparseable response",
-                    )
-                )
+            self.server_stats.note_rtt(server, self.fabric.clock.now() - started)
+            response = self._parse_response(raw, server, qname, rdtype, events)
+            if response is None:
+                self.server_stats.note_lame(server)
                 return None
-            if response.id != query.id:
+            vet = self._vet_response(query, response, server, qname, rdtype, events)
+            if vet is _Vet.RETRY:
+                self._backoff(attempt, attempts)
                 continue
-            if not response.question or response.question[0].name != qname:
-                events.append(
-                    EventRecord(
-                        ResolutionEvent.MISMATCHED_QUESTION,
-                        server=f"{server}:53",
-                        qname=qname,
-                        rdtype=str(rdtype),
-                    )
-                )
+            if vet is _Vet.FAIL:
                 return None
-            if query.edns is not None and response.edns is None:
-                # Pre-EDNS server silently dropped the OPT record instead of
-                # answering FORMERR (wild-scan Invalid Data category).
-                events.append(
-                    EventRecord(
-                        ResolutionEvent.SERVER_NO_EDNS,
-                        server=f"{server}:53",
-                        qname=qname,
-                        rdtype=str(rdtype),
-                    )
-                )
             if response.tc:
-                # Truncated: retry the same server over TCP (RFC 7766).
+                # Truncated: retry the same server over TCP (RFC 7766),
+                # revalidating the TCP response like any other.
+                if budget is not None and not budget.take():
+                    self._note_budget_exhausted(budget, qname, rdtype, events)
+                    return None
+                self.stats.tcp_fallbacks += 1
                 try:
                     raw = self.fabric.send(
                         server, wire, source=self.config.source_ip,
                         timeout=self.config.timeout, transport="tcp",
                     )
-                    response = Message.from_wire(raw)
                 except TransportError:
                     events.append(
                         EventRecord(
@@ -184,26 +374,33 @@ class IterativeEngine:
                             detail="tcp retry failed",
                         )
                     )
+                    self.server_stats.note_timeout(server)
+                    self._backoff(attempt, attempts)
                     continue
-            bad_rcode_events = {
-                Rcode.REFUSED: ResolutionEvent.SERVER_REFUSED,
-                Rcode.SERVFAIL: ResolutionEvent.SERVER_SERVFAIL,
-                Rcode.NOTAUTH: ResolutionEvent.SERVER_NOTAUTH,
-                Rcode.FORMERR: ResolutionEvent.SERVER_FORMERR,
-            }
-            if response.rcode in bad_rcode_events:
-                events.append(
-                    EventRecord(
-                        bad_rcode_events[Rcode(response.rcode)],
-                        server=f"{server}:53",
-                        qname=qname,
-                        rdtype=str(rdtype),
-                        detail=f"rcode={Rcode(response.rcode).name}",
-                    )
-                )
+                response = self._parse_response(raw, server, qname, rdtype, events)
+                if response is None:
+                    self.server_stats.note_lame(server)
+                    return None
+                vet = self._vet_response(query, response, server, qname, rdtype, events)
+                if vet is _Vet.RETRY:
+                    self._backoff(attempt, attempts)
+                    continue
+                if vet is _Vet.FAIL:
+                    return None
+            if self._check_rcode(response, server, qname, rdtype, events):
                 return None
             return response
         return None
+
+    def _ordered_servers(self, servers: list[str]) -> list[str]:
+        """Referral order normally; best-server-first when adaptive
+        selection is on (explicitly, or implicitly under chaos)."""
+        adaptive = self.config.adaptive_server_selection or (
+            getattr(self.fabric, "chaos", None) is not None
+        )
+        if not adaptive:
+            return list(servers)
+        return self.server_stats.order(servers)
 
     def query_zone(
         self,
@@ -211,11 +408,15 @@ class IterativeEngine:
         qname: Name,
         rdtype: RdataType,
         events: list[EventRecord],
+        budget: QueryBudget | None = None,
     ) -> Message | None:
         """Query every known server for ``zone`` until one answers usefully."""
         servers = self.zone_servers.get(zone, [])
-        for server in servers:
-            response = self.query_server(server, qname, rdtype, events)
+        for server in self._ordered_servers(servers):
+            if budget is not None and budget.exhausted:
+                self._note_budget_exhausted(budget, qname, rdtype, events)
+                return None
+            response = self.query_server(server, qname, rdtype, events, budget)
             if response is not None:
                 if response.edns is not None:
                     from .error_reporting import REPORT_CHANNEL, ReportChannelOption
@@ -245,7 +446,10 @@ class IterativeEngine:
         rdtype: RdataType,
         events: list[EventRecord],
         depth: int = 0,
+        budget: QueryBudget | None = None,
     ) -> IterationResult:
+        if budget is None:
+            budget = QueryBudget(limit=self.config.max_queries_per_resolution)
         result = IterationResult()
         current_zone = self._deepest_known_zone(qname)
         result.zone_path = self._path_to(current_zone)
@@ -265,7 +469,7 @@ class IterativeEngine:
                     target.label_count(),
                 )
                 _prefix, probe = target.split(depth)
-            response = self.query_zone(current_zone, probe, rdtype, events)
+            response = self.query_zone(current_zone, probe, rdtype, events, budget)
             if response is None:
                 events.append(
                     EventRecord(
@@ -322,7 +526,9 @@ class IterativeEngine:
             if referral is not None:
                 child_zone, servers, ds_present = referral
                 if not servers:
-                    servers = self._resolve_ns_addresses(response, child_zone, events, depth)
+                    servers = self._resolve_ns_addresses(
+                        response, child_zone, events, depth, budget
+                    )
                 if not servers:
                     events.append(
                         EventRecord(
@@ -439,8 +645,10 @@ class IterativeEngine:
         child_zone: Name,
         events: list[EventRecord],
         depth: int,
+        budget: QueryBudget | None = None,
     ) -> list[str]:
-        """Chase out-of-bailiwick NS names (bounded recursion)."""
+        """Chase out-of-bailiwick NS names (bounded recursion); the
+        sub-resolutions spend from the same query budget."""
         if depth >= self.config.max_ns_depth:
             return []
         addresses: list[str] = []
@@ -450,8 +658,10 @@ class IterativeEngine:
             for rdata in rrset.rdatas:
                 if not isinstance(rdata, NS):
                     continue
+                if budget is not None and budget.exhausted:
+                    break
                 sub_events: list[EventRecord] = []
-                sub = self.resolve(rdata.target, RdataType.A, sub_events, depth + 1)
+                sub = self.resolve(rdata.target, RdataType.A, sub_events, depth + 1, budget)
                 events.extend(sub_events)
                 if sub.ok:
                     for answer in sub.answer:

@@ -44,6 +44,9 @@ class ResolverStats:
     with_ede: int = 0
     validated_secure: int = 0
     validated_bogus: int = 0
+    #: Resolutions aborted by the per-resolution query budget
+    #: (anti-amplification guard in the iterative engine).
+    budget_exhausted: int = 0
 
 
 @dataclass
@@ -95,6 +98,11 @@ class RecursiveResolver:
         self._infra_cache: dict[tuple[Name, Name, int], _InfraEntry] = {}
         self._infra_ttl = 300.0
         self._active_events: list[EventRecord] | None = None
+
+    @property
+    def server_stats(self):
+        """The engine's per-server quality book (SRTT, lameness)."""
+        return self.engine.server_stats
 
     # -- public API ---------------------------------------------------------------
 
@@ -224,6 +232,11 @@ class RecursiveResolver:
             if not iteration.ok and iteration.rcode == Rcode.SERVFAIL:
                 outcome.rcode = Rcode.SERVFAIL
                 outcome.events = events
+                if any(
+                    record.event is ResolutionEvent.QUERY_BUDGET_EXCEEDED
+                    for record in events
+                ):
+                    self.stats.budget_exhausted += 1
                 if iteration.failed_signed_zone:
                     outcome.validation = ValidationTrace.bogus(
                         FailureReason.DNSKEY_UNFETCHABLE,

@@ -1,0 +1,139 @@
+"""Per-server quality memory: SRTT, timeouts, and lameness penalties.
+
+Real resolvers survive flaky authorities because they *remember*: BIND
+keeps a smoothed RTT per server address and tries the best one first;
+both BIND and Unbound maintain a lame/dead-server cache so a known-bad
+address is deprioritized for a while instead of burning a timeout on
+every resolution.  :class:`ServerStatsBook` gives the iterative engine
+the same memory, driven entirely by the virtual clock so hardened runs
+stay deterministic.
+
+Selection is *conservative by default*: servers the book knows nothing
+about keep their referral order (stable sort), so with adaptive
+selection disabled — or on a fault-free fabric where every server
+performs identically on first contact — resolution order is exactly
+the seed behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.clock import Clock
+
+
+@dataclass
+class ServerSelectionConfig:
+    """Knobs for the quality book (defaults follow BIND's adb)."""
+
+    #: EWMA weight of a new RTT sample: srtt = (1-alpha)*srtt + alpha*rtt.
+    rtt_alpha: float = 0.3
+    #: Optimistic starting SRTT for a never-tried server, seconds.
+    initial_srtt: float = 0.05
+    #: A timeout multiplies the server's SRTT by this factor…
+    timeout_factor: float = 2.0
+    #: …capped here, so one bad streak cannot exile a server forever.
+    srtt_cap: float = 8.0
+    #: How long a lame/dead mark deprioritizes a server, seconds.
+    lame_ttl: float = 900.0
+    #: Idle SRTT decay: every ``decay_interval`` seconds without an
+    #: update, effective SRTT shrinks by ``decay_factor`` so unused
+    #: servers are eventually retried (BIND does the same).
+    decay_interval: float = 30.0
+    decay_factor: float = 0.98
+
+
+@dataclass
+class ServerStat:
+    """Everything the book remembers about one server address."""
+
+    srtt: float
+    last_update: float
+    successes: int = 0
+    timeouts: int = 0
+    failures: int = 0  # lame marks: bad RCODEs, unreachable
+    lame_until: float = 0.0
+
+
+class ServerStatsBook:
+    """SRTT-smoothed, lameness-aware server ranking for one engine."""
+
+    def __init__(self, clock: Clock, config: ServerSelectionConfig | None = None):
+        self._clock = clock
+        self.config = config or ServerSelectionConfig()
+        self._stats: dict[str, ServerStat] = {}
+
+    # -- observations ------------------------------------------------------------
+
+    def _entry(self, server: str) -> ServerStat:
+        stat = self._stats.get(server)
+        if stat is None:
+            stat = ServerStat(
+                srtt=self.config.initial_srtt, last_update=self._clock.now()
+            )
+            self._stats[server] = stat
+        return stat
+
+    def note_rtt(self, server: str, rtt: float) -> None:
+        stat = self._entry(server)
+        alpha = self.config.rtt_alpha
+        stat.srtt = (1 - alpha) * stat.srtt + alpha * max(0.0, rtt)
+        stat.successes += 1
+        stat.last_update = self._clock.now()
+
+    def note_timeout(self, server: str) -> None:
+        stat = self._entry(server)
+        stat.srtt = min(self.config.srtt_cap, stat.srtt * self.config.timeout_factor)
+        stat.timeouts += 1
+        stat.last_update = self._clock.now()
+
+    def note_lame(self, server: str, duration: float | None = None) -> None:
+        """Penalty-box a server that answered lame (REFUSED, NOTAUTH,
+        SERVFAIL, FORMERR) or proved unreachable."""
+        stat = self._entry(server)
+        stat.failures += 1
+        stat.lame_until = max(
+            stat.lame_until,
+            self._clock.now() + (self.config.lame_ttl if duration is None else duration),
+        )
+        stat.last_update = self._clock.now()
+
+    # -- queries -----------------------------------------------------------------
+
+    def is_lame(self, server: str, now: float | None = None) -> bool:
+        stat = self._stats.get(server)
+        if stat is None:
+            return False
+        return stat.lame_until > (self._clock.now() if now is None else now)
+
+    def effective_srtt(self, server: str, now: float | None = None) -> float:
+        """SRTT with idle decay applied (never mutates the entry)."""
+        stat = self._stats.get(server)
+        if stat is None:
+            return self.config.initial_srtt
+        now = self._clock.now() if now is None else now
+        idle = max(0.0, now - stat.last_update)
+        intervals = idle / self.config.decay_interval
+        if intervals <= 0:
+            return stat.srtt
+        decayed = stat.srtt * (self.config.decay_factor ** intervals)
+        return max(decayed, self.config.initial_srtt * 0.1)
+
+    def order(self, servers: list[str], now: float | None = None) -> list[str]:
+        """Best-server-first ordering: non-lame before lame, then by
+        effective SRTT.  The sort is stable, so servers with identical
+        quality keep their referral order."""
+        if len(servers) < 2:
+            return list(servers)
+        now = self._clock.now() if now is None else now
+        return sorted(
+            servers,
+            key=lambda s: (self.is_lame(s, now), self.effective_srtt(s, now)),
+        )
+
+    def snapshot(self) -> dict[str, ServerStat]:
+        """A shallow copy for inspection/reporting."""
+        return dict(self._stats)
+
+    def __len__(self) -> int:
+        return len(self._stats)

@@ -34,6 +34,8 @@ def record_to_json(record: ScanRecord, ground_truth: bool = True) -> dict:
             ],
         },
     }
+    if record.error:
+        obj["error"] = record.error
     if ground_truth:
         obj["ground_truth"] = {
             "profile": Profile(record.profile).name,
@@ -106,6 +108,56 @@ def read_ndjson(path: str | Path) -> ScanResult:
                 ns_index=truth.get("ns_index", -1),
                 rank=truth.get("rank"),
                 signed=bool(truth.get("signed", False)),
+                error=obj.get("error", ""),
             )
         )
     return result
+
+
+def scanned_names(path: str | Path) -> set[str]:
+    """Names already present in a (possibly partial) scan/checkpoint file."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    return {obj["name"] for obj in iter_ndjson(path)}
+
+
+class CheckpointWriter:
+    """Streams completed :class:`ScanRecord`\\ s to an NDJSON file.
+
+    Opens in *append* mode so a resumed scan extends the same file, and
+    flushes after every record by default — a killed process loses at
+    most the in-flight domain.  Gzip paths (``.gz``) append as a new
+    gzip member, which :func:`iter_ndjson` reads back transparently.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        ground_truth: bool = True,
+        flush_every: int = 1,
+    ):
+        self._path = Path(path)
+        self._ground_truth = ground_truth
+        self._flush_every = max(1, flush_every)
+        opener = gzip.open if self._path.suffix == ".gz" else open
+        self._handle = opener(self._path, "at", encoding="utf-8")
+        self.written = 0
+
+    def write(self, record: ScanRecord) -> None:
+        self._handle.write(json.dumps(record_to_json(record, self._ground_truth)))
+        self._handle.write("\n")
+        self.written += 1
+        if self.written % self._flush_every == 0:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

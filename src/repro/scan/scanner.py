@@ -9,12 +9,19 @@ Two-phase profiles (Stale Answer, Cached Error) are primed first, the
 clock advanced past the TTL where needed, and re-queried — the paper's
 scan sees those states because Cloudflare's caches were warm from other
 clients; our scanner must create the warmth itself.
+
+The scan loop is hardened for hostile fabrics (chaos runs, real-world
+reuse): a domain whose resolution raises yields an *error record*
+instead of killing the scan, completed records stream to an optional
+NDJSON checkpoint, and :meth:`WildScanner.resume_from` continues a
+killed scan by skipping names the checkpoint already holds.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable
 
 from ..dns.name import Name
@@ -39,6 +46,9 @@ class ScanRecord:
     ns_index: int
     rank: int | None
     signed: bool
+    #: Non-empty when resolution raised instead of answering; the scan
+    #: records the exception and moves on (zdns's per-name isolation).
+    error: str = ""
 
     @property
     def has_ede(self) -> bool:
@@ -48,8 +58,12 @@ class ScanRecord:
     def noerror(self) -> bool:
         return self.rcode == Rcode.NOERROR
 
+    @property
+    def is_error(self) -> bool:
+        return bool(self.error)
+
     def to_record(self) -> dict:
-        return {
+        record = {
             "name": self.name,
             "rcode": Rcode(self.rcode).name,
             "ede": [
@@ -57,6 +71,9 @@ class ScanRecord:
             ],
             "extra_text": list(self.extra_texts),
         }
+        if self.error:
+            record["error"] = self.error
+        return record
 
 
 @dataclass
@@ -67,6 +84,9 @@ class ScanResult:
 
     def ede_records(self) -> list[ScanRecord]:
         return [record for record in self.records if record.has_ede]
+
+    def error_records(self) -> list[ScanRecord]:
+        return [record for record in self.records if record.is_error]
 
     def by_code(self) -> dict[int, int]:
         """Domains per INFO-CODE (a domain counts once per code)."""
@@ -99,11 +119,26 @@ class WildScanner:
         self,
         domains: Iterable[WildDomain] | None = None,
         progress: Callable[[int, int], None] | None = None,
+        *,
+        checkpoint: str | Path | None = None,
+        skip_names: set[str] | None = None,
+        progress_every: int = 2048,
     ) -> ScanResult:
-        """Scan ``domains`` (default: the whole population), randomized."""
+        """Scan ``domains`` (default: the whole population), randomized.
+
+        ``checkpoint`` appends each completed record to an NDJSON file
+        as the scan runs, so a killed scan loses at most the in-flight
+        domain; ``skip_names`` drops already-scanned domains (see
+        :meth:`resume_from`).  ``progress`` fires every
+        ``progress_every`` completed domains across *all* phases —
+        including the two-phase stale/cached-error tail — plus once at
+        the end.
+        """
         if domains is None:
             domains = self.wild.population.domains
         queue = list(domains)
+        if skip_names:
+            queue = [d for d in queue if d.name not in skip_names]
         self._rng.shuffle(queue)  # spread load, like the paper (Section 5)
 
         start_clock = self.wild.fabric.clock.now()
@@ -115,39 +150,111 @@ class WildScanner:
 
         total = len(queue)
         done = 0
-        for domain in single_phase:
-            result.records.append(self._query(domain))
+
+        writer = None
+        if checkpoint is not None:
+            from .io import CheckpointWriter
+
+            writer = CheckpointWriter(checkpoint)
+
+        def emit(record: ScanRecord) -> None:
+            nonlocal done
+            result.records.append(record)
+            if writer is not None:
+                writer.write(record)
             done += 1
-            if progress is not None and done % 2048 == 0:
+            if progress is not None and done % progress_every == 0:
                 progress(done, total)
 
-        # Phase 1: prime caches for stale/cached-error domains.
-        stale = [d for d in two_phase if d.profile is Profile.STALE]
-        errors = [d for d in two_phase if d.profile is Profile.CACHED_ERROR]
-        for domain in stale:
-            self._resolve(domain)
-        if stale:
-            # Let the cached answers expire (TTL 300) but stay in the
-            # serve-stale window; the flipping servers now answer REFUSED.
-            self.wild.fabric.clock.advance(600)
-        for domain in stale:
-            result.records.append(self._query(domain))
-            done += 1
-        for domain in errors:
-            self._resolve(domain)  # populates the SERVFAIL error cache
-            result.records.append(self._query(domain))
-            done += 1
-        if progress is not None:
-            progress(done, total)
+        try:
+            for domain in single_phase:
+                emit(self._query_safe(domain))
+
+            # Phase 1: prime caches for stale/cached-error domains.
+            stale = [d for d in two_phase if d.profile is Profile.STALE]
+            errors = [d for d in two_phase if d.profile is Profile.CACHED_ERROR]
+            for domain in stale:
+                self._prime_safe(domain)
+            if stale:
+                # Let the cached answers expire (TTL 300) but stay in the
+                # serve-stale window; the flipping servers now answer REFUSED.
+                self.wild.fabric.clock.advance(600)
+            for domain in stale:
+                emit(self._query_safe(domain))
+            for domain in errors:
+                self._prime_safe(domain)  # populates the SERVFAIL error cache
+                emit(self._query_safe(domain))
+            if progress is not None:
+                progress(done, total)
+        finally:
+            if writer is not None:
+                writer.close()
 
         result.queries_sent = self.wild.fabric.stats.datagrams_sent - start_sent
         result.duration_virtual = self.wild.fabric.clock.now() - start_clock
         return result
 
+    def resume_from(
+        self,
+        checkpoint: str | Path,
+        domains: Iterable[WildDomain] | None = None,
+        progress: Callable[[int, int], None] | None = None,
+        **scan_kwargs,
+    ) -> ScanResult:
+        """Continue a killed scan from its checkpoint file.
+
+        Records already in the checkpoint are loaded and kept; the scan
+        then covers only the remaining domains, appending to the same
+        checkpoint, so the combined result (and the file) ends up with
+        exactly the same set of scanned names as an uninterrupted run.
+        """
+        from .io import read_ndjson
+
+        path = Path(checkpoint)
+        prior = read_ndjson(path) if path.exists() else ScanResult()
+        seen = {record.name for record in prior.records}
+        fresh = self.scan(
+            domains,
+            progress,
+            checkpoint=checkpoint,
+            skip_names=seen,
+            **scan_kwargs,
+        )
+        return ScanResult(
+            records=prior.records + fresh.records,
+            queries_sent=fresh.queries_sent,
+            duration_virtual=fresh.duration_virtual,
+        )
+
     # -- internals ------------------------------------------------------------------
 
     def _resolve(self, domain: WildDomain):
         return self.resolver.resolve(Name.from_text(domain.fqdn), RdataType.A)
+
+    def _prime_safe(self, domain: WildDomain) -> None:
+        """Cache-priming query; a poisoned domain must not kill the scan."""
+        try:
+            self._resolve(domain)
+        except Exception:
+            pass  # the scan query for this domain will record the error
+
+    def _query_safe(self, domain: WildDomain) -> ScanRecord:
+        """One domain, exception-isolated: failures become error records."""
+        try:
+            return self._query(domain)
+        except Exception as exc:
+            return ScanRecord(
+                name=domain.name,
+                tld=domain.tld,
+                profile=int(domain.profile),
+                rcode=Rcode.SERVFAIL,
+                ede_codes=(),
+                extra_texts=(),
+                ns_index=domain.ns_index,
+                rank=domain.rank,
+                signed=domain.signed,
+                error=f"{type(exc).__name__}: {exc}",
+            )
 
     def _query(self, domain: WildDomain) -> ScanRecord:
         response = self._resolve(domain)
