@@ -1,0 +1,174 @@
+"""Determinism rules: no wall clocks, no ambient entropy, no global RNG.
+
+Every simulated component must receive time through a
+:class:`repro.net.clock.Clock` and randomness through an injected,
+seeded :class:`random.Random`; that is what makes chaos schedules and
+scan checkpoints replay bit-for-bit.  These rules walk the AST of every
+module and flag the escape hatches:
+
+``wall-clock``
+    ``time.time()`` / ``time.monotonic()`` / ``time.sleep()`` /
+    ``datetime.now()`` and friends.  The wall-clock adapter in
+    ``net/clock.py`` and the operator-facing CLI tools are the
+    allowlisted boundary (they carry ``# repro: allow[wall-clock]``).
+``os-entropy``
+    ``os.urandom``, ``secrets.*``, ``uuid.uuid1/uuid4``,
+    ``random.SystemRandom`` — entropy the replay can never reproduce.
+``global-random``
+    Calls through the module-level ``random.*`` API, which share one
+    hidden, unseeded global generator across the whole process.
+``unseeded-random``
+    ``random.Random()`` with no seed (or an explicit ``None``), which
+    silently falls back to OS entropy.
+
+Name resolution follows import bindings (``import random as r``,
+``from time import time``), so aliased escapes are caught too; dynamic
+tricks (``getattr(time, "time")``) are out of scope — the runtime
+sanitizer covers those.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding
+
+RULE_WALL_CLOCK = "wall-clock"
+RULE_OS_ENTROPY = "os-entropy"
+RULE_GLOBAL_RANDOM = "global-random"
+RULE_UNSEEDED_RANDOM = "unseeded-random"
+
+DETERMINISM_RULES = (
+    RULE_WALL_CLOCK,
+    RULE_OS_ENTROPY,
+    RULE_GLOBAL_RANDOM,
+    RULE_UNSEEDED_RANDOM,
+)
+
+#: ``time`` module functions that read or wait on the wall clock.
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "sleep", "localtime", "gmtime",
+})
+
+#: ``datetime``/``date`` classmethods that read the wall clock.
+_DATETIME_FUNCS = frozenset({
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+_OS_ENTROPY_FUNCS = frozenset({"os.urandom", "os.getrandom"})
+_UUID_ENTROPY_FUNCS = frozenset({"uuid.uuid1", "uuid.uuid4"})
+
+#: Modules whose members we track through ``from X import Y`` bindings.
+_TRACKED_MODULES = frozenset({"time", "random", "os", "datetime", "secrets", "uuid"})
+
+
+class _Bindings(ast.NodeVisitor):
+    """Maps local names to the stdlib entry points they denote."""
+
+    def __init__(self) -> None:
+        #: name -> dotted path ("random", "time.time", "datetime.datetime")
+        self.names: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _TRACKED_MODULES:
+                self.names[alias.asname or root] = root
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module in _TRACKED_MODULES:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                self.names[bound] = f"{node.module}.{alias.name}"
+
+
+def _collect_bindings(tree: ast.AST) -> dict[str, str]:
+    visitor = _Bindings()
+    visitor.visit(tree)
+    return visitor.names
+
+
+def _dotted(node: ast.expr, bindings: dict[str, str]) -> str | None:
+    """Resolve a call target to its stdlib dotted path, or None."""
+    if isinstance(node, ast.Name):
+        return bindings.get(node.id)
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value, bindings)
+        if base is not None:
+            return f"{base}.{node.attr}"
+    return None
+
+
+def _is_unseeded(node: ast.Call) -> bool:
+    if node.keywords:
+        return any(
+            kw.arg in (None, "x", "seed")
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is None
+            for kw in node.keywords
+        )
+    if not node.args:
+        return True
+    first = node.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+def check_determinism(tree: ast.AST, path: str) -> Iterator[Finding]:
+    """Yield determinism findings for one parsed module."""
+    bindings = _collect_bindings(tree)
+    if not bindings:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func, bindings)
+        if dotted is None:
+            continue
+        finding = _classify(dotted, node)
+        if finding is not None:
+            rule, message = finding
+            yield Finding(rule=rule, message=message, path=path, line=node.lineno)
+
+
+def _classify(dotted: str, node: ast.Call) -> tuple[str, str] | None:
+    module, _, func = dotted.partition(".")
+    if module == "time" and func in _TIME_FUNCS:
+        return RULE_WALL_CLOCK, (
+            f"wall-clock access `{dotted}()`; simulated code must read time"
+            " from the injected Clock (net/clock.py is the only boundary)"
+        )
+    if dotted in _DATETIME_FUNCS or (
+        dotted.startswith("datetime.") and dotted.split(".")[-1] in ("now", "utcnow")
+    ):
+        return RULE_WALL_CLOCK, (
+            f"wall-clock access `{dotted}()`; simulated code must read time"
+            " from the injected Clock (net/clock.py is the only boundary)"
+        )
+    if dotted in _OS_ENTROPY_FUNCS or module == "secrets" or dotted in _UUID_ENTROPY_FUNCS:
+        return RULE_OS_ENTROPY, (
+            f"OS entropy source `{dotted}()`; randomness must arrive as an"
+            " injected seeded random.Random so runs replay bit-for-bit"
+        )
+    if dotted == "random.SystemRandom":
+        return RULE_OS_ENTROPY, (
+            "`random.SystemRandom` draws OS entropy; use an injected seeded"
+            " random.Random instead"
+        )
+    if dotted == "random.Random":
+        if _is_unseeded(node):
+            return RULE_UNSEEDED_RANDOM, (
+                "`random.Random()` without a seed falls back to OS entropy;"
+                " pass an explicit seed"
+            )
+        return None
+    if module == "random":
+        return RULE_GLOBAL_RANDOM, (
+            f"module-level RNG call `{dotted}()` shares the process-global"
+            " generator; use an injected seeded random.Random instance"
+        )
+    return None

@@ -1,0 +1,158 @@
+"""The analysis engine: walk files, run rules, honour suppressions.
+
+A finding can be silenced with an inline marker::
+
+    now = time.time()  # repro: allow[wall-clock]
+
+or with a standalone comment that covers the next line::
+
+    # repro: allow[wall-clock] -- operator-facing CLI, wall clock is the point
+    started = time.time()
+
+Markers name the rule they suppress (comma-separated for several) and
+are themselves checked: a marker that suppresses nothing is reported as
+``unused-suppression``, so stale annotations cannot accumulate and
+quietly widen the allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from .determinism import check_determinism
+from .findings import Finding
+from .invariants import check_ede_literals, check_enum_members, check_tables
+
+RULE_UNUSED_SUPPRESSION = "unused-suppression"
+RULE_PARSE_ERROR = "parse-error"
+
+#: AST rules applied to every analyzed module.
+SOURCE_RULES: tuple[Callable[[ast.AST, str], Iterator[Finding]], ...] = (
+    check_determinism,
+    check_enum_members,
+    check_ede_literals,
+)
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([a-zA-Z0-9_\s,-]+)\]")
+
+
+class _Suppressions:
+    """Per-file allow markers with usage tracking."""
+
+    def __init__(self, source: str) -> None:
+        #: line -> (marker line, rule names) for every line a marker covers
+        self._covering: dict[int, list[tuple[int, str]]] = {}
+        #: (marker line, rule) -> used?
+        self._markers: dict[tuple[int, str], bool] = {}
+        for lineno, text, standalone in _comments(source):
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                continue
+            rules = [r.strip() for r in match.group(1).split(",") if r.strip()]
+            covered = [lineno]
+            if standalone:
+                covered.append(lineno + 1)
+            for rule in rules:
+                self._markers[(lineno, rule)] = False
+                for line in covered:
+                    self._covering.setdefault(line, []).append((lineno, rule))
+
+    def suppresses(self, finding: Finding) -> bool:
+        for marker_line, rule in self._covering.get(finding.line, ()):
+            if rule == finding.rule:
+                self._markers[(marker_line, rule)] = True
+                return True
+        return False
+
+    def unused(self, path: str) -> Iterator[Finding]:
+        for (lineno, rule), used in sorted(self._markers.items()):
+            if not used:
+                yield Finding(
+                    rule=RULE_UNUSED_SUPPRESSION,
+                    message=(
+                        f"allow[{rule}] suppresses nothing; remove the stale"
+                        " marker (or fix the rule name)"
+                    ),
+                    path=path,
+                    line=lineno,
+                )
+
+
+def _comments(source: str) -> Iterator[tuple[int, str, bool]]:
+    """(line, text, is-standalone) for each real comment token.
+
+    Tokenizing (rather than regex over raw lines) keeps marker text
+    inside strings and docstrings from registering as a suppression.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string, token.line.lstrip().startswith("#")
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+def repo_source_root() -> Path:
+    """The installed ``repro`` package directory (``src/repro``)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_python_files(root: Path) -> list[Path]:
+    return sorted(p for p in root.rglob("*.py"))
+
+
+def _display_path(path: Path, base: Path | None) -> str:
+    if base is not None:
+        try:
+            return str(path.relative_to(base))
+        except ValueError:
+            pass
+    return str(path)
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    *,
+    base: Path | None = None,
+    rules: Iterable[Callable[[ast.AST, str], Iterator[Finding]]] = SOURCE_RULES,
+) -> list[Finding]:
+    """Run the AST rules over ``paths``, honouring inline suppressions."""
+    findings: list[Finding] = []
+    for path in paths:
+        source = Path(path).read_text(encoding="utf-8")
+        display = _display_path(Path(path), base)
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule=RULE_PARSE_ERROR,
+                    message=f"cannot parse: {exc.msg}",
+                    path=display,
+                    line=exc.lineno or 0,
+                )
+            )
+            continue
+        suppressions = _Suppressions(source)
+        for rule in rules:
+            for finding in rule(tree, display):
+                if not suppressions.suppresses(finding):
+                    findings.append(finding)
+        findings.extend(suppressions.unused(display))
+    return findings
+
+
+def analyze_repo(root: Path | None = None) -> list[Finding]:
+    """The full selfcheck: AST rules over ``src/repro`` plus table rules."""
+    package_root = root or repo_source_root()
+    findings = analyze_paths(
+        iter_python_files(package_root), base=package_root.parent
+    )
+    findings.extend(check_tables())
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

@@ -1,0 +1,251 @@
+"""Protocol-invariant rules: the data tables must agree with the registries.
+
+The reproduction encodes a lot of protocol knowledge as plain data —
+vendor EDE policies, the paper's Table 4 transcription, the 63 testbed
+cases, the rdata parser registry.  A typo in any of them (an INFO-CODE
+that RFC 8914 never assigned, a testbed label with no subdomain, an
+``RdataType.NSEC3PARAMS`` that does not exist) would silently skew
+results instead of failing loudly.  These rules cross-check the tables:
+
+``ede-registry``
+    Every integer INFO-CODE literal inside ``reason_codes=`` /
+    ``event_codes=`` / ``policy_codes=`` tables and ``_row(...)``
+    expected-matrix rows must resolve in the
+    :class:`repro.dns.ede.EdeCode` registry.
+``enum-member``
+    Every ``EdeCode.X`` / ``RdataType.X`` / ``FailureReason.X`` /
+    ``ResolutionEvent.X`` / ``Rcode.X`` attribute reference must name a
+    defined member (an undefined one only explodes when that line runs).
+``testbed-matrix``
+    Every case in the transcribed Table 4 maps to a defined testbed
+    subdomain and vice versa (63 cases), names only known profiles, and
+    every expected INFO-CODE is *reachable* — some branch of that
+    profile's policy can actually emit it.
+``rdata-registry``
+    Every parser in the rdata registry is keyed by a registered
+    :class:`~repro.dns.types.RdataType` and parses into a class that
+    declares the same type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding
+
+RULE_EDE_REGISTRY = "ede-registry"
+RULE_ENUM_MEMBER = "enum-member"
+RULE_TESTBED_MATRIX = "testbed-matrix"
+RULE_RDATA_REGISTRY = "rdata-registry"
+
+INVARIANT_RULES = (
+    RULE_EDE_REGISTRY,
+    RULE_ENUM_MEMBER,
+    RULE_TESTBED_MATRIX,
+    RULE_RDATA_REGISTRY,
+)
+
+#: Keyword arguments whose values are tables of EDE INFO-CODEs.
+_EDE_TABLE_KWARGS = frozenset({"reason_codes", "event_codes", "policy_codes"})
+
+#: Call names whose integer arguments are EDE INFO-CODEs (the Table 4
+#: transcription rows in testbed/expected.py).
+_EDE_ROW_CALLS = frozenset({"_row"})
+
+
+def _registries():
+    """The enum registries, resolved lazily to keep import cycles away."""
+    from ..dns.ede import EdeCode
+    from ..dns.rcode import Rcode
+    from ..dns.types import Opcode, RdataClass, RdataType
+    from ..dnssec.trace import FailureReason, ResolutionEvent
+
+    return {
+        "EdeCode": EdeCode,
+        "RdataType": RdataType,
+        "RdataClass": RdataClass,
+        "Opcode": Opcode,
+        "Rcode": Rcode,
+        "FailureReason": FailureReason,
+        "ResolutionEvent": ResolutionEvent,
+    }
+
+
+def _enum_bindings(tree: ast.AST, registries: dict) -> dict[str, object]:
+    """Local names bound to registry enums via ``from ... import`` (with aliases)."""
+    bindings: dict[str, object] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in registries:
+                    bindings[alias.asname or alias.name] = registries[alias.name]
+    return bindings
+
+
+def check_enum_members(tree: ast.AST, path: str) -> Iterator[Finding]:
+    """Flag ``Enum.MEMBER`` references that name no defined member."""
+    registries = _registries()
+    bindings = _enum_bindings(tree, registries)
+    if not bindings:
+        return
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)):
+            continue
+        enum_cls = bindings.get(node.value.id)
+        if enum_cls is None or not node.attr.isupper():
+            continue
+        if node.attr not in enum_cls.__members__:  # type: ignore[attr-defined]
+            yield Finding(
+                rule=RULE_ENUM_MEMBER,
+                message=(
+                    f"`{node.value.id}.{node.attr}` names no member of"
+                    f" {enum_cls.__name__}"  # type: ignore[attr-defined]
+                ),
+                path=path,
+                line=node.lineno,
+            )
+
+
+def check_ede_literals(tree: ast.AST, path: str) -> Iterator[Finding]:
+    """Flag INFO-CODE literals that the RFC 8914 registry does not assign."""
+    from ..dns.ede import EdeCode
+
+    def bad_codes(root: ast.AST) -> Iterator[tuple[int, int]]:
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Constant) and type(sub.value) is int:
+                try:
+                    EdeCode(sub.value)
+                except ValueError:
+                    yield sub.value, sub.lineno
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        tables = [
+            kw.value for kw in node.keywords if kw.arg in _EDE_TABLE_KWARGS
+        ]
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _EDE_ROW_CALLS
+        ):
+            tables.extend(node.args)
+            tables.extend(kw.value for kw in node.keywords)
+        for table in tables:
+            for value, lineno in bad_codes(table):
+                yield Finding(
+                    rule=RULE_EDE_REGISTRY,
+                    message=(
+                        f"EDE INFO-CODE {value} is not assigned in the"
+                        " RFC 8914 registry (dns/ede.py)"
+                    ),
+                    path=path,
+                    line=lineno,
+                )
+
+
+# ---------------------------------------------------------------------------
+# Table rules: cross-module consistency, checked on the imported tables.
+# ---------------------------------------------------------------------------
+
+def _reachable_codes(profile) -> set[int]:
+    """Every INFO-CODE some branch of ``profile``'s policy can emit."""
+    from ..dns.ede import EdeCode
+
+    codes: set[int] = set()
+    for tup in profile.policy.reason_codes.values():
+        codes.update(tup)
+    for tup in profile.policy.event_codes.values():
+        codes.update(tup)
+    codes.update(profile.policy.policy_codes)
+    if profile.policy.emit_no_reachable_authority:
+        codes.add(int(EdeCode.NO_REACHABLE_AUTHORITY))
+    return codes
+
+
+def check_testbed_matrix() -> Iterator[Finding]:
+    """Table 4 transcription ↔ subdomains ↔ profile policies."""
+    from ..dns.ede import EdeCode
+    from ..resolver.profiles import PROFILES_BY_NAME
+    from ..testbed.expected import EXPECTED_TABLE4, PROFILE_ORDER
+    from ..testbed.subdomains import CASES_BY_LABEL
+
+    path = "repro/testbed/expected.py"
+
+    def finding(message: str) -> Finding:
+        return Finding(rule=RULE_TESTBED_MATRIX, message=message, path=path)
+
+    for label in EXPECTED_TABLE4:
+        if label not in CASES_BY_LABEL:
+            yield finding(
+                f"expected-matrix case {label!r} maps to no testbed subdomain"
+            )
+    for label in CASES_BY_LABEL:
+        if label not in EXPECTED_TABLE4:
+            yield finding(
+                f"testbed subdomain {label!r} has no expected-matrix row"
+            )
+
+    unknown_profiles = set(PROFILE_ORDER) - set(PROFILES_BY_NAME)
+    for name in sorted(unknown_profiles):
+        yield finding(f"PROFILE_ORDER names unknown profile {name!r}")
+
+    reachable = {
+        name: _reachable_codes(profile)
+        for name, profile in PROFILES_BY_NAME.items()
+    }
+    for label, row in EXPECTED_TABLE4.items():
+        for name in row:
+            if name not in PROFILE_ORDER:
+                yield finding(f"case {label!r} has a column for unknown profile {name!r}")
+        for name in PROFILE_ORDER:
+            for code in row.get(name, ()):
+                try:
+                    EdeCode(code)
+                except ValueError:
+                    yield finding(
+                        f"case {label!r}/{name}: INFO-CODE {code} is not in"
+                        " the RFC 8914 registry"
+                    )
+                    continue
+                if name in reachable and code not in reachable[name]:
+                    yield finding(
+                        f"case {label!r} expects EDE {code} from {name}, but no"
+                        " branch of that profile's policy can emit it"
+                    )
+
+
+def check_rdata_registry() -> Iterator[Finding]:
+    """Every registered rdata parser is keyed by a registered RdataType."""
+    from ..dns.rdata import Rdata
+    from ..dns.types import RdataType
+
+    path = "repro/dns/rdata.py"
+    for rdtype, parser in Rdata._parsers.items():
+        if not isinstance(rdtype, RdataType):
+            yield Finding(
+                rule=RULE_RDATA_REGISTRY,
+                message=(
+                    f"rdata parser registered under unregistered type {rdtype!r};"
+                    " add it to the RdataType registry first"
+                ),
+                path=path,
+            )
+            continue
+        owner = getattr(parser, "__self__", None)
+        declared = getattr(owner, "rdtype", rdtype) if owner is not None else rdtype
+        if isinstance(declared, RdataType) and declared != rdtype:
+            yield Finding(
+                rule=RULE_RDATA_REGISTRY,
+                message=(
+                    f"parser for {rdtype} is {getattr(owner, '__name__', owner)!r}"
+                    f" which declares rdtype {declared}"
+                ),
+                path=path,
+            )
+
+
+def check_tables() -> Iterator[Finding]:
+    """All import-based table rules (no AST involved)."""
+    yield from check_testbed_matrix()
+    yield from check_rdata_registry()

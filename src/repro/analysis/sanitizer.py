@@ -1,0 +1,91 @@
+"""Runtime determinism sanitizer.
+
+The static rules in :mod:`.determinism` prove no *source line* reaches
+the wall clock or the global RNG; this guard proves it *dynamically*,
+catching anything the AST cannot see (C extensions, ``getattr`` tricks,
+third-party code).  While armed, the process-global entry points raise
+:class:`DeterminismViolation` instead of answering::
+
+    with determinism_sanitizer():
+        run_matrix(testbed)        # any time.time()/random.random() raises
+
+It composes with the chaos suite the same way ASan composes with a
+fuzzer: CI runs ``pytest -m chaos`` once with ``REPRO_SANITIZER=1`` so
+every fabric path is exercised with the tripwires in place.  Seeded
+``random.Random`` *instances* are untouched — they are exactly the
+sanctioned mechanism — as is the :class:`~repro.net.clock.Clock`
+hierarchy, whose simulated implementation never touches ``time``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+
+class DeterminismViolation(RuntimeError):
+    """A sanitized region touched the wall clock or ambient entropy."""
+
+
+#: (module, attribute) entry points replaced while the sanitizer is armed.
+_GUARDED: tuple[tuple[object, str], ...] = (
+    (time, "time"),
+    (time, "time_ns"),
+    (time, "monotonic"),
+    (time, "perf_counter"),
+    (time, "sleep"),
+    (os, "urandom"),
+    (random, "random"),
+    (random, "randrange"),
+    (random, "randint"),
+    (random, "getrandbits"),
+    (random, "randbytes"),
+    (random, "choice"),
+    (random, "choices"),
+    (random, "shuffle"),
+    (random, "sample"),
+    (random, "uniform"),
+    (random, "seed"),
+)
+
+_arm_depth = 0
+
+
+def _raiser(name: str):
+    def tripwire(*_args, **_kwargs):
+        raise DeterminismViolation(
+            f"{name}() called while the determinism sanitizer is armed;"
+            " simulated code must use the injected Clock / seeded"
+            " random.Random (see docs/ARCHITECTURE.md)"
+        )
+
+    return tripwire
+
+
+@contextmanager
+def determinism_sanitizer(allow: Iterable[str] = ()) -> Iterator[None]:
+    """Arm the tripwires for the duration of the block (re-entrant).
+
+    ``allow`` names entry points (``"time.sleep"``) left unpatched, for
+    harnesses that must really wait while everything else stays strict.
+    """
+    global _arm_depth
+    allowed = set(allow)
+    saved: list[tuple[object, str, object]] = []
+    _arm_depth += 1
+    try:
+        if _arm_depth == 1:
+            for module, attr in _GUARDED:
+                name = f"{getattr(module, '__name__', module)}.{attr}"
+                if name in allowed:
+                    continue
+                saved.append((module, attr, getattr(module, attr)))
+                setattr(module, attr, _raiser(name))
+        yield
+    finally:
+        _arm_depth -= 1
+        for module, attr, original in saved:
+            setattr(module, attr, original)

@@ -23,6 +23,12 @@ from .wire import WireReader, WireWriter
 
 HEADER_LENGTH = 12
 
+#: Fallback message-ID generator for callers that inject neither an
+#: explicit ``msg_id`` nor their own ``rng``.  Seeded so that runs are
+#: reproducible end-to-end; components owning a seeded Random (the
+#: iterative resolver, the scanners) pass theirs instead.
+_ID_RNG = random.Random(0x8914)
+
 # header flag bit masks (within the 16-bit flags word)
 FLAG_QR = 0x8000
 FLAG_AA = 0x0400
@@ -77,6 +83,7 @@ class Message:
         recursion_desired: bool = True,
         payload: int = 1232,
         msg_id: int | None = None,
+        rng: random.Random | None = None,
     ) -> "Message":
         if isinstance(qname, str):
             qname = Name.from_text(qname)
@@ -84,8 +91,10 @@ class Message:
             # Queries are always for absolute names; be dig-like about it.
             qname = Name(qname.labels + (b"",))
         rdtype = RdataType.make(rdtype)
+        if msg_id is None:
+            msg_id = (rng if rng is not None else _ID_RNG).randrange(0x10000)
         message = cls(
-            id=msg_id if msg_id is not None else random.randrange(0x10000),
+            id=msg_id,
             rd=recursion_desired,
         )
         message.question.append(Question(qname, rdtype, rdclass))

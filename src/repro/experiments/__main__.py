@@ -33,7 +33,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    started = time.time()
+    started = time.time()  # repro: allow[wall-clock] -- CLI progress timing
     reports = run_experiments(args.ids or None, scan_scale=args.scale)
     failures = 0
     for report in reports:
@@ -41,7 +41,7 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if not report.all_ok:
             failures += 1
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # repro: allow[wall-clock]
     print(
         f"{len(reports)} experiments, "
         f"{len(reports) - failures} fully matching, in {elapsed:.1f}s"

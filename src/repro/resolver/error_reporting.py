@@ -16,6 +16,7 @@ agent is not flooded), and the agent-side decoding plus an in-memory
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from ..dns.edns import EdnsOption
@@ -114,9 +115,15 @@ class ReporterStats:
 class ErrorReporter:
     """Resolver-side agent notification with draft-mandated dedup."""
 
-    def __init__(self, clock: Clock, dedup_window: float = 86_400.0):
+    def __init__(
+        self,
+        clock: Clock,
+        dedup_window: float = 86_400.0,
+        rng_seed: int = 0x9567,
+    ):
         self._clock = clock
         self._dedup_window = dedup_window
+        self._rng = random.Random(rng_seed)
         self._recent: dict[tuple[Name, int, int, Name], float] = {}
         self.stats = ReporterStats()
 
@@ -138,7 +145,9 @@ class ErrorReporter:
     ) -> Message:
         report_name = encode_report_qname(qname, rdtype, info_code, agent)
         # Reports are plain TXT lookups without DO (nothing to validate).
-        return Message.make_query(report_name, RdataType.TXT, want_dnssec=False)
+        return Message.make_query(
+            report_name, RdataType.TXT, want_dnssec=False, rng=self._rng
+        )
 
 
 @dataclass

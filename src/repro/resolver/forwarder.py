@@ -20,6 +20,7 @@ confuse clients unless it marks its own contributions.  This forwarder:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from ..dns.ede import EdeCode
@@ -55,6 +56,7 @@ class ForwardingResolver:
         local_policy: LocalPolicy | None = None,
         cache_config: CacheConfig | None = None,
         timeout: float = 3.0,
+        rng_seed: int = 0xF04D,
     ):
         if not upstreams:
             raise ValueError("a forwarder needs at least one upstream")
@@ -67,6 +69,7 @@ class ForwardingResolver:
             fabric.clock, cache_config or CacheConfig(serve_stale=True)
         )
         self.timeout = timeout
+        self._rng = random.Random(rng_seed)
         self.stats = ForwarderStats()
 
     # -- fabric endpoint ------------------------------------------------------
@@ -81,7 +84,7 @@ class ForwardingResolver:
     # -- main path ----------------------------------------------------------------
 
     def resolve(self, qname: Name | str, rdtype: RdataType | str = RdataType.A) -> Message:
-        query = Message.make_query(qname, rdtype, want_dnssec=False)
+        query = Message.make_query(qname, rdtype, want_dnssec=False, rng=self._rng)
         return self.handle_query(query)
 
     def handle_query(self, query: Message, source: str = "") -> Message:
@@ -121,6 +124,7 @@ class ForwardingResolver:
                 query.question[0].rdtype,
                 want_dnssec=query.edns.dnssec_ok if query.edns else False,
                 recursion_desired=True,
+                rng=self._rng,
             )
             try:
                 raw = self.fabric.send(

@@ -137,7 +137,8 @@ class IterativeEngine:
         #: learned from Report-Channel options on authoritative answers.
         self.report_channels: dict[Name, Name] = {}
         self._msg_id = 0
-        self._rng = random.Random(self.config.rng_seed)
+        #: Seeded RNG; public so callers can share one stream (message IDs).
+        self.rng = random.Random(self.config.rng_seed)
         self.server_stats = ServerStatsBook(fabric.clock, self.config.selection)
         self.stats = EngineStats()
 
@@ -154,7 +155,7 @@ class IterativeEngine:
         delay = min(self.config.backoff_max, self.config.backoff_base * (2 ** attempt))
         jitter = self.config.backoff_jitter
         if jitter:
-            delay *= 1 + jitter * (2 * self._rng.random() - 1)
+            delay *= 1 + jitter * (2 * self.rng.random() - 1)
         self.stats.retries += 1
         self.stats.backoff_seconds += delay
         self.fabric.clock.sleep(delay)

@@ -117,7 +117,8 @@ class RecursiveResolver:
         """Resolve like a stub client would ask us to; returns the full
         response message including any EDE options the profile emits."""
         query = Message.make_query(
-            qname, rdtype, want_dnssec=want_dnssec, recursion_desired=True
+            qname, rdtype, want_dnssec=want_dnssec, recursion_desired=True,
+            rng=self.engine.rng,
         )
         query.cd = checking_disabled
         return self.handle_query(query)

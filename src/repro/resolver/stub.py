@@ -8,6 +8,7 @@ options — the exact fields the scan records.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from ..dns.ede import ExtendedError
@@ -63,11 +64,13 @@ class StubResolver:
         server_address: str,
         source_ip: str = "203.0.113.99",
         timeout: float = 5.0,
+        rng_seed: int = 0x5707,
     ):
         self.fabric = fabric
         self.server_address = server_address
         self.source_ip = source_ip
         self.timeout = timeout
+        self._rng = random.Random(rng_seed)
 
     def query(
         self,
@@ -79,7 +82,9 @@ class StubResolver:
             qname = Name.from_text(qname)
         rdtype = RdataType.make(rdtype)
         answer = StubAnswer(qname=str(qname), rdtype=str(rdtype))
-        query = Message.make_query(qname, rdtype, want_dnssec=want_dnssec)
+        query = Message.make_query(
+            qname, rdtype, want_dnssec=want_dnssec, rng=self._rng
+        )
         try:
             raw = self.fabric.send(
                 self.server_address,

@@ -9,6 +9,8 @@ registered-domain list a scanner actually wants from it.
 
 from __future__ import annotations
 
+import random
+
 from ..dns.exceptions import DnsError
 from ..dns.message import Message
 from ..dns.name import Name
@@ -28,12 +30,14 @@ def axfr(
     zone_name: Name | str,
     source_ip: str = "198.51.100.2",
     timeout: float = 10.0,
+    rng: "random.Random | None" = None,
 ) -> Zone:
     """Transfer ``zone_name`` from ``server``; raises TransferError."""
     if isinstance(zone_name, str):
         zone_name = Name.from_text(zone_name)
     query = Message.make_query(
-        zone_name, RdataType.AXFR, recursion_desired=False, use_edns=False
+        zone_name, RdataType.AXFR, recursion_desired=False, use_edns=False,
+        rng=rng,
     )
     try:
         raw = fabric.send(

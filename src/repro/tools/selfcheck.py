@@ -1,0 +1,69 @@
+"""``python -m repro.tools.selfcheck`` — lint the reproduction itself.
+
+Runs the :mod:`repro.analysis` pass over ``src/repro``: the determinism
+rules (no wall clock, no ambient entropy, no global RNG outside the
+annotated boundary), the protocol-invariant rules (every EDE INFO-CODE
+resolves in the RFC 8914 registry, every Table 4 case maps to a testbed
+subdomain and a reachable policy branch, the rdata registry is closed),
+and unused-suppression detection.  Exits non-zero on any finding, so CI
+can gate on it.
+
+Examples::
+
+    python -m repro.tools.selfcheck              # whole package
+    python -m repro.tools.selfcheck --json       # machine-readable findings
+    python -m repro.tools.selfcheck src/repro/scan/scanner.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..analysis import (
+    analyze_paths,
+    analyze_repo,
+    findings_to_json,
+    render_finding,
+    repo_source_root,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.selfcheck", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the shared lint/selfcheck JSON findings schema",
+    )
+    args = parser.parse_args(argv)
+
+    if args.paths:
+        files: list[Path] = []
+        for path in args.paths:
+            files.extend(sorted(path.rglob("*.py")) if path.is_dir() else [path])
+        findings = analyze_paths(files)
+    else:
+        findings = analyze_repo(repo_source_root())
+
+    if args.as_json:
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(render_finding(finding))
+        if findings:
+            print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+        else:
+            print("selfcheck clean: all determinism and protocol invariants hold")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

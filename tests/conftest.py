@@ -7,8 +7,11 @@ must treat them as read-only.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.analysis.sanitizer import determinism_sanitizer
 from repro.net.clock import SimulatedClock
 from repro.net.fabric import NetworkFabric
 from repro.scan.population import PopulationConfig, generate_population
@@ -43,6 +46,20 @@ def small_wild(small_population):
 def small_scan(small_wild):
     scanner = WildScanner(small_wild)
     return scanner.scan()
+
+
+@pytest.fixture(autouse=True)
+def _chaos_determinism_sanitizer(request):
+    """With ``REPRO_SANITIZER=1``, run every chaos test with the runtime
+    determinism sanitizer armed: any wall-clock or global-RNG access on
+    the fabric path raises instead of silently breaking replay.  CI runs
+    the chaos suite once this way (session-scoped fixtures like the
+    testbed are built before this function-scoped guard arms)."""
+    if os.environ.get("REPRO_SANITIZER") and request.node.get_closest_marker("chaos"):
+        with determinism_sanitizer():
+            yield
+    else:
+        yield
 
 
 @pytest.fixture()

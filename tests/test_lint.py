@@ -169,3 +169,80 @@ class TestAgainstTestbed:
         findings = findings_for(ZoneMutation(algorithm=13, ds_tag_offset=1))
         text = "\n".join(str(f) for f in findings)
         assert "[error]" in text and "ds-linkage" in text
+
+
+class TestEdgeCases:
+    """Boundary conditions the damage matrix does not exercise directly."""
+
+    def test_nsec3_chain_without_nsec3param(self):
+        findings = findings_for(ZoneMutation(algorithm=13, drop_nsec3param=True))
+        assert "nsec3param" in checks(findings, Severity.ERROR)
+        # The chain itself is intact, so no closure error piles on.
+        assert checks(findings, Severity.ERROR) == {"nsec3param"}
+
+    def test_rrsig_expiring_exactly_at_now_is_valid(self):
+        # The signer's window is [NOW - skew, NOW + 30 days]; RFC 4034
+        # treats expiration itself as inclusive, so lint at the exact
+        # boundary second must report no signature problems.
+        expiration = NOW + 30 * 24 * 3600
+        built = build()
+        findings = lint_zone(built.zone, now=expiration, parent_ds=built.ds_rdatas)
+        assert "rrsig" not in checks(findings)
+        assert "rrsig-invalid" not in checks(findings)
+        assert not [f for f in findings if f.severity is Severity.ERROR]
+
+    def test_rrsig_one_second_past_expiration_fails(self):
+        expiration = NOW + 30 * 24 * 3600
+        built = build()
+        findings = lint_zone(built.zone, now=expiration + 1, parent_ds=built.ds_rdatas)
+        assert "rrsig" in checks(findings, Severity.WARNING)
+        assert "rrsig-invalid" in checks(findings, Severity.ERROR)
+        assert any("expired" in f.message for f in findings)
+
+    def test_ds_unassigned_digest_type_exact_codes(self):
+        findings = findings_for(ZoneMutation(algorithm=13, ds_digest_type_override=100))
+        # The bogus digest type is flagged AND the key can no longer be
+        # authenticated, so the chain of trust breaks — nothing else.
+        assert checks(findings, Severity.ERROR) == {"ds-digest", "chain-of-trust"}
+
+
+class TestLintCli:
+    """``python -m repro.tools.lint`` round trip through a zone file."""
+
+    def run_cli(self, tmp_path, mutation, argv_extra=()):
+        import json
+
+        from repro.tools import lint as lint_cli
+        from repro.zones.zonefile import write_zone
+
+        built = build(mutation)
+        path = tmp_path / "zone.db"
+        path.write_text(write_zone(built.zone))
+        argv = ["--file", str(path), "--now", str(NOW), *argv_extra]
+        return lint_cli, json, argv
+
+    def test_clean_zone_exits_zero(self, tmp_path, capsys):
+        lint_cli, _, argv = self.run_cli(tmp_path, None)
+        assert lint_cli.main(argv) == 0
+
+    def test_error_zone_exits_nonzero(self, tmp_path, capsys):
+        lint_cli, _, argv = self.run_cli(
+            tmp_path, ZoneMutation(algorithm=13, drop_sigs=SigScope.ALL)
+        )
+        assert lint_cli.main(argv) == 1
+        out = capsys.readouterr().out
+        assert "rrsig-missing" in out
+
+    def test_json_matches_selfcheck_schema(self, tmp_path, capsys):
+        lint_cli, json, argv = self.run_cli(
+            tmp_path,
+            ZoneMutation(algorithm=13, drop_sigs=SigScope.ALL),
+            argv_extra=["--json"],
+        )
+        assert lint_cli.main(argv) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"findings", "total", "errors"}
+        assert payload["total"] == len(payload["findings"]) > 0
+        record = payload["findings"][0]
+        assert set(record) >= {"check", "severity", "message"}
+        assert {f["severity"] for f in payload["findings"]} <= {"error", "warning", "info"}
