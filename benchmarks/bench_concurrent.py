@@ -1,0 +1,84 @@
+"""Concurrent scan engine: throughput, coalescing, and codec fast paths.
+
+The lane-pool driver is the repo's answer to zdns-style pipelining; its
+benchmarks measure *wall* cost of driving the simulated fabric (the
+pytest-benchmark numbers) while asserting the *virtual* speedup and the
+categorization invariance that make the concurrency admissible at all.
+"""
+
+import pytest
+
+from repro.bench import population_config_for, run_one
+from repro.dns.message import Message
+from repro.dns.wire import WireReader
+from repro.scan.population import generate_population
+
+
+@pytest.fixture(scope="module")
+def bench_population():
+    # ~300 domains: large enough that lanes interleave meaningfully,
+    # small enough for a benchmark iteration budget.
+    return generate_population(population_config_for(250, seed=20230524))
+
+
+def test_scan_sequential_baseline(benchmark, bench_population):
+    run = benchmark.pedantic(
+        lambda: run_one(bench_population, workers=1, use_lanes=False),
+        iterations=1, rounds=1,
+    )
+    assert run.domains == len(bench_population.domains)
+    assert run.mode == "sequential"
+
+
+def test_scan_concurrent_lanes(benchmark, bench_population):
+    baseline = run_one(bench_population, workers=1, use_lanes=False)
+    run = benchmark.pedantic(
+        lambda: run_one(bench_population, workers=16, use_lanes=True),
+        iterations=1, rounds=1,
+    )
+    # The virtual makespan must beat sequential by a wide margin while
+    # producing byte-identical per-domain results.
+    assert run.active_virtual_s < baseline.active_virtual_s / 2
+    assert run.categorization == baseline.categorization
+    assert run.coalesced > 0
+
+
+def _compressed_wire() -> bytes:
+    from repro.dns.name import Name
+    from repro.dns.rdata import NS
+    from repro.dns.rrset import RRset
+    from repro.dns.types import RdataType
+
+    message = Message.make_query("a.b.c.d.example.com.", RdataType.NS, msg_id=7)
+    message.qr = True
+    for i in range(13):
+        message.authority.append(
+            RRset.of(
+                Name.from_text("example.com."),
+                RdataType.NS,
+                NS(target=Name.from_text(f"ns{i}.c.d.example.com.")),
+                ttl=300,
+            )
+        )
+    return message.to_wire(max_size=65535)
+
+
+def test_wire_name_cache_parse(benchmark):
+    """Pointer-heavy message parse with the name-compression cache on."""
+    wire = _compressed_wire()
+    message = benchmark(Message.from_wire, wire)
+    assert len(message.authority[0]) == 13
+
+
+def test_wire_name_walk_slow_path(benchmark):
+    """The same parse with the cache disabled, for the delta."""
+    wire = _compressed_wire()
+
+    def parse_names():
+        reader = WireReader(wire, offset=12, name_cache=False)
+        reader.read_name()
+        reader.seek(12)
+        return reader.read_name()
+
+    name = benchmark(parse_names)
+    assert name.label_count() == 7

@@ -1,0 +1,88 @@
+"""CLI for the scan benchmark: ``python -m repro.bench --scale 200 --json``.
+
+Writes ``BENCH_scan.json`` (or ``--out``) and exits non-zero when any
+concurrent run's per-domain categorization diverges from the sequential
+baseline — CI runs this on every PR as the bench-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import DEFAULT_SEED, bench_report, write_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Sequential-vs-concurrent scan benchmark over seeded populations.",
+    )
+    parser.add_argument(
+        "--scale",
+        action="append",
+        type=int,
+        metavar="N",
+        help="target domain count (repeatable; default: 1000)",
+    )
+    parser.add_argument(
+        "--workers",
+        action="append",
+        metavar="W[,W...]",
+        help=(
+            "comma-separated lane counts, paired positionally with each "
+            "--scale (the last value repeats; default: 1,8,32)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--out", default="BENCH_scan.json", help="report path (default: BENCH_scan.json)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the report to stdout as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    scales = args.scale or [1000]
+    workers_specs = [
+        [int(w) for w in spec.split(",") if w] for spec in (args.workers or ["1,8,32"])
+    ]
+    scale_specs = [
+        (scale, workers_specs[min(index, len(workers_specs) - 1)])
+        for index, scale in enumerate(scales)
+    ]
+
+    report = bench_report(scale_specs, seed=args.seed)
+    write_report(report, args.out)
+
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2))
+    else:
+        for pop in report["populations"]:
+            base = pop["runs"][0]
+            print(
+                f"scale {pop['target_domains']}: {pop['actual_domains']} domains, "
+                f"sequential {base['domains_per_virtual_s']}/vs"
+            )
+            for run in pop["runs"][1:]:
+                print(
+                    f"  {run['workers']:>3} workers: {run['domains_per_virtual_s']}/vs "
+                    f"({pop['speedup_vs_sequential'][str(run['workers'])]}x), "
+                    f"coalesced {run['coalesced']}, "
+                    f"cache hit {run['cache_hit_rate']:.1%}"
+                )
+        print(f"report written to {args.out}")
+
+    if not report["all_identical"]:
+        print(
+            "FAIL: concurrent categorization diverges from the sequential baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

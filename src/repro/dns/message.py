@@ -223,7 +223,13 @@ class Message:
         return wire
 
     @classmethod
-    def from_wire(cls, wire: bytes) -> "Message":
+    def from_wire(cls, wire: bytes | bytearray | memoryview) -> "Message":
+        """Parse a message from any bytes-like buffer.
+
+        ``memoryview`` input parses without copying the buffer up front —
+        useful when the message sits inside a larger receive buffer
+        (TCP streams, zone transfers).
+        """
         reader = WireReader(wire)
         if len(wire) < HEADER_LENGTH:
             raise FormError("message shorter than header")

@@ -128,11 +128,44 @@ class Name:
     def from_labels(cls, labels: Iterable[bytes]) -> "Name":
         return cls(labels)
 
+    @classmethod
+    def from_wire_labels(cls, labels: Iterable[bytes]) -> "Name":
+        """Fast-path constructor for labels a wire parser already vetted.
+
+        The parser guarantees each label is at most 63 octets (the wire
+        length byte cannot say otherwise) and that only the final label
+        is empty, so this skips the per-label loop and re-checks only
+        the total encoded length — the one bound the label walk cannot
+        enforce on its own.  Raises :class:`NameTooLong` exactly where
+        :class:`Name` would.
+        """
+        labels = tuple(labels)
+        encoded = sum(len(label) + 1 for label in labels)
+        if not (labels and labels[-1] == b""):
+            encoded += 1
+        if encoded > MAX_NAME_LENGTH:
+            raise NameTooLong(f"name would encode to {encoded} octets")
+        self = object.__new__(cls)
+        folded = tuple(label.lower() for label in labels)
+        object.__setattr__(self, "_labels", labels)
+        object.__setattr__(self, "_folded", folded)
+        object.__setattr__(self, "_hash", hash(folded))
+        return self
+
     # -- properties --------------------------------------------------------
 
     @property
     def labels(self) -> tuple[bytes, ...]:
         return self._labels
+
+    @property
+    def folded_labels(self) -> tuple[bytes, ...]:
+        """Lowercased labels, precomputed at construction (RFC 4343).
+
+        Writers and canonical-form consumers should prefer this over
+        re-folding ``labels`` — it is already paid for.
+        """
+        return self._folded
 
     def is_absolute(self) -> bool:
         return bool(self._labels) and self._labels[-1] == b""

@@ -2,8 +2,18 @@
 
 :class:`WireWriter` builds a DNS message with RFC 1035 name compression;
 :class:`WireReader` parses one, following (and validating) compression
-pointers.  Both operate on plain ``bytes`` so they are reusable for rdata
-encoding as well as whole messages.
+pointers.  The reader accepts any bytes-like buffer — ``bytes``,
+``bytearray`` or ``memoryview`` — so callers can parse out of a larger
+receive buffer (TCP streams, AXFR) without copying the message first.
+
+Every simulated packet traverses this codec twice (once written, once
+parsed), so the reader keeps a per-message *name cache*: the first time
+a name is decoded, every label-start offset is remembered with its
+decoded suffix, and later compression pointers into those offsets skip
+the label walk entirely.  The cache changes no observable behaviour —
+a pointer target is only cached after the slow walk validated it — and
+can be disabled (``name_cache=False``) for differential testing against
+the plain walk.
 """
 
 from __future__ import annotations
@@ -69,7 +79,7 @@ class WireWriter:
             raise ValueError("can only encode absolute names")
         do_compress = self._compress if compress is None else compress
         labels = name.labels
-        folded = tuple(label.lower() for label in labels)
+        folded = name.folded_labels  # precomputed at Name construction
         for index in range(len(labels)):
             suffix = folded[index:]
             if suffix == (b"",):
@@ -89,9 +99,15 @@ class WireWriter:
 class WireReader:
     """Sequential reader over a DNS wire buffer with pointer chasing."""
 
-    def __init__(self, data: bytes, offset: int = 0):
+    def __init__(self, data: bytes | bytearray | memoryview, offset: int = 0,
+                 name_cache: bool = True):
         self._data = data
         self._pos = offset
+        #: label-start offset -> decoded (original-case) label suffix,
+        #: including the root label; populated as names are read.
+        self._names: dict[int, tuple[bytes, ...]] | None = (
+            {} if name_cache else None
+        )
 
     @property
     def pos(self) -> int:
@@ -132,7 +148,9 @@ class WireReader:
     def read_bytes(self, count: int) -> bytes:
         if count < 0 or self._pos + count > len(self._data):
             raise TruncatedMessage(f"{count} bytes past end of buffer")
-        data = self._data[self._pos : self._pos + count]
+        # bytes() normalizes memoryview slices; on a bytes buffer the
+        # slice is already a fresh bytes object and this is free.
+        data = bytes(self._data[self._pos : self._pos + count])
         self._pos += count
         return data
 
@@ -143,27 +161,51 @@ class WireReader:
 
         Pointers must point strictly backwards; cycles and forward pointers
         raise :class:`BadPointer`.
+
+        A pointer whose target offset was already decoded by an earlier
+        name in this message resolves from the name cache instead of
+        re-walking the labels; validation (backwards-only, cycle set,
+        255-octet bound) is identical either way, so the fast and slow
+        paths accept and reject exactly the same inputs.
         """
+        data = self._data
+        size = len(data)
+        cache = self._names
         labels: list[bytes] = []
+        starts: list[int] = []  # buffer offset of each collected label
         total = 0
         pos = self._pos
         jumped = False
         seen: set[int] = set()
         while True:
-            if pos >= len(self._data):
+            if pos >= size:
                 raise TruncatedMessage("name runs past end of buffer")
-            length = self._data[pos]
+            length = data[pos]
             kind = length & _POINTER_FLAG
             if kind == _POINTER_FLAG:
-                if pos + 2 > len(self._data):
+                if pos + 2 > size:
                     raise TruncatedMessage("pointer past end of buffer")
-                target = ((length & 0x3F) << 8) | self._data[pos + 1]
+                target = ((length & 0x3F) << 8) | data[pos + 1]
                 if not jumped:
                     self._pos = pos + 2
                     jumped = True
                 if target >= pos or target in seen:
                     raise BadPointer(f"bad compression pointer to {target}")
                 seen.add(target)
+                if cache is not None:
+                    suffix = cache.get(target)
+                    if suffix is not None:
+                        # Same length accounting as the walk below; the
+                        # root label never contributes to `total`.
+                        for label in suffix:
+                            if label:
+                                total += len(label) + 1
+                                if total > MAX_NAME_LENGTH:
+                                    raise BadPointer(
+                                        "name exceeds 255 octets while decompressing"
+                                    )
+                        labels.extend(suffix)
+                        return self._finish_name(labels, starts)
                 pos = target
                 continue
             if kind != 0:
@@ -172,11 +214,23 @@ class WireReader:
                 labels.append(b"")
                 if not jumped:
                     self._pos = pos + 1
-                return Name(labels)
-            if pos + 1 + length > len(self._data):
+                return self._finish_name(labels, starts)
+            if pos + 1 + length > size:
                 raise TruncatedMessage("label runs past end of buffer")
-            labels.append(self._data[pos + 1 : pos + 1 + length])
+            starts.append(pos)
+            labels.append(bytes(data[pos + 1 : pos + 1 + length]))
             total += length + 1
             if total > MAX_NAME_LENGTH:
                 raise BadPointer("name exceeds 255 octets while decompressing")
             pos += 1 + length
+
+    def _finish_name(self, labels: list[bytes], starts: list[int]) -> Name:
+        """Build the Name and remember every label-start suffix."""
+        name = Name.from_wire_labels(labels)
+        cache = self._names
+        if cache is not None and starts:
+            wire_labels = name.labels
+            for index, start in enumerate(starts):
+                if start <= _MAX_POINTER_TARGET and start not in cache:
+                    cache[start] = wire_labels[index:]
+        return name

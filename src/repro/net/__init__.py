@@ -23,6 +23,7 @@ from .fabric import (
     TransportError,
     Unreachable,
 )
+from .lanes import LaneDeadlock, VirtualLanePool, run_in_lanes
 from .udp import UdpServer, serve_and_query, udp_query
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "Clock",
     "DNS_PORT",
     "Impairment",
+    "LaneDeadlock",
     "LinkFlap",
     "Outage",
     "synthesize_refused",
@@ -48,8 +50,10 @@ __all__ = [
     "TransportError",
     "UdpServer",
     "Unreachable",
+    "VirtualLanePool",
     "classify",
     "is_globally_routable",
+    "run_in_lanes",
     "serve_and_query",
     "udp_query",
 ]

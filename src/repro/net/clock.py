@@ -8,6 +8,7 @@ deterministic and can fast-forward years in microseconds.
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 
 class Clock:
@@ -25,6 +26,15 @@ class Clock:
         if seconds > 0:
             time.sleep(seconds)  # repro: allow[wall-clock]
 
+    def wait_virtual(self, predicate: Callable[[], bool]) -> bool:
+        """Park the caller until ``predicate()`` holds, if this clock can.
+
+        Returns True when the wait happened (concurrent lanes active),
+        False when the caller must fall back to synchronous behaviour.
+        The wall clock has no lanes, so this is always False here.
+        """
+        return False
+
 
 class SimulatedClock(Clock):
     """A manually advanced clock starting at a fixed epoch.
@@ -38,21 +48,45 @@ class SimulatedClock(Clock):
 
     def __init__(self, start: float = PAPER_EPOCH):
         self._now = float(start)
+        #: Active :class:`~repro.net.lanes.VirtualLanePool`, when a
+        #: concurrent scan is in progress.  While set, lane threads see
+        #: per-lane virtual time; other threads see the base clock.
+        self._lanes = None
 
     def now(self) -> float:
+        lanes = self._lanes
+        if lanes is not None:
+            lane_now = lanes.lane_now()
+            if lane_now is not None:
+                return lane_now
         return self._now
 
     def advance(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("time only moves forward")
+        lanes = self._lanes
+        if lanes is not None and lanes.lane_advance(seconds):
+            return
         self._now += seconds
 
     def sleep(self, seconds: float) -> None:
         """Simulated waits advance virtual time instantly."""
         if seconds > 0:
-            self._now += seconds
+            self.advance(seconds)
 
     def set(self, timestamp: float) -> None:
         if timestamp < self._now:
             raise ValueError("time only moves forward")
         self._now = float(timestamp)
+
+    def wait_virtual(self, predicate: Callable[[], bool]) -> bool:
+        """Park the calling lane until ``predicate()`` holds.
+
+        Only meaningful while a :class:`VirtualLanePool` drives this
+        clock; single-flight coalescing in the resolver uses it to wait
+        for another lane's identical in-flight fetch.
+        """
+        lanes = self._lanes
+        if lanes is not None and lanes.lane_wait(predicate):
+            return True
+        return False

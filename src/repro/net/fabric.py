@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
+from .addresses import is_globally_routable
 from .chaos import ChaosAction, ChaosPolicy, synthesize_refused
 from .clock import Clock, SimulatedClock
 
@@ -116,8 +117,6 @@ class NetworkFabric:
         port: int = DNS_PORT,
         link: LinkProperties | None = None,
     ) -> None:
-        from .addresses import is_globally_routable
-
         if not is_globally_routable(address):
             raise ValueError(
                 f"{address} is a special-purpose address; nothing can be hosted there"
@@ -163,7 +162,6 @@ class NetworkFabric:
         Successful or not, the virtual clock advances: by the link latency
         on success, by ``timeout`` when the query goes unanswered.
         """
-        from .addresses import is_globally_routable
 
         self.stats.datagrams_sent += 1
         if transport == "tcp":

@@ -1,0 +1,240 @@
+"""Deterministic concurrency lanes over the virtual clock.
+
+The fabric is a synchronous, in-process packet switch: a send *is* the
+round trip, and latency is modelled by advancing one
+:class:`~repro.net.clock.SimulatedClock`.  Real measurement tools (zdns,
+the paper's Section 4.1 pipeline) keep thousands of resolutions in
+flight; to model that without giving up determinism, a
+:class:`VirtualLanePool` runs N worker *lanes* that take strict turns:
+
+* exactly one lane executes at any moment (a token passed under one
+  condition variable), so every shared structure — caches, zone maps,
+  seeded RNGs — is mutated race-free without per-structure locks;
+* each lane owns a *lane clock*: clock reads and advances inside a lane
+  apply to that lane's virtual time only, so lane A waiting out a 2 s
+  timeout does not stall lane B's 10 ms round trip;
+* the scheduler always resumes the runnable lane with the smallest
+  virtual time (ties broken by lane id), which makes the interleaving a
+  pure function of the workload — OS thread scheduling cannot perturb
+  it, so seeded runs replay byte-for-byte for any worker count;
+* a lane may block on a predicate (``wait_until``) — the single-flight
+  query coalescing in the recursive resolver uses this to park a lane
+  until another lane's identical upstream fetch completes.  A blocked
+  lane rejoins at ``max(own time, unblocking lane's time)``: the data it
+  waited for did not exist earlier than that.
+
+When the pool drains, the base clock is set to the *makespan* —
+``max`` over lane times — which is exactly the wall-clock a real
+concurrent scanner would have spent.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class LaneDeadlock(RuntimeError):
+    """Every live lane is parked on a predicate that can never fire."""
+
+
+class _PoolAbort(BaseException):
+    """Internal: unwind a lane after another lane failed the pool.
+
+    Derives from ``BaseException`` so per-item ``except Exception``
+    isolation (the scanner's error records) cannot swallow it.
+    """
+
+
+class VirtualLanePool:
+    """Runs items through ``fn`` on N deterministic virtual-time lanes."""
+
+    def __init__(self, clock, workers: int):
+        if workers < 1:
+            raise ValueError("need at least one lane")
+        self._clock = clock
+        self._workers = int(workers)
+        self._cv = threading.Condition()
+        self._tls = threading.local()
+        self._times: list[float] = []
+        self._queue: deque = deque()
+        self._fn: Callable | None = None
+        self._running: int | None = None
+        self._finished: set[int] = set()
+        self._blocked: dict[int, Callable[[], bool]] = {}
+        self._failure: BaseException | None = None
+        #: lifetime counters, for bench reporting
+        self.tasks_run = 0
+        self.switches = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, items: Iterable[T], fn: Callable[[T], object]) -> None:
+        """Process every item; returns once all lanes drain.
+
+        ``fn`` runs with the lane token held, so anything it touches is
+        effectively single-threaded.  Items are handed out in order to
+        whichever lane is scheduled next, which is deterministic.
+        """
+        queue = deque(items)
+        if not queue:
+            return
+        base = self._clock.now()
+        lanes = min(self._workers, len(queue))
+        self._times = [base] * lanes
+        self._queue = queue
+        self._fn = fn
+        self._running = None
+        self._finished = set()
+        self._blocked = {}
+        self._failure = None
+
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(lane,), name=f"lane-{lane}", daemon=True
+            )
+            for lane in range(lanes)
+        ]
+        previous = getattr(self._clock, "_lanes", None)
+        self._clock._lanes = self
+        try:
+            for thread in threads:
+                thread.start()
+            with self._cv:
+                self._schedule(None)
+            for thread in threads:
+                thread.join()
+        finally:
+            self._clock._lanes = previous
+        makespan = max(self._times)
+        if makespan > self._clock.now():
+            self._clock.set(makespan)
+        if self._failure is not None:
+            raise self._failure
+
+    # -- lane-side clock hooks (called via SimulatedClock) ------------------
+
+    def lane_id(self) -> int | None:
+        """This thread's lane id, or None for non-lane threads."""
+        return getattr(self._tls, "lane", None)
+
+    def lane_now(self) -> float | None:
+        lane = self.lane_id()
+        if lane is None:
+            return None
+        return self._times[lane]
+
+    def lane_advance(self, seconds: float) -> bool:
+        """Advance the calling lane's time and maybe hand over the token."""
+        lane = self.lane_id()
+        if lane is None:
+            return False
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        with self._cv:
+            self._times[lane] += seconds
+            self._yield_turn(lane)
+        return True
+
+    def lane_wait(self, predicate: Callable[[], bool]) -> bool:
+        """Park the calling lane until ``predicate()`` holds.
+
+        Returns False when called off-lane (the caller should fall back
+        to synchronous behaviour).  The predicate is re-evaluated at
+        every scheduling point; it must be cheap and side-effect free.
+        """
+        lane = self.lane_id()
+        if lane is None:
+            return False
+        with self._cv:
+            if not predicate():
+                self._blocked[lane] = predicate
+                self._yield_turn(lane)
+            else:
+                self._yield_turn(lane)
+        return True
+
+    # -- scheduler ----------------------------------------------------------
+
+    def _worker(self, lane: int) -> None:
+        self._tls.lane = lane
+        try:
+            while True:
+                with self._cv:
+                    if self._running == lane:
+                        # Finished an item while holding the token: let a
+                        # lane with a smaller clock claim the next one.
+                        self._yield_turn(lane)
+                    else:
+                        self._await_turn(lane)
+                    if self._failure is not None or not self._queue:
+                        break
+                    item = self._queue.popleft()
+                    self.tasks_run += 1
+                self._fn(item)
+        except _PoolAbort:
+            pass
+        except BaseException as exc:
+            with self._cv:
+                if self._failure is None:
+                    self._failure = exc
+        finally:
+            with self._cv:
+                self._finished.add(lane)
+                self._blocked.pop(lane, None)
+                self._schedule(lane)
+            self._tls.lane = None
+
+    def _await_turn(self, lane: int) -> None:
+        """Wait (cv held) until this lane holds the token or must abort."""
+        while self._running != lane and self._failure is None:
+            self._cv.wait()
+        if self._failure is not None and self._running != lane:
+            raise _PoolAbort()
+
+    def _yield_turn(self, lane: int) -> None:
+        """Reschedule (cv held) and wait until this lane runs again."""
+        self._schedule(lane)
+        while (
+            self._running != lane or lane in self._blocked
+        ) and self._failure is None:
+            self._cv.wait()
+        if self._failure is not None and self._running != lane:
+            raise _PoolAbort()
+
+    def _schedule(self, prev: int | None) -> None:
+        """Pick the next lane (cv held): smallest time, then smallest id."""
+        # Predicates may have been satisfied by whatever `prev` just did;
+        # a lane unblocked now rejoins no earlier than prev's clock.
+        for waiter in sorted(self._blocked):
+            if self._blocked[waiter]():
+                del self._blocked[waiter]
+                if prev is not None:
+                    self._times[waiter] = max(self._times[waiter], self._times[prev])
+        runnable = [
+            lane
+            for lane in range(len(self._times))
+            if lane not in self._finished and lane not in self._blocked
+        ]
+        if not runnable:
+            if self._blocked and self._failure is None and len(self._finished) < len(self._times):
+                self._failure = LaneDeadlock(
+                    f"all lanes parked: {sorted(self._blocked)} wait on predicates "
+                    "no runnable lane can satisfy"
+                )
+            self._running = None
+            self._cv.notify_all()
+            return
+        choice = min(runnable, key=lambda lane: (self._times[lane], lane))
+        if choice != self._running:
+            self.switches += 1
+        self._running = choice
+        self._cv.notify_all()
+
+
+def run_in_lanes(clock, workers: int, items: Sequence[T], fn: Callable[[T], object]) -> None:
+    """One-shot helper: run ``items`` through ``fn`` on a fresh pool."""
+    VirtualLanePool(clock, workers).run(items, fn)

@@ -122,6 +122,17 @@ class ResolverCache:
     def put_negative(
         self, name: Name, rdtype: RdataType, rcode: int, authority: list[RRset], ttl: float
     ) -> None:
+        # RFC 2308 section 5: the negative TTL is the *minimum* of the
+        # SOA record's own TTL (what the caller passes) and its MINIMUM
+        # field — a zone advertising SOA TTL 3600 but MINIMUM 60 wants
+        # its denials forgotten after a minute.  The configured cap
+        # still bounds both.
+        for rrset in authority:
+            if int(rrset.rdtype) == int(RdataType.SOA):
+                for rdata in rrset.rdatas:
+                    minimum = getattr(rdata, "minimum", None)
+                    if minimum is not None:
+                        ttl = min(ttl, float(minimum))
         ttl = min(ttl, self.config.negative_ttl_cap)
         now = self._clock.now()
         self._negative[(name, int(rdtype))] = _NegativeEntry(

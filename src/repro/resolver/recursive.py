@@ -10,6 +10,7 @@ paper does.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass, field
 
 from ..dns.dnssec_records import DS
@@ -47,12 +48,38 @@ class ResolverStats:
     #: Resolutions aborted by the per-resolution query budget
     #: (anti-amplification guard in the iterative engine).
     budget_exhausted: int = 0
+    #: Client resolutions that parked on another lane's identical
+    #: in-flight resolution instead of launching their own (the
+    #: single-flight pattern; only possible under concurrent lanes).
+    coalesced: int = 0
+    #: Infrastructure fetches (DNSKEYs, DS sets, referral glue) that
+    #: piggybacked on an identical in-flight fetch from another lane.
+    coalesced_infra: int = 0
+    #: Infrastructure-record cache outcomes (TLD referrals, DNSKEYs
+    #: shared across resolutions via the infra cache).
+    infra_hits: int = 0
+    infra_misses: int = 0
 
 
 @dataclass
 class _InfraEntry:
     result: FetchResult
     expires_at: float
+
+
+class _Flight:
+    """Marker for one in-flight upstream fetch (single-flight dedup).
+
+    ``done`` flips in a ``finally`` with the lane token held, so waiters
+    parked on it via :meth:`Clock.wait_virtual` observe a consistent
+    final state — including when the owner unwinds on an exception.
+    """
+
+    __slots__ = ("done", "outcome")
+
+    def __init__(self):
+        self.done = False
+        self.outcome = None
 
 
 class RecursiveResolver:
@@ -97,7 +124,15 @@ class RecursiveResolver:
         self.stats = ResolverStats()
         self._infra_cache: dict[tuple[Name, Name, int], _InfraEntry] = {}
         self._infra_ttl = 300.0
-        self._active_events: list[EventRecord] | None = None
+        #: Per-lane (thread-local) event sink: a validator fetch mid-way
+        #: through lane A's resolution must not leak events into lane
+        #: B's concurrently running resolution.
+        self._events_tls = threading.local()
+        #: Single-flight registries (key -> _Flight).  Mutated only with
+        #: the lane token held; on the sequential path a key can never
+        #: be observed in flight, so these are no-ops there.
+        self._client_flights: dict[tuple[Name, int, bool], _Flight] = {}
+        self._infra_flights: dict[tuple[Name, Name, int], _Flight] = {}
 
     @property
     def server_stats(self):
@@ -193,10 +228,43 @@ class RecursiveResolver:
     def _resolve_outcome(
         self, qname: Name, rdtype: RdataType, checking_disabled: bool = False
     ) -> ResolutionOutcome:
-        outcome = ResolutionOutcome()
+        outcome = self._outcome_from_cache(qname, rdtype)
+        if outcome is not None:
+            return outcome
 
+        # Single-flight: when another lane is already resolving this
+        # exact question, park until it finishes and serve its result
+        # (usually via the cache it just populated).  ``wait_virtual``
+        # returns False outside concurrent lanes, where an in-flight
+        # duplicate is impossible anyway.
+        key = (qname, int(rdtype), bool(checking_disabled))
+        flight = self._client_flights.get(key)
+        if flight is not None and self.clock.wait_virtual(lambda: flight.done):
+            self.stats.coalesced += 1
+            outcome = self._outcome_from_cache(qname, rdtype)
+            if outcome is not None:
+                return outcome
+            if flight.outcome is not None:
+                return flight.outcome
+            # Owner failed without caching anything; resolve ourselves.
+
+        flight = _Flight()
+        self._client_flights[key] = flight
+        try:
+            outcome = self._resolve_uncached(qname, rdtype, checking_disabled)
+            flight.outcome = outcome
+            return outcome
+        finally:
+            flight.done = True
+            self._client_flights.pop(key, None)
+
+    def _outcome_from_cache(
+        self, qname: Name, rdtype: RdataType
+    ) -> ResolutionOutcome | None:
+        """Error/positive/negative cache probe, in that order, or None."""
         error = self.cache.get_error(qname, rdtype)
         if error is not None:
+            outcome = ResolutionOutcome()
             outcome.rcode = error.rcode
             outcome.from_cache = True
             outcome.events.append(
@@ -212,6 +280,7 @@ class RecursiveResolver:
 
         cached = self.cache.get_rrset(qname, rdtype)
         if cached is not None:
+            outcome = ResolutionOutcome()
             outcome.rcode = Rcode.NOERROR
             outcome.answer_rrsets = [cached]
             outcome.from_cache = True
@@ -219,14 +288,20 @@ class RecursiveResolver:
             return outcome
         negative = self.cache.get_negative(qname, rdtype)
         if negative is not None:
+            outcome = ResolutionOutcome()
             outcome.rcode = negative.rcode
             outcome.authority_rrsets = [r.copy() for r in negative.authority]
             outcome.from_cache = True
             outcome.validation = ValidationTrace.insecure()
             return outcome
+        return None
 
+    def _resolve_uncached(
+        self, qname: Name, rdtype: RdataType, checking_disabled: bool
+    ) -> ResolutionOutcome:
+        outcome = ResolutionOutcome()
         events: list[EventRecord] = []
-        self._active_events = events
+        self._events_tls.active = events
         try:
             iteration = self.engine.resolve(qname, rdtype, events)
 
@@ -296,7 +371,7 @@ class RecursiveResolver:
                 self.stats.nxdomain += 1
             return outcome
         finally:
-            self._active_events = None
+            self._events_tls.active = None
 
     def _maybe_serve_stale(
         self, qname: Name, rdtype: RdataType, outcome: ResolutionOutcome
@@ -370,25 +445,46 @@ class RecursiveResolver:
     def fetch_from_zone(self, zone: Name, qname: Name, rdtype: RdataType) -> FetchResult:
         key = (zone, qname, int(rdtype))
         entry = self._infra_cache.get(key)
-        now = self.clock.now()
-        if entry is not None and entry.expires_at > now:
+        if entry is not None and entry.expires_at > self.clock.now():
+            self.stats.infra_hits += 1
             return entry.result
-        events: list[EventRecord] = []
-        response = self.engine.query_zone(zone, qname, rdtype, events)
-        if self._active_events is not None:
-            self._active_events.extend(events)
-        if response is None:
-            result = FetchResult(ok=False, rcode=Rcode.SERVFAIL, events=events)
-        else:
-            result = FetchResult(
-                ok=True,
-                rcode=response.rcode,
-                answer=[r.copy() for r in response.answer],
-                authority=[r.copy() for r in response.authority],
-                events=events,
+        # Single-flight on infrastructure records: two lanes validating
+        # through the same zone cut want the same DNSKEY/DS set — the
+        # second parks and reads the entry the first just cached.
+        flight = self._infra_flights.get(key)
+        if flight is not None and self.clock.wait_virtual(lambda: flight.done):
+            self.stats.coalesced_infra += 1
+            entry = self._infra_cache.get(key)
+            if entry is not None and entry.expires_at > self.clock.now():
+                return entry.result
+            # Owner unwound without caching; fall through and fetch.
+        self.stats.infra_misses += 1
+        flight = _Flight()
+        self._infra_flights[key] = flight
+        try:
+            now = self.clock.now()
+            events: list[EventRecord] = []
+            response = self.engine.query_zone(zone, qname, rdtype, events)
+            active = getattr(self._events_tls, "active", None)
+            if active is not None:
+                active.extend(events)
+            if response is None:
+                result = FetchResult(ok=False, rcode=Rcode.SERVFAIL, events=events)
+            else:
+                result = FetchResult(
+                    ok=True,
+                    rcode=response.rcode,
+                    answer=[r.copy() for r in response.answer],
+                    authority=[r.copy() for r in response.authority],
+                    events=events,
+                )
+            self._infra_cache[key] = _InfraEntry(
+                result=result, expires_at=now + self._infra_ttl
             )
-        self._infra_cache[key] = _InfraEntry(result=result, expires_at=now + self._infra_ttl)
-        return result
+            return result
+        finally:
+            flight.done = True
+            self._infra_flights.pop(key, None)
 
     def flush_caches(self) -> None:
         self.cache.flush()

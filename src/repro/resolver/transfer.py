@@ -46,7 +46,10 @@ def axfr(
         )
     except TransportError as exc:
         raise TransferError(f"transfer transport failure: {exc}") from exc
-    response = Message.from_wire(raw)
+    # AXFR responses are the largest messages in the system; parse them
+    # through a memoryview so the reader slices labels and rdata out of
+    # the receive buffer without an up-front copy.
+    response = Message.from_wire(memoryview(raw))
     if response.rcode != Rcode.NOERROR:
         raise TransferError(
             f"transfer refused: rcode {Rcode(response.rcode).name}"

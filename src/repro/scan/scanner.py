@@ -81,6 +81,19 @@ class ScanResult:
     records: list[ScanRecord] = field(default_factory=list)
     queries_sent: int = 0
     duration_virtual: float = 0.0  # fabric-clock seconds consumed
+    #: Portion of ``duration_virtual`` spent deliberately letting TTLs
+    #: expire between the two-phase prime and re-query (not scan work).
+    ttl_wait_virtual: float = 0.0
+    #: Concurrency the scan ran with (1 = the sequential baseline).
+    workers: int = 1
+    #: Client resolutions and infra fetches served by piggybacking on
+    #: another lane's identical in-flight upstream query.
+    coalesced: int = 0
+
+    @property
+    def active_virtual(self) -> float:
+        """Virtual seconds of actual scan work (excludes TTL waits)."""
+        return self.duration_virtual - self.ttl_wait_virtual
 
     def ede_records(self) -> list[ScanRecord]:
         return [record for record in self.records if record.has_ede]
@@ -123,6 +136,8 @@ class WildScanner:
         checkpoint: str | Path | None = None,
         skip_names: set[str] | None = None,
         progress_every: int = 2048,
+        workers: int = 1,
+        use_lanes: bool | None = None,
     ) -> ScanResult:
         """Scan ``domains`` (default: the whole population), randomized.
 
@@ -133,6 +148,16 @@ class WildScanner:
         ``progress_every`` completed domains across *all* phases —
         including the two-phase stale/cached-error tail — plus once at
         the end.
+
+        ``workers`` > 1 keeps that many resolutions in flight on
+        deterministic virtual-time lanes (see
+        :mod:`repro.net.lanes`): the per-domain categorization is
+        identical to the sequential scan for any worker count, only the
+        virtual makespan (and record order) changes.  ``workers=1``
+        is byte-identical to the original sequential loop; pass
+        ``use_lanes=True`` to force even a single worker through the
+        lane pool (differential tests and pool-overhead benchmarks),
+        or ``use_lanes=False`` to force the plain loop.
         """
         if domains is None:
             domains = self.wild.population.domains
@@ -143,7 +168,11 @@ class WildScanner:
 
         start_clock = self.wild.fabric.clock.now()
         start_sent = self.wild.fabric.stats.datagrams_sent
-        result = ScanResult()
+        stats = self.resolver.stats
+        start_coalesced = stats.coalesced + stats.coalesced_infra
+        workers = max(1, int(workers))
+        lanes_on = (workers > 1) if use_lanes is None else bool(use_lanes)
+        result = ScanResult(workers=workers)
 
         two_phase = [d for d in queue if Profile(d.profile) in TWO_PHASE_PROFILES]
         single_phase = [d for d in queue if Profile(d.profile) not in TWO_PHASE_PROFILES]
@@ -166,24 +195,41 @@ class WildScanner:
             if progress is not None and done % progress_every == 0:
                 progress(done, total)
 
+        if lanes_on:
+            from ..net.lanes import VirtualLanePool
+
+            clock = self.wild.fabric.clock
+
+            def run_phase(items, fn):
+                # Fresh pool per phase: phase boundaries are barriers (the
+                # stale TTL advance must happen after *every* prime), and
+                # the pool leaves the base clock at the phase makespan.
+                VirtualLanePool(clock, workers).run(items, fn)
+        else:
+
+            def run_phase(items, fn):
+                for item in items:
+                    fn(item)
+
         try:
-            for domain in single_phase:
-                emit(self._query_safe(domain))
+            run_phase(single_phase, lambda d: emit(self._query_safe(d)))
 
             # Phase 1: prime caches for stale/cached-error domains.
             stale = [d for d in two_phase if d.profile is Profile.STALE]
             errors = [d for d in two_phase if d.profile is Profile.CACHED_ERROR]
-            for domain in stale:
-                self._prime_safe(domain)
+            run_phase(stale, self._prime_safe)
             if stale:
                 # Let the cached answers expire (TTL 300) but stay in the
                 # serve-stale window; the flipping servers now answer REFUSED.
                 self.wild.fabric.clock.advance(600)
-            for domain in stale:
-                emit(self._query_safe(domain))
-            for domain in errors:
+                result.ttl_wait_virtual += 600
+            run_phase(stale, lambda d: emit(self._query_safe(d)))
+
+            def prime_and_query(domain: WildDomain) -> None:
                 self._prime_safe(domain)  # populates the SERVFAIL error cache
                 emit(self._query_safe(domain))
+
+            run_phase(errors, prime_and_query)
             if progress is not None:
                 progress(done, total)
         finally:
@@ -192,6 +238,9 @@ class WildScanner:
 
         result.queries_sent = self.wild.fabric.stats.datagrams_sent - start_sent
         result.duration_virtual = self.wild.fabric.clock.now() - start_clock
+        result.coalesced = (
+            stats.coalesced + stats.coalesced_infra - start_coalesced
+        )
         return result
 
     def resume_from(
@@ -224,6 +273,9 @@ class WildScanner:
             records=prior.records + fresh.records,
             queries_sent=fresh.queries_sent,
             duration_virtual=fresh.duration_virtual,
+            ttl_wait_virtual=fresh.ttl_wait_virtual,
+            workers=fresh.workers,
+            coalesced=fresh.coalesced,
         )
 
     # -- internals ------------------------------------------------------------------

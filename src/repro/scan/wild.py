@@ -464,6 +464,11 @@ class WildInternet:
         self._delegations: dict[str, DomainDelegation] = {}
         self._zone_cache: dict[str, BuiltZone] = {}
         self._key_cache: dict[str, tuple[KeyPair, KeyPair]] = {}
+        #: qname -> registered domain memo; every authoritative answer on
+        #: the fabric performs this lookup, so it is the wild side's
+        #: hottest path.  Pure function of the population => safe to
+        #: share across concurrent scan lanes.
+        self._rdomain_cache: dict[Name, WildDomain | None] = {}
         self.tld_servers: dict[str, VirtualTldServer] = {}
         self.tld_addresses: dict[str, str] = {}
         self.hosting_servers: list[HostingServer] = []
@@ -585,13 +590,21 @@ class WildInternet:
     def registered_domain_of(self, qname: Name | None) -> WildDomain | None:
         if qname is None:
             return None
+        try:
+            return self._rdomain_cache[qname]
+        except KeyError:
+            pass
         labels = [l for l in qname.labels if l != b""]
+        domain = None
         for depth in range(2, len(labels) + 1):
             candidate = b".".join(labels[-depth:]).decode("ascii", "replace")
             domain = self.domain_by_name.get(candidate)
             if domain is not None:
-                return domain
-        return None
+                break
+        if len(self._rdomain_cache) > 65536:
+            self._rdomain_cache.clear()
+        self._rdomain_cache[qname] = domain
+        return domain
 
     def domain_keys(self, domain: WildDomain) -> tuple[KeyPair, KeyPair]:
         cached = self._key_cache.get(domain.name)

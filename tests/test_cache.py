@@ -4,7 +4,7 @@ import pytest
 
 from repro.dns.name import Name
 from repro.dns.rcode import Rcode
-from repro.dns.rdata import A
+from repro.dns.rdata import A, SOA
 from repro.dns.rrset import RRset
 from repro.dns.types import RdataType
 from repro.net.clock import SimulatedClock
@@ -103,6 +103,45 @@ class TestNegative:
     def test_negative_expiry(self, cache, clock):
         cache.put_negative(NAME, RdataType.A, Rcode.NXDOMAIN, [], ttl=60)
         clock.advance(61)
+        assert cache.get_negative(NAME, RdataType.A) is None
+
+    @staticmethod
+    def _soa_authority(soa_ttl=300, minimum=60):
+        soa = SOA(
+            mname=Name.from_text("ns1.test."),
+            rname=Name.from_text("hostmaster.test."),
+            minimum=minimum,
+        )
+        return [RRset.of(Name.from_text("test."), RdataType.SOA, soa, ttl=soa_ttl)]
+
+    def test_rfc2308_soa_minimum_caps_negative_ttl(self, cache, clock):
+        """RFC 2308 section 5: negative TTL = min(SOA TTL, SOA MINIMUM).
+        SOA record TTL 300 but MINIMUM 60 => entry dies after 60s."""
+        cache.put_negative(
+            NAME, RdataType.A, Rcode.NXDOMAIN,
+            self._soa_authority(soa_ttl=300, minimum=60), ttl=300,
+        )
+        clock.advance(59)
+        assert cache.get_negative(NAME, RdataType.A) is not None
+        clock.advance(2)
+        assert cache.get_negative(NAME, RdataType.A) is None
+
+    def test_rfc2308_soa_ttl_still_binds_when_smaller(self, cache, clock):
+        """The SOA record's own TTL wins when it is below MINIMUM."""
+        cache.put_negative(
+            NAME, RdataType.A, Rcode.NXDOMAIN,
+            self._soa_authority(soa_ttl=30, minimum=600), ttl=30,
+        )
+        clock.advance(31)
+        assert cache.get_negative(NAME, RdataType.A) is None
+
+    def test_rfc2308_config_cap_beats_large_minimum(self, cache, clock):
+        """The configured cap still bounds SOA-derived TTLs (default 900)."""
+        cache.put_negative(
+            NAME, RdataType.A, Rcode.NXDOMAIN,
+            self._soa_authority(soa_ttl=100_000, minimum=100_000), ttl=100_000,
+        )
+        clock.advance(901)
         assert cache.get_negative(NAME, RdataType.A) is None
 
 

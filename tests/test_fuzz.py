@@ -74,6 +74,162 @@ def test_report_qname_decoder_never_crashes(labels):
     decode_report_qname(name, agent)
 
 
+def _read_name_outcome(data, offset, *, name_cache, prewalk=()):
+    """Decode one name; return ("ok", name, end_pos) or ("err", exc_type)."""
+    reader = WireReader(data, name_cache=name_cache)
+    try:
+        for pre in prewalk:  # warm the compression cache on valid names
+            reader.seek(pre)
+            reader.read_name()
+        reader.seek(offset)
+        name = reader.read_name()
+        return ("ok", name, reader.pos)
+    except DnsError as exc:
+        return ("err", type(exc))
+
+
+def _assert_paths_agree(data, offset, prewalk=()):
+    fast = _read_name_outcome(data, offset, name_cache=True, prewalk=prewalk)
+    slow = _read_name_outcome(data, offset, name_cache=False, prewalk=prewalk)
+    assert fast == slow, f"fast/slow divergence at offset {offset}: {fast} != {slow}"
+    return fast
+
+
+def _wire_with_opt(option_code=15, claimed_len=4, actual=b"\x00\x16\x00\x00"):
+    """Header + one OPT RR whose single option claims ``claimed_len`` bytes."""
+    rdata = option_code.to_bytes(2, "big") + claimed_len.to_bytes(2, "big") + actual
+    opt = b"\x00" + (41).to_bytes(2, "big") + (4096).to_bytes(2, "big")
+    opt += (0).to_bytes(4, "big") + len(rdata).to_bytes(2, "big") + rdata
+    header = (0).to_bytes(2, "big") + b"\x80\x00" + b"\x00\x00" * 3 + b"\x00\x01"
+    return header + opt
+
+
+class TestWireFastPathDifferential:
+    """The compression-cache fast path and the plain label walk must
+    accept, reject, and decode exactly the same inputs (ISSUE 3)."""
+
+    # (buffer, offset to read at, offsets of valid names to pre-walk)
+    CORPUS = [
+        # Self-pointer: target == pos, forward/self pointers are banned.
+        (b"\xc0\x00", 0, ()),
+        # Two-hop loop: label then a pointer back into the chain.
+        (b"\x03abc\xc0\x00\xc0\x04", 6, ()),
+        # Forward pointer (decompression may only look backwards).
+        (b"\xc0\x05\x00\x00\x00\x01a\x00", 0, ()),
+        # Pointer byte truncated mid-pair.
+        (b"\x00\xc0", 1, ()),
+        # Label length runs past the end of the buffer.
+        (b"\x05ab", 0, ()),
+        # Pointer to a mid-label offset: decodes garbage, but the same
+        # garbage either way (the cache only indexes label starts).
+        (b"\x07example\x00\xc0\x03", 9, (0,)),
+        # Valid compression against a warmed cache (the fast-path hit).
+        (b"\x03www\x07example\x03com\x00\x04mail\xc0\x04", 17, (0,)),
+        # Chained pointers through cached suffixes.
+        (b"\x03com\x00\x07example\xc0\x00\x03www\xc0\x05", 15, (0, 5)),
+        # Pointer into the OPT RR region of a real message: the target
+        # bytes are option data, not labels, and must parse (or fail)
+        # identically with and without the cache.
+        (_wire_with_opt() + b"\xc0\x17", len(_wire_with_opt()), ()),
+        (_wire_with_opt() + b"\xc0\x0c", len(_wire_with_opt()), ()),
+    ]
+
+    @pytest.mark.parametrize("data,offset,prewalk", CORPUS)
+    def test_seeded_corpus(self, data, offset, prewalk):
+        _assert_paths_agree(data, offset, prewalk)
+
+    def test_cache_hit_decodes_identically(self):
+        wire = b"\x03www\x07example\x03com\x00\x04mail\xc0\x04"
+        fast = _read_name_outcome(wire, 17, name_cache=True, prewalk=(0,))
+        slow = _read_name_outcome(wire, 17, name_cache=False, prewalk=(0,))
+        assert fast[0] == "ok"
+        assert fast == slow
+        assert str(fast[1]) == "mail.example.com."
+
+    def test_overlong_name_rejected_by_both(self):
+        # 4 * 63-byte labels = 256 encoded octets > 255, assembled via a
+        # pointer so the fast path's cached-suffix accounting is on the line.
+        base = b"".join(b"\x3f" + bytes([65 + i]) * 63 for i in range(3)) + b"\x00"
+        wire = base + b"\x3f" + b"Z" * 63 + b"\xc0\x00"
+        fast = _read_name_outcome(wire, len(base), name_cache=True, prewalk=(0,))
+        slow = _read_name_outcome(wire, len(base), name_cache=False, prewalk=(0,))
+        assert fast == slow
+        assert fast[0] == "err"
+
+    @given(st.binary(max_size=128), st.integers(min_value=0, max_value=127))
+    def test_random_buffers_agree(self, data, offset):
+        _assert_paths_agree(data, offset)
+
+    @given(st.binary(max_size=160))
+    def test_random_buffers_agree_with_warm_cache(self, data):
+        # Pre-walk offset 0 only when it decodes cleanly, then compare
+        # a second read that may hit the cache the pre-walk populated.
+        try:
+            WireReader(data).read_name()
+        except DnsError:
+            prewalk = ()
+        else:
+            prewalk = (0,)
+        _assert_paths_agree(data, min(2, len(data)), prewalk)
+
+
+class TestTruncatedEdeOptions:
+    """EDE options whose length field lies about the payload size."""
+
+    @pytest.mark.parametrize(
+        "claimed,actual",
+        [(4, b"\x00\x16"), (64, b"\x00\x16\x00\x00"), (2, b""), (65535, b"\x00")],
+    )
+    def test_truncated_option_rejected_or_parsed_consistently(self, claimed, actual):
+        wire = _wire_with_opt(claimed_len=claimed, actual=actual)
+        outcomes = []
+        for view in (wire, memoryview(wire)):
+            try:
+                outcomes.append(("ok", Message.from_wire(view).to_wire()))
+            except DnsError as exc:
+                outcomes.append(("err", type(exc)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_exact_length_ede_still_parses(self):
+        wire = _wire_with_opt(claimed_len=4, actual=b"\x00\x16\x00\x00")
+        message = Message.from_wire(wire)
+        assert 22 in [ede.info_code for ede in message.extended_errors]
+
+
+class TestMemoryviewBoundary:
+    """Parsing from a memoryview slice of a larger buffer must match
+    parsing the standalone bytes — names, rdata, and EDE options all
+    cross the zero-copy boundary."""
+
+    def _sample_wire(self):
+        message = Message.make_query("www.example.com.", RdataType.A, msg_id=99)
+        message.qr = True
+        message.add_ede(22, "no reachable authority")
+        message.add_ede(23)
+        return message.to_wire()
+
+    def test_slice_of_padded_buffer(self):
+        wire = self._sample_wire()
+        padded = b"\xff" * 7 + wire + b"\xee" * 9
+        view = memoryview(padded)[7 : 7 + len(wire)]
+        assert Message.from_wire(view).to_wire() == Message.from_wire(wire).to_wire()
+
+    def test_bytearray_and_memoryview_equal_bytes(self):
+        wire = self._sample_wire()
+        for view in (bytearray(wire), memoryview(wire)):
+            parsed = Message.from_wire(view)
+            assert parsed.to_wire() == Message.from_wire(wire).to_wire()
+            assert [e.info_code for e in parsed.extended_errors] == [22, 23]
+
+    @given(st.integers(min_value=0, max_value=16), st.integers(min_value=0, max_value=16))
+    def test_any_padding_alignment(self, left, right):
+        wire = self._sample_wire()
+        view = memoryview(b"\x00" * left + wire + b"\x00" * right)[
+            left : left + len(wire)
+        ]
+        assert Message.from_wire(view).to_wire() == wire
+
+
 class TestMessageRoundTripInvariant:
     """Any message our encoder produces, our parser accepts — and the
     second round trip is byte-identical (a fixed point)."""

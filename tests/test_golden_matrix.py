@@ -1,0 +1,65 @@
+"""Golden-file regression for the full Table 4 testbed matrix.
+
+``tests/data/table4_matrix.json`` pins every one of the 63 subdomain
+cases x 7 vendor profiles = 441 cells (rcode, EDE codes, EXTRA-TEXTs)
+as produced by ``testbed.runner.run_matrix``.  Any behavioural drift in
+the resolver profiles, the signed zones, or the EDE attachment logic
+shows up here as an exact-cell diff instead of a vague count change.
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python tests/test_golden_matrix.py --regen
+"""
+
+import json
+import pathlib
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "table4_matrix.json"
+
+
+def _snapshot(matrix) -> dict:
+    rows = [
+        {
+            "label": label,
+            "profile": profile,
+            "rcode": int(cell.rcode),
+            "ede_codes": list(cell.ede_codes),
+            "extra_texts": list(cell.extra_texts),
+        }
+        for (label, profile), cell in sorted(matrix.cells.items())
+    ]
+    return {
+        "schema": "repro-golden-table4/v1",
+        "profiles": list(matrix.profile_names),
+        "cases": len({row["label"] for row in rows}),
+        "cells": rows,
+    }
+
+
+def test_matrix_matches_golden_file(matrix):
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    live = _snapshot(matrix)
+
+    assert live["profiles"] == golden["profiles"]
+    assert live["cases"] == golden["cases"] == 63
+    assert len(live["cells"]) == len(golden["cells"]) == 441
+
+    diffs = [
+        (want["label"], want["profile"], got, want)
+        for got, want in zip(live["cells"], golden["cells"])
+        if got != want
+    ]
+    assert not diffs, f"{len(diffs)} cells drifted from golden; first: {diffs[0]}"
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        from repro.testbed.runner import run_matrix
+
+        GOLDEN_PATH.write_text(
+            json.dumps(_snapshot(run_matrix()), indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"regenerated {GOLDEN_PATH}")

@@ -1,0 +1,153 @@
+"""The deterministic virtual-time lane pool (repro.net.lanes)."""
+
+import pytest
+
+from repro.net.clock import SimulatedClock
+from repro.net.lanes import LaneDeadlock, VirtualLanePool
+
+
+def test_all_items_processed_once():
+    clock = SimulatedClock()
+    seen = []
+    VirtualLanePool(clock, 4).run(range(20), seen.append)
+    assert sorted(seen) == list(range(20))
+
+
+def test_makespan_not_sum_of_lane_times():
+    """N lanes each advancing 1s must cost ~ceil(items/N) virtual seconds,
+    not items seconds — that is the whole point of concurrency."""
+    clock = SimulatedClock()
+    start = clock.now()
+    VirtualLanePool(clock, 4).run(range(8), lambda _i: clock.advance(1.0))
+    assert clock.now() - start == pytest.approx(2.0)
+
+
+def test_sequential_single_lane_preserves_order():
+    clock = SimulatedClock()
+    order = []
+
+    def work(item):
+        order.append(item)
+        clock.advance(0.5)
+
+    VirtualLanePool(clock, 1).run(range(6), work)
+    assert order == list(range(6))
+    assert clock.now() == pytest.approx(SimulatedClock.PAPER_EPOCH + 3.0)
+
+
+def test_scheduling_is_deterministic_across_runs():
+    def trace(workers):
+        clock = SimulatedClock()
+        events = []
+
+        def work(item):
+            # Uneven costs force real interleaving decisions.
+            events.append(("start", item, clock.now()))
+            clock.advance(0.1 * (item % 3 + 1))
+            events.append(("end", item, clock.now()))
+
+        VirtualLanePool(clock, workers).run(range(12), work)
+        return events, clock.now()
+
+    assert trace(3) == trace(3)
+    assert trace(5) == trace(5)
+
+
+def test_smallest_time_lane_runs_first():
+    """The lane that has consumed the least virtual time gets the next
+    item, so expensive items do not starve the cheap ones behind them."""
+    clock = SimulatedClock()
+    assignments = {}
+
+    costs = [5.0, 0.1, 0.1, 0.1]
+
+    def work(item):
+        lane = clock._lanes.lane_id()
+        assignments[item] = lane
+        clock.advance(costs[item] if item < len(costs) else 0.1)
+
+    VirtualLanePool(clock, 2).run(range(4), work)
+    # Lane 0 eats the 5s item; everything else lands on lane 1.
+    assert assignments[0] == 0
+    assert [assignments[i] for i in (1, 2, 3)] == [1, 1, 1]
+
+
+def test_per_lane_clock_views():
+    clock = SimulatedClock()
+    start = clock.now()
+    observed = {}
+
+    def work(item):
+        clock.advance(1.0 + item)
+        observed[item] = clock.now()
+
+    VirtualLanePool(clock, 2).run(range(2), work)
+    # Each lane saw only its own advance, not the other lane's.
+    assert observed[0] == pytest.approx(start + 1.0)
+    assert observed[1] == pytest.approx(start + 2.0)
+    assert clock.now() == pytest.approx(start + 2.0)  # makespan
+
+
+def test_wait_virtual_coalesces_on_other_lane():
+    clock = SimulatedClock()
+    flights = {}
+    log = []
+
+    def work(item):
+        key = "shared"
+        flight = flights.get(key)
+        if flight is not None and clock.wait_virtual(lambda: flight["done"]):
+            log.append(("coalesced", item, clock.now()))
+            return
+        flight = {"done": False}
+        flights[key] = flight
+        try:
+            log.append(("fetch", item, clock.now()))
+            clock.advance(2.0)
+        finally:
+            flight["done"] = True
+            flights.pop(key, None)
+
+    VirtualLanePool(clock, 2).run(range(2), work)
+    kinds = sorted(kind for kind, _item, _t in log)
+    assert kinds == ["coalesced", "fetch"]
+    coalesce_time = next(t for kind, _i, t in log if kind == "coalesced")
+    # The waiter resumed no earlier than the fetch completion.
+    assert coalesce_time >= SimulatedClock.PAPER_EPOCH + 2.0
+
+
+def test_wait_virtual_off_lane_returns_false():
+    clock = SimulatedClock()
+    assert clock.wait_virtual(lambda: True) is False
+
+
+def test_deadlock_detected():
+    clock = SimulatedClock()
+
+    def work(_item):
+        clock.wait_virtual(lambda: False)  # can never be satisfied
+
+    with pytest.raises(LaneDeadlock):
+        VirtualLanePool(clock, 2).run(range(2), work)
+
+
+def test_worker_exception_propagates():
+    clock = SimulatedClock()
+
+    def work(item):
+        clock.advance(0.1)
+        if item == 3:
+            raise ValueError("boom")
+
+    with pytest.raises(ValueError, match="boom"):
+        VirtualLanePool(clock, 2).run(range(8), work)
+
+
+def test_pool_restores_clock_mode():
+    clock = SimulatedClock()
+    VirtualLanePool(clock, 2).run(range(2), lambda _i: clock.advance(0.1))
+    assert clock._lanes is None
+    # Plain advances work again after the pool exits.
+    before = clock.now()
+    clock.advance(5)
+    assert clock.now() == before + 5
