@@ -25,6 +25,12 @@ results instead of failing loudly.  These rules cross-check the tables:
     Every parser in the rdata registry is keyed by a registered
     :class:`~repro.dns.types.RdataType` and parses into a class that
     declares the same type.
+``resilience-codes``
+    Every EDE INFO-CODE the resilience layer can emit (Stale Answer 3,
+    Prohibited 18, Stale NXDOMAIN Answer 19) is assigned in the RFC
+    8914 registry *and* reachable from at least one vendor profile's
+    policy — a degraded answer must never carry a code no modeled
+    resolver could produce.
 """
 
 from __future__ import annotations
@@ -38,12 +44,14 @@ RULE_EDE_REGISTRY = "ede-registry"
 RULE_ENUM_MEMBER = "enum-member"
 RULE_TESTBED_MATRIX = "testbed-matrix"
 RULE_RDATA_REGISTRY = "rdata-registry"
+RULE_RESILIENCE_CODES = "resilience-codes"
 
 INVARIANT_RULES = (
     RULE_EDE_REGISTRY,
     RULE_ENUM_MEMBER,
     RULE_TESTBED_MATRIX,
     RULE_RDATA_REGISTRY,
+    RULE_RESILIENCE_CODES,
 )
 
 #: Keyword arguments whose values are tables of EDE INFO-CODEs.
@@ -245,7 +253,42 @@ def check_rdata_registry() -> Iterator[Finding]:
             )
 
 
+def check_resilience_codes() -> Iterator[Finding]:
+    """Resilience-layer EDE codes: RFC 8914-assigned and profile-reachable."""
+    from ..dns.ede import EdeCode
+    from ..resolver.profiles import PROFILES_BY_NAME
+    from ..resolver.resilience import RESILIENCE_EDE_CODES
+
+    path = "repro/resolver/resilience.py"
+    reachable_anywhere: set[int] = set()
+    for profile in PROFILES_BY_NAME.values():
+        reachable_anywhere |= _reachable_codes(profile)
+    for code in RESILIENCE_EDE_CODES:
+        try:
+            EdeCode(code)
+        except ValueError:
+            yield Finding(
+                rule=RULE_RESILIENCE_CODES,
+                message=(
+                    f"resilience layer emits INFO-CODE {code}, which is not"
+                    " assigned in the RFC 8914 registry (dns/ede.py)"
+                ),
+                path=path,
+            )
+            continue
+        if code not in reachable_anywhere:
+            yield Finding(
+                rule=RULE_RESILIENCE_CODES,
+                message=(
+                    f"resilience layer emits EDE {code}, but no branch of any"
+                    " vendor profile's policy can emit it"
+                ),
+                path=path,
+            )
+
+
 def check_tables() -> Iterator[Finding]:
     """All import-based table rules (no AST involved)."""
     yield from check_testbed_matrix()
     yield from check_rdata_registry()
+    yield from check_resilience_codes()

@@ -124,6 +124,10 @@ class ResolutionEvent(Enum):
     MISMATCHED_ID = auto()
     #: the per-resolution anti-amplification query budget was spent
     QUERY_BUDGET_EXCEEDED = auto()
+    #: a circuit breaker short-circuited a server or zone (resilience layer)
+    BREAKER_OPEN = auto()
+    #: the client-facing deadline budget drained before resolution finished
+    DEADLINE_EXHAUSTED = auto()
 
 
 @dataclass

@@ -19,6 +19,7 @@ from .harness import (
     experiment_table2_3,
     experiment_table4,
 )
+from .outage_drill import experiment_outage_drill
 from .report import ExperimentReport
 
 
@@ -43,6 +44,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec("sec42_ns", "Nameserver concentration (Section 4.2)", "scan", experiment_section42_ns),
         ExperimentSpec("fig1", "Per-TLD CDF (Figure 1)", "scan", experiment_figure1),
         ExperimentSpec("fig2", "Tranco CDF (Figure 2)", "scan", experiment_figure2),
+        ExperimentSpec(
+            "outage_drill",
+            "Graceful-degradation outage drill (resilience layer)",
+            "",
+            experiment_outage_drill,
+        ),
     )
 }
 

@@ -20,6 +20,10 @@ from ..dns.rrset import RRset
 from ..dns.types import RdataType
 from ..net.clock import Clock
 
+#: RFC 8767 section 4: stale data is served with a TTL of 30 seconds so
+#: downstream caches re-ask soon after the authority recovers.
+STALE_TTL = 30
+
 
 @dataclass
 class CacheStats:
@@ -62,6 +66,20 @@ class CacheConfig:
     stale_window: float = 86_400.0
     negative_ttl_cap: float = 900.0
     error_ttl: float = 30.0
+
+
+def default_cache_config() -> CacheConfig:
+    """The one serving-path cache default, shared by every front end.
+
+    Serve-stale is ON (RFC 8767, one day of stale retention): anything
+    that answers *clients* — ``ForwardingResolver``, ``tools/serve``,
+    the resilient UDP frontend — should degrade to stale data rather
+    than SERVFAIL during upstream outages.  Resolver instances built
+    for *measurement* (the testbed matrix, the wild scan) keep their
+    profile's transcription of each vendor's actual cache behaviour and
+    must not use this default.
+    """
+    return CacheConfig(serve_stale=True)
 
 
 class ResolverCache:
@@ -114,7 +132,7 @@ class ResolverCache:
         if entry.expires_at <= now < entry.expires_at + self.config.stale_window:
             self.stats.stale_hits += 1
             # RFC 8767: serve stale data with a TTL of 30 seconds.
-            return entry.rrset.copy(ttl=30)
+            return entry.rrset.copy(ttl=STALE_TTL)
         return None
 
     # -- negative -------------------------------------------------------------------

@@ -29,7 +29,7 @@ from ..dns.name import Name
 from ..dns.rcode import Rcode
 from ..dns.types import RdataType
 from ..net.fabric import NetworkFabric, TransportError
-from .cache import CacheConfig, ResolverCache
+from .cache import CacheConfig, ResolverCache, default_cache_config
 from .policy import ACTION_EDE, LocalPolicy, PolicyAction
 
 
@@ -65,8 +65,10 @@ class ForwardingResolver:
         self.source_ip = source_ip
         self.annotate_forwarded = annotate_forwarded
         self.local_policy = local_policy
+        # Shared serving-path default (serve-stale ON); pass an explicit
+        # cache_config to model a different cache policy.
         self.cache = ResolverCache(
-            fabric.clock, cache_config or CacheConfig(serve_stale=True)
+            fabric.clock, cache_config or default_cache_config()
         )
         self.timeout = timeout
         self._rng = random.Random(rng_seed)

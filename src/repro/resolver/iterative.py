@@ -24,6 +24,7 @@ from ..dns.rrset import RRset
 from ..dns.types import RdataType
 from ..dnssec.trace import EventRecord, ResolutionEvent
 from ..net.fabric import NetworkFabric, Timeout, TransportError, Unreachable
+from .resilience import BreakerBook, BreakerConfig, DeadlineBudget
 from .server_stats import ServerSelectionConfig, ServerStatsBook
 
 
@@ -71,6 +72,11 @@ class EngineConfig:
     selection: ServerSelectionConfig = field(default_factory=ServerSelectionConfig)
     #: Seed for retry-jitter decisions, so hardened runs replay exactly.
     rng_seed: int = 20230524
+    #: Circuit-breaker knobs for the resilience layer.  ``None`` (the
+    #: default) disables breakers entirely: no state is kept, no query
+    #: is ever short-circuited, and the retry/backoff timing of the
+    #: seed behaviour is preserved exactly.
+    breaker: BreakerConfig | None = None
 
 
 @dataclass
@@ -83,6 +89,8 @@ class EngineStats:
     tcp_fallbacks: int = 0
     mismatched_ids: int = 0
     budget_exhaustions: int = 0
+    deadline_exhaustions: int = 0
+    breaker_skips: int = 0
 
 
 @dataclass
@@ -139,7 +147,14 @@ class IterativeEngine:
         self._msg_id = 0
         #: Seeded RNG; public so callers can share one stream (message IDs).
         self.rng = random.Random(self.config.rng_seed)
-        self.server_stats = ServerStatsBook(fabric.clock, self.config.selection)
+        #: Per-server/per-zone circuit breakers; a no-op book when the
+        #: config carries no BreakerConfig (the seed behaviour).
+        self.breakers = BreakerBook(fabric.clock, self.config.breaker)
+        self.server_stats = ServerStatsBook(
+            fabric.clock,
+            self.config.selection,
+            listener=self.breakers if self.breakers.enabled else None,
+        )
         self.stats = EngineStats()
 
     # -- low-level query ------------------------------------------------------------
@@ -148,17 +163,50 @@ class IterativeEngine:
         self._msg_id = (self._msg_id + 1) & 0xFFFF
         return self._msg_id
 
-    def _backoff(self, attempt: int, attempts: int) -> None:
-        """Exponential backoff + jitter before the next retry (if any)."""
+    def _backoff(
+        self,
+        attempt: int,
+        attempts: int,
+        deadline: DeadlineBudget | None = None,
+    ) -> None:
+        """Exponential backoff + jitter before the next retry (if any).
+
+        Under a deadline budget the sleep is clamped to what is left —
+        waiting past the client's patience helps nobody.
+        """
         if attempt + 1 >= attempts or self.config.backoff_base <= 0:
             return
         delay = min(self.config.backoff_max, self.config.backoff_base * (2 ** attempt))
         jitter = self.config.backoff_jitter
         if jitter:
             delay *= 1 + jitter * (2 * self.rng.random() - 1)
+        if deadline is not None:
+            delay = min(delay, deadline.remaining())
+            if delay <= 0:
+                return
         self.stats.retries += 1
         self.stats.backoff_seconds += delay
         self.fabric.clock.sleep(delay)
+
+    def _note_deadline_exhausted(
+        self,
+        deadline: DeadlineBudget,
+        qname: Name,
+        rdtype: RdataType,
+        events: list[EventRecord],
+    ) -> None:
+        if deadline.reported:
+            return
+        deadline.reported = True
+        self.stats.deadline_exhaustions += 1
+        events.append(
+            EventRecord(
+                ResolutionEvent.DEADLINE_EXHAUSTED,
+                qname=qname,
+                rdtype=str(rdtype),
+                detail="client deadline budget drained",
+            )
+        )
 
     def _note_budget_exhausted(
         self,
@@ -288,6 +336,7 @@ class IterativeEngine:
         rdtype: RdataType,
         events: list[EventRecord],
         budget: QueryBudget | None = None,
+        deadline: DeadlineBudget | None = None,
     ) -> Message | None:
         """One query (with retries) to one server; None on failure.
 
@@ -295,12 +344,37 @@ class IterativeEngine:
         exponentially with jitter; RTTs, timeouts, and lame answers feed
         the per-server quality book.  TCP truncation fallbacks pass
         through exactly the same response validation as UDP.
+
+        With the resilience layer on, an open per-server breaker skips
+        the server outright, and a deadline budget shrinks per-attempt
+        timeouts (and backoffs) to whatever patience the client has
+        left.
         """
+        if not self.breakers.allow(server):
+            self.stats.breaker_skips += 1
+            events.append(
+                EventRecord(
+                    ResolutionEvent.BREAKER_OPEN,
+                    server=f"{server}:53",
+                    qname=qname,
+                    rdtype=str(rdtype),
+                    detail="server breaker open",
+                )
+            )
+            return None
         attempts = 1 + max(0, self.config.retries)
         for attempt in range(attempts):
             if budget is not None and not budget.take():
                 self._note_budget_exhausted(budget, qname, rdtype, events)
                 return None
+            if deadline is not None and deadline.expired:
+                self._note_deadline_exhausted(deadline, qname, rdtype, events)
+                return None
+            timeout = (
+                self.config.timeout
+                if deadline is None
+                else deadline.clamp(self.config.timeout)
+            )
             query = Message.make_query(
                 qname,
                 rdtype,
@@ -314,7 +388,7 @@ class IterativeEngine:
             started = self.fabric.clock.now()
             try:
                 raw = self.fabric.send(
-                    server, wire, source=self.config.source_ip, timeout=self.config.timeout
+                    server, wire, source=self.config.source_ip, timeout=timeout
                 )
             except Unreachable:
                 events.append(
@@ -338,7 +412,7 @@ class IterativeEngine:
                     )
                 )
                 self.server_stats.note_timeout(server)
-                self._backoff(attempt, attempts)
+                self._backoff(attempt, attempts, deadline)
                 continue
             except TransportError:
                 return None
@@ -349,7 +423,7 @@ class IterativeEngine:
                 return None
             vet = self._vet_response(query, response, server, qname, rdtype, events)
             if vet is _Vet.RETRY:
-                self._backoff(attempt, attempts)
+                self._backoff(attempt, attempts, deadline)
                 continue
             if vet is _Vet.FAIL:
                 return None
@@ -363,7 +437,12 @@ class IterativeEngine:
                 try:
                     raw = self.fabric.send(
                         server, wire, source=self.config.source_ip,
-                        timeout=self.config.timeout, transport="tcp",
+                        timeout=(
+                            self.config.timeout
+                            if deadline is None
+                            else deadline.clamp(self.config.timeout)
+                        ),
+                        transport="tcp",
                     )
                 except TransportError:
                     events.append(
@@ -376,7 +455,7 @@ class IterativeEngine:
                         )
                     )
                     self.server_stats.note_timeout(server)
-                    self._backoff(attempt, attempts)
+                    self._backoff(attempt, attempts, deadline)
                     continue
                 response = self._parse_response(raw, server, qname, rdtype, events)
                 if response is None:
@@ -384,7 +463,7 @@ class IterativeEngine:
                     return None
                 vet = self._vet_response(query, response, server, qname, rdtype, events)
                 if vet is _Vet.RETRY:
-                    self._backoff(attempt, attempts)
+                    self._backoff(attempt, attempts, deadline)
                     continue
                 if vet is _Vet.FAIL:
                     return None
@@ -410,15 +489,42 @@ class IterativeEngine:
         rdtype: RdataType,
         events: list[EventRecord],
         budget: QueryBudget | None = None,
+        deadline: DeadlineBudget | None = None,
     ) -> Message | None:
-        """Query every known server for ``zone`` until one answers usefully."""
+        """Query every known server for ``zone`` until one answers usefully.
+
+        The zone-level circuit breaker wraps the whole server sweep: a
+        zone whose every server just failed opens after the configured
+        threshold, and an open zone breaker answers None immediately —
+        the caller falls straight through to serve-stale instead of
+        re-timing-out the same dead delegation.
+        """
+        zone_key = f"zone/{zone}"
+        if not self.breakers.allow(zone_key):
+            self.stats.breaker_skips += 1
+            events.append(
+                EventRecord(
+                    ResolutionEvent.BREAKER_OPEN,
+                    qname=qname,
+                    rdtype=str(rdtype),
+                    detail=f"zone breaker open: {zone}",
+                )
+            )
+            return None
         servers = self.zone_servers.get(zone, [])
+        swept_all = True
         for server in self._ordered_servers(servers):
             if budget is not None and budget.exhausted:
                 self._note_budget_exhausted(budget, qname, rdtype, events)
-                return None
-            response = self.query_server(server, qname, rdtype, events, budget)
+                swept_all = False
+                break
+            if deadline is not None and deadline.expired:
+                self._note_deadline_exhausted(deadline, qname, rdtype, events)
+                swept_all = False
+                break
+            response = self.query_server(server, qname, rdtype, events, budget, deadline)
             if response is not None:
+                self.breakers.on_success(zone_key)
                 if response.edns is not None:
                     from .error_reporting import REPORT_CHANNEL, ReportChannelOption
 
@@ -426,6 +532,11 @@ class IterativeEngine:
                     if isinstance(option, ReportChannelOption):
                         self.report_channels[zone] = option.agent_domain
                 return response
+        if swept_all:
+            # Only a full, genuinely failed sweep counts against the
+            # zone: running out of budget/deadline says nothing about
+            # the zone's health (the per-server books saw the details).
+            self.breakers.on_failure(zone_key)
         return None
 
     def report_channel_for(self, qname: Name) -> Name | None:
@@ -448,6 +559,7 @@ class IterativeEngine:
         events: list[EventRecord],
         depth: int = 0,
         budget: QueryBudget | None = None,
+        deadline: DeadlineBudget | None = None,
     ) -> IterationResult:
         if budget is None:
             budget = QueryBudget(limit=self.config.max_queries_per_resolution)
@@ -470,7 +582,9 @@ class IterativeEngine:
                     target.label_count(),
                 )
                 _prefix, probe = target.split(depth)
-            response = self.query_zone(current_zone, probe, rdtype, events, budget)
+            response = self.query_zone(
+                current_zone, probe, rdtype, events, budget, deadline
+            )
             if response is None:
                 events.append(
                     EventRecord(
@@ -528,7 +642,7 @@ class IterativeEngine:
                 child_zone, servers, ds_present = referral
                 if not servers:
                     servers = self._resolve_ns_addresses(
-                        response, child_zone, events, depth, budget
+                        response, child_zone, events, depth, budget, deadline
                     )
                 if not servers:
                     events.append(
@@ -647,6 +761,7 @@ class IterativeEngine:
         events: list[EventRecord],
         depth: int,
         budget: QueryBudget | None = None,
+        deadline: DeadlineBudget | None = None,
     ) -> list[str]:
         """Chase out-of-bailiwick NS names (bounded recursion); the
         sub-resolutions spend from the same query budget."""
@@ -662,7 +777,9 @@ class IterativeEngine:
                 if budget is not None and budget.exhausted:
                     break
                 sub_events: list[EventRecord] = []
-                sub = self.resolve(rdata.target, RdataType.A, sub_events, depth + 1, budget)
+                sub = self.resolve(
+                    rdata.target, RdataType.A, sub_events, depth + 1, budget, deadline
+                )
                 events.extend(sub_events)
                 if sub.ok:
                     for answer in sub.answer:

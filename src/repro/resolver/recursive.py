@@ -31,10 +31,11 @@ from ..dnssec.trace import (
 from ..dnssec.validator import FetchResult, Validator
 from ..net.clock import Clock
 from ..net.fabric import NetworkFabric
-from .cache import ResolverCache
+from .cache import STALE_TTL, CacheConfig, ResolverCache
 from .ede_policy import EdePolicy
 from .iterative import EngineConfig, IterativeEngine
 from .profiles import ResolverProfile
+from .resilience import DeadlineBudget, RefreshQueue, ResilienceConfig
 
 
 @dataclass
@@ -59,6 +60,15 @@ class ResolverStats:
     #: shared across resolutions via the infra cache).
     infra_hits: int = 0
     infra_misses: int = 0
+    #: Degraded answers served from the stale cache (RFC 8767): positive
+    #: (EDE 3 under profiles that map it) and negative (EDE 19).
+    stale_served: int = 0
+    stale_nxdomain_served: int = 0
+    #: Client resolutions that hit the deadline budget before finishing.
+    deadline_hits: int = 0
+    #: Stale-while-revalidate: background refreshes attempted/completed.
+    refreshes: int = 0
+    refreshed_ok: int = 0
 
 
 @dataclass
@@ -96,6 +106,8 @@ class RecursiveResolver:
         validate: bool = True,
         local_policy: "LocalPolicy | None" = None,
         error_reporting: bool = False,
+        resilience: ResilienceConfig | None = None,
+        cache_config: CacheConfig | None = None,
     ):
         self.fabric = fabric
         self.profile = profile
@@ -107,8 +119,28 @@ class RecursiveResolver:
             engine_config = dataclasses.replace(
                 engine_config, source_ip=profile.service_address
             )
+        if resilience is not None and engine_config.breaker is None:
+            engine_config = dataclasses.replace(
+                engine_config, breaker=resilience.breaker
+            )
         self.engine = IterativeEngine(fabric, root_hints, engine_config)
-        self.cache = ResolverCache(self.clock, profile.cache)
+        #: Cache policy resolution: an explicit ``cache_config`` wins;
+        #: otherwise the profile's transcription of the vendor's cache
+        #: behaviour applies (serving front ends pass
+        #: :func:`repro.resolver.cache.default_cache_config`).
+        self.cache = ResolverCache(self.clock, cache_config or profile.cache)
+        self.resilience = resilience
+        self._refresh: RefreshQueue | None = None
+        if resilience is not None:
+            self._refresh = RefreshQueue(
+                self.clock,
+                capacity=resilience.refresh_capacity,
+                retry_interval=resilience.refresh_retry_interval,
+            )
+        #: Reentrancy guard: a background refresh must not enqueue more
+        #: refresh work (or recurse into run_refreshes) when it, too,
+        #: can only come up with a stale answer.
+        self._refreshing = False
         self.validate_enabled = validate
         validator_config = dataclasses.replace(
             profile.validator, trust_anchors=list(trust_anchors or [])
@@ -128,6 +160,9 @@ class RecursiveResolver:
         #: through lane A's resolution must not leak events into lane
         #: B's concurrently running resolution.
         self._events_tls = threading.local()
+        #: Per-lane deadline budget, so validator fetches triggered from
+        #: inside a resolution inherit the client's remaining patience.
+        self._deadline_tls = threading.local()
         #: Single-flight registries (key -> _Flight).  Mutated only with
         #: the lane token held; on the sequential path a key can never
         #: be observed in flight, so these are no-ops there.
@@ -166,7 +201,14 @@ class RecursiveResolver:
             decision = self.local_policy.evaluate(qname)
             if decision is not None:
                 return self._apply_local_policy(query, qname, rdtype, decision)
-        outcome = self._resolve_outcome(qname, rdtype, checking_disabled=query.cd)
+        deadline: DeadlineBudget | None = None
+        if self.resilience is not None and self.resilience.client_deadline > 0:
+            deadline = DeadlineBudget.after(
+                self.clock, self.resilience.client_deadline
+            )
+        outcome = self._resolve_outcome(
+            qname, rdtype, checking_disabled=query.cd, deadline=deadline
+        )
         response = self._build_response(query, outcome)
         if self.reporter is not None and response.ede_codes:
             self._report_errors(qname, rdtype, response.ede_codes)
@@ -226,7 +268,11 @@ class RecursiveResolver:
     # -- resolution pipeline ------------------------------------------------------------
 
     def _resolve_outcome(
-        self, qname: Name, rdtype: RdataType, checking_disabled: bool = False
+        self,
+        qname: Name,
+        rdtype: RdataType,
+        checking_disabled: bool = False,
+        deadline: DeadlineBudget | None = None,
     ) -> ResolutionOutcome:
         outcome = self._outcome_from_cache(qname, rdtype)
         if outcome is not None:
@@ -251,7 +297,7 @@ class RecursiveResolver:
         flight = _Flight()
         self._client_flights[key] = flight
         try:
-            outcome = self._resolve_uncached(qname, rdtype, checking_disabled)
+            outcome = self._resolve_uncached(qname, rdtype, checking_disabled, deadline)
             flight.outcome = outcome
             return outcome
         finally:
@@ -297,13 +343,18 @@ class RecursiveResolver:
         return None
 
     def _resolve_uncached(
-        self, qname: Name, rdtype: RdataType, checking_disabled: bool
+        self,
+        qname: Name,
+        rdtype: RdataType,
+        checking_disabled: bool,
+        deadline: DeadlineBudget | None = None,
     ) -> ResolutionOutcome:
         outcome = ResolutionOutcome()
         events: list[EventRecord] = []
         self._events_tls.active = events
+        self._deadline_tls.active = deadline
         try:
-            iteration = self.engine.resolve(qname, rdtype, events)
+            iteration = self.engine.resolve(qname, rdtype, events, deadline=deadline)
 
             if not iteration.ok and iteration.rcode == Rcode.SERVFAIL:
                 outcome.rcode = Rcode.SERVFAIL
@@ -313,6 +364,11 @@ class RecursiveResolver:
                     for record in events
                 ):
                     self.stats.budget_exhausted += 1
+                if any(
+                    record.event is ResolutionEvent.DEADLINE_EXHAUSTED
+                    for record in events
+                ):
+                    self.stats.deadline_hits += 1
                 if iteration.failed_signed_zone:
                     outcome.validation = ValidationTrace.bogus(
                         FailureReason.DNSKEY_UNFETCHABLE,
@@ -372,6 +428,7 @@ class RecursiveResolver:
             return outcome
         finally:
             self._events_tls.active = None
+            self._deadline_tls.active = None
 
     def _maybe_serve_stale(
         self, qname: Name, rdtype: RdataType, outcome: ResolutionOutcome
@@ -386,11 +443,18 @@ class RecursiveResolver:
                     ResolutionEvent.STALE_ANSWER_SERVED, qname=qname, rdtype=str(rdtype)
                 )
             )
+            if not self._refreshing:  # stats count client-visible stales only
+                self.stats.stale_served += 1
+            self._enqueue_refresh(qname, rdtype)
             return
         negative = self.cache.get_stale_negative(qname, rdtype)
         if negative is not None:
             outcome.rcode = negative.rcode
-            outcome.authority_rrsets = [r.copy() for r in negative.authority]
+            # RFC 8767's 30-second stale TTL applies to the SOA (and the
+            # rest of the authority section) of stale negatives too.
+            outcome.authority_rrsets = [
+                r.copy(ttl=min(int(r.ttl), STALE_TTL)) for r in negative.authority
+            ]
             outcome.stale = True
             event = (
                 ResolutionEvent.STALE_NXDOMAIN_SERVED
@@ -400,6 +464,64 @@ class RecursiveResolver:
             outcome.events.append(
                 EventRecord(event, qname=qname, rdtype=str(rdtype))
             )
+            if not self._refreshing:
+                if negative.rcode == Rcode.NXDOMAIN:
+                    self.stats.stale_nxdomain_served += 1
+                else:
+                    self.stats.stale_served += 1
+            self._enqueue_refresh(qname, rdtype)
+
+    # -- stale-while-revalidate ---------------------------------------------------
+
+    def _enqueue_refresh(self, qname: Name, rdtype: RdataType) -> None:
+        if self._refresh is not None and not self._refreshing:
+            self._refresh.enqueue((qname, int(rdtype)))
+
+    def run_refreshes(self, limit: int | None = None) -> int:
+        """Drain up to ``limit`` due background refreshes; returns how
+        many names came back fresh.  A refresh that still cannot reach
+        the authority is rescheduled with a back-off rather than dropped.
+        """
+        if self._refresh is None or self._refreshing:
+            return 0
+        if limit is None:
+            limit = self.resilience.refresh_per_query
+        refreshed = 0
+        self._refreshing = True
+        try:
+            for key in self._refresh.due(limit):
+                qname, rdtype_value = key
+                rdtype = RdataType(rdtype_value)
+                self.stats.refreshes += 1
+                outcome = self._resolve_uncached(
+                    qname, rdtype, checking_disabled=False
+                )
+                if outcome.stale or outcome.rcode == Rcode.SERVFAIL:
+                    self._refresh.reschedule(key)
+                else:
+                    self._refresh.done(key)
+                    self.stats.refreshed_ok += 1
+                    refreshed += 1
+        finally:
+            self._refreshing = False
+        return refreshed
+
+    def answer_from_cache(self, query: Message) -> Message | None:
+        """Best effort answer without any upstream work: fresh, negative,
+        or cached-error hit, else a stale answer — or None.  This is the
+        always-served path the overload-shedding frontend relies on."""
+        if not query.question:
+            return None
+        question = query.question[0]
+        qname, rdtype = question.name, question.rdtype
+        outcome = self._outcome_from_cache(qname, rdtype)
+        if outcome is None:
+            outcome = ResolutionOutcome()
+            self._maybe_serve_stale(qname, rdtype, outcome)
+            if not outcome.stale:
+                return None
+        self.stats.queries += 1
+        return self._build_response(query, outcome)
 
     def _store_in_cache(
         self, qname: Name, rdtype: RdataType, outcome: ResolutionOutcome
@@ -464,7 +586,13 @@ class RecursiveResolver:
         try:
             now = self.clock.now()
             events: list[EventRecord] = []
-            response = self.engine.query_zone(zone, qname, rdtype, events)
+            response = self.engine.query_zone(
+                zone,
+                qname,
+                rdtype,
+                events,
+                deadline=getattr(self._deadline_tls, "active", None),
+            )
             active = getattr(self._events_tls, "active", None)
             if active is not None:
                 active.extend(events)

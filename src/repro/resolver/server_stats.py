@@ -56,11 +56,23 @@ class ServerStat:
 
 
 class ServerStatsBook:
-    """SRTT-smoothed, lameness-aware server ranking for one engine."""
+    """SRTT-smoothed, lameness-aware server ranking for one engine.
 
-    def __init__(self, clock: Clock, config: ServerSelectionConfig | None = None):
+    An optional ``listener`` (duck-typed: ``on_success(server)`` /
+    ``on_failure(server)``) mirrors every observation — this is how the
+    resilience layer's circuit breakers ride on the same signal stream
+    without the engine calling two books everywhere.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        config: ServerSelectionConfig | None = None,
+        listener=None,
+    ):
         self._clock = clock
         self.config = config or ServerSelectionConfig()
+        self.listener = listener
         self._stats: dict[str, ServerStat] = {}
 
     # -- observations ------------------------------------------------------------
@@ -80,12 +92,16 @@ class ServerStatsBook:
         stat.srtt = (1 - alpha) * stat.srtt + alpha * max(0.0, rtt)
         stat.successes += 1
         stat.last_update = self._clock.now()
+        if self.listener is not None:
+            self.listener.on_success(server)
 
     def note_timeout(self, server: str) -> None:
         stat = self._entry(server)
         stat.srtt = min(self.config.srtt_cap, stat.srtt * self.config.timeout_factor)
         stat.timeouts += 1
         stat.last_update = self._clock.now()
+        if self.listener is not None:
+            self.listener.on_failure(server)
 
     def note_lame(self, server: str, duration: float | None = None) -> None:
         """Penalty-box a server that answered lame (REFUSED, NOTAUTH,
@@ -97,6 +113,8 @@ class ServerStatsBook:
             self._clock.now() + (self.config.lame_ttl if duration is None else duration),
         )
         stat.last_update = self._clock.now()
+        if self.listener is not None:
+            self.listener.on_failure(server)
 
     # -- queries -----------------------------------------------------------------
 

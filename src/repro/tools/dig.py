@@ -10,6 +10,12 @@ Examples::
     python -m repro.tools.dig rrsig-exp-all.extended-dns-errors.com
     python -m repro.tools.dig valid.extended-dns-errors.com --profile unbound
     python -m repro.tools.dig nx.bad-nsec3-hash.extended-dns-errors.com --all-profiles
+    python -m repro.tools.dig valid.extended-dns-errors.com +stats
+
+``+stats`` (dig idiom; ``--stats`` also works) appends the resolver's
+resilience metadata: stale/deadline counters, cache stale hits, and any
+circuit breakers that are not CLOSED — so a degraded answer is visibly
+degraded instead of silently NOERROR.
 """
 
 from __future__ import annotations
@@ -39,6 +45,30 @@ def _print_response(profile_name: str, response, elapsed: float) -> None:
     print()
 
 
+def _print_stats(resolver) -> None:
+    """The ``+stats`` footer: stale/breaker/deadline metadata."""
+    stats = resolver.stats
+    cache = resolver.cache.stats
+    print(";; STATS:")
+    print(f";;   queries {stats.queries}, servfail {stats.servfail}, "
+          f"with_ede {stats.with_ede}")
+    print(f";;   stale served {stats.stale_served} positive, "
+          f"{stats.stale_nxdomain_served} nxdomain "
+          f"(cache stale hits {cache.stale_hits})")
+    print(f";;   deadline hits {stats.deadline_hits}, "
+          f"refreshes {stats.refreshes} ({stats.refreshed_ok} fresh again)")
+    breakers = resolver.engine.breakers
+    if breakers.enabled:
+        book = breakers.stats
+        print(f";;   breakers: opened {book.opened}, "
+              f"short-circuits {book.short_circuits}, probes {book.probes}")
+        for key in breakers.open_keys():
+            print(f";;     not closed: {key} ({breakers.state_of(key).value})")
+    else:
+        print(";;   breakers: disabled")
+    print()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.dig", description=__doc__,
@@ -52,6 +82,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--all-profiles", action="store_true",
                         help="query through every vendor profile")
     parser.add_argument("--cd", action="store_true", help="set CD (skip validation)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print stale/breaker/deadline metadata"
+                             " (dig-style `+stats` also accepted)")
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = ["--stats" if token == "+stats" else token for token in argv]
     args = parser.parse_args(argv)
 
     qname = Name.from_text(args.qname if args.qname.endswith(".") else args.qname + ".")
@@ -76,6 +112,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         elapsed = time.time() - started  # repro: allow[wall-clock]
         _print_response(profile.name, response, elapsed)
+        if args.stats:
+            _print_stats(resolver)
     return 0
 
 

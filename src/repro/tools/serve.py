@@ -11,6 +11,11 @@ socket::
 Ports are allocated sequentially starting at ``--port`` in the paper's
 Table 4 column order (bind, unbound, powerdns, knot, cloudflare, quad9,
 opendns).
+
+The served resolvers run with the full resilience layer on: circuit
+breakers, client deadline budgets, stale-while-revalidate, and an
+overload-shedding frontend (per-client token bucket + global in-flight
+cap).  ``--no-resilience`` reverts to the bare seed behaviour.
 """
 
 from __future__ import annotations
@@ -20,21 +25,43 @@ import asyncio
 import sys
 
 from ..net.udp import UdpServer
+from ..resolver.cache import default_cache_config
 from ..resolver.profiles import ALL_PROFILES
 from ..resolver.recursive import RecursiveResolver
+from ..resolver.resilience import (
+    FrontendConfig,
+    ResilienceConfig,
+    ResilientFrontend,
+)
 from ..testbed.infra import build_testbed
 
 
-async def serve(base_port: int, host: str) -> None:
+async def serve(args: argparse.Namespace) -> None:
     print("building the testbed...", flush=True)
     testbed = build_testbed()
     servers: list[UdpServer] = []
     for index, profile in enumerate(ALL_PROFILES):
+        resilience = None
+        cache_config = None
+        if not args.no_resilience:
+            resilience = ResilienceConfig(client_deadline=args.deadline)
+            cache_config = default_cache_config()
         resolver = RecursiveResolver(
             fabric=testbed.fabric, profile=profile,
             root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+            resilience=resilience, cache_config=cache_config,
         )
-        server = UdpServer(endpoint=resolver, host=host, port=base_port + index)
+        endpoint = resolver
+        if not args.no_resilience:
+            endpoint = ResilientFrontend(
+                resolver,
+                FrontendConfig(
+                    client_rate=args.client_qps,
+                    client_burst=args.client_burst,
+                    max_inflight=args.max_inflight,
+                ),
+            )
+        server = UdpServer(endpoint=endpoint, host=args.host, port=args.port + index)
         await server.start()
         servers.append(server)
         print(f"  {profile.name:26s} on {server.host}:{server.port}")
@@ -53,9 +80,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--port", type=int, default=5300, help="first UDP port")
     parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--no-resilience", action="store_true",
+                        help="serve bare resolvers: no breakers, deadlines,"
+                             " serve-stale default, or overload shedding")
+    parser.add_argument("--deadline", type=float, default=5.0,
+                        help="client deadline budget, seconds (default 5)")
+    parser.add_argument("--client-qps", type=float, default=20.0,
+                        help="per-client token-bucket refill rate (default 20)")
+    parser.add_argument("--client-burst", type=float, default=40.0,
+                        help="per-client token-bucket burst (default 40)")
+    parser.add_argument("--max-inflight", type=int, default=64,
+                        help="global cap on concurrent cache-miss work (default 64)")
     args = parser.parse_args(argv)
     try:
-        asyncio.run(serve(args.port, args.host))
+        asyncio.run(serve(args))
     except KeyboardInterrupt:
         pass
     return 0

@@ -1,0 +1,404 @@
+"""Graceful-degradation layer: breakers, deadlines, refresh, shedding.
+
+Unit tests for the primitives in :mod:`repro.resolver.resilience`, plus
+chaos-marked end-to-end coverage of serve-stale through a scheduled
+outage (the behaviour the paper measured on Cloudflare: Stale Answer
+(3) / Stale NXDOMAIN Answer (19) while an authoritative is down, fresh
+answers right after recovery).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dns.message import Message
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.experiments.outage_drill import GONE, ROOT_IP, WWW, _build_world
+from repro.net.chaos import ChaosPolicy, Outage
+from repro.net.clock import SimulatedClock
+from repro.resolver.cache import STALE_TTL, default_cache_config
+from repro.resolver.profiles import CLOUDFLARE
+from repro.resolver.recursive import RecursiveResolver
+from repro.resolver.resilience import (
+    BreakerBook,
+    BreakerConfig,
+    BreakerState,
+    DeadlineBudget,
+    FrontendConfig,
+    RefreshQueue,
+    ResilienceConfig,
+    ResilientFrontend,
+    TokenBucket,
+    synthesize_header_response,
+)
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+class TestBreakerBook:
+    def test_disabled_book_is_a_no_op(self):
+        book = BreakerBook(SimulatedClock())
+        assert not book.enabled
+        book.on_failure("203.0.113.1")
+        book.on_failure("203.0.113.1")
+        book.on_failure("203.0.113.1")
+        assert book.allow("203.0.113.1")
+        assert len(book) == 0
+
+    def test_opens_after_consecutive_failures(self):
+        clock = SimulatedClock()
+        book = BreakerBook(clock, BreakerConfig(failure_threshold=3, cooldown=10.0))
+        for _ in range(2):
+            book.on_failure("srv")
+        assert book.state_of("srv") is BreakerState.CLOSED
+        book.on_failure("srv")
+        assert book.state_of("srv") is BreakerState.OPEN
+        assert book.stats.opened == 1
+        assert not book.allow("srv")
+        assert book.stats.short_circuits == 1
+        assert book.open_keys() == ["srv"]
+
+    def test_success_resets_the_failure_streak(self):
+        book = BreakerBook(SimulatedClock(), BreakerConfig(failure_threshold=3))
+        book.on_failure("srv")
+        book.on_failure("srv")
+        book.on_success("srv")
+        book.on_failure("srv")
+        book.on_failure("srv")
+        assert book.state_of("srv") is BreakerState.CLOSED
+
+    def test_half_open_single_probe_then_close(self):
+        clock = SimulatedClock()
+        book = BreakerBook(clock, BreakerConfig(failure_threshold=1, cooldown=10.0))
+        book.on_failure("srv")
+        assert not book.allow("srv")
+        clock.advance(10.0)
+        # First caller after the cooldown gets the probe slot...
+        assert book.allow("srv")
+        assert book.state_of("srv") is BreakerState.HALF_OPEN
+        assert book.stats.probes == 1
+        # ...and nobody else does while it is in flight.
+        assert not book.allow("srv")
+        book.on_success("srv")
+        assert book.state_of("srv") is BreakerState.CLOSED
+        assert book.stats.probe_successes == 1
+        assert book.allow("srv")
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = SimulatedClock()
+        book = BreakerBook(clock, BreakerConfig(failure_threshold=1, cooldown=10.0))
+        book.on_failure("srv")
+        clock.advance(10.0)
+        assert book.allow("srv")
+        book.on_failure("srv")
+        assert book.state_of("srv") is BreakerState.OPEN
+        assert book.stats.probe_failures == 1
+        assert not book.allow("srv")
+
+    def test_lost_probe_expires_instead_of_wedging(self):
+        # A probe whose query path died without reporting back must not
+        # block the breaker forever: after one cooldown a new probe runs.
+        clock = SimulatedClock()
+        book = BreakerBook(clock, BreakerConfig(failure_threshold=1, cooldown=10.0))
+        book.on_failure("srv")
+        clock.advance(10.0)
+        assert book.allow("srv")  # probe 1, never reports
+        clock.advance(10.0)
+        assert book.allow("srv")  # probe 2 allowed
+        assert book.stats.probes == 2
+
+
+class TestDeadlineBudget:
+    def test_remaining_drains_with_the_clock(self):
+        clock = SimulatedClock()
+        budget = DeadlineBudget.after(clock, 5.0)
+        assert budget.remaining() == pytest.approx(5.0)
+        clock.advance(3.0)
+        assert budget.remaining() == pytest.approx(2.0)
+        assert not budget.expired
+        clock.advance(2.0)
+        assert budget.expired
+        assert budget.remaining() == 0.0
+
+    def test_clamp_shrinks_timeouts_with_a_floor(self):
+        clock = SimulatedClock()
+        budget = DeadlineBudget.after(clock, 1.0)
+        assert budget.clamp(2.0) == pytest.approx(1.0)
+        assert budget.clamp(0.5) == pytest.approx(0.5)
+        clock.advance(1.0)
+        # Even a spent budget buys one very impatient query.
+        assert budget.clamp(2.0) == DeadlineBudget.MIN_TIMEOUT
+
+
+class TestRefreshQueue:
+    def test_enqueue_dedup_and_capacity(self):
+        queue = RefreshQueue(SimulatedClock(), capacity=2)
+        assert queue.enqueue(("a", 1))
+        assert not queue.enqueue(("a", 1))  # dedup
+        assert queue.enqueue(("b", 1))
+        assert not queue.enqueue(("c", 1))  # full: shed, not grown
+        assert len(queue) == 2
+        assert queue.stats.enqueued == 2
+        assert queue.stats.deduplicated == 1
+        assert queue.stats.shed_full == 1
+
+    def test_reschedule_delays_and_done_removes(self):
+        clock = SimulatedClock()
+        queue = RefreshQueue(clock, retry_interval=30.0)
+        queue.enqueue(("a", 1))
+        queue.enqueue(("b", 1))
+        assert queue.due(10) == [("a", 1), ("b", 1)]
+        assert queue.due(1) == [("a", 1)]
+        queue.reschedule(("a", 1))
+        assert queue.due(10) == [("b", 1)]  # a's not-before moved out
+        clock.advance(30.0)
+        assert ("a", 1) in queue.due(10)
+        queue.done(("b", 1))
+        assert len(queue) == 1
+        assert queue.stats.refreshed == 1
+        assert queue.stats.retried == 1
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = SimulatedClock()
+        bucket = TokenBucket(clock, rate=2.0, burst=3.0)
+        assert all(bucket.take() for _ in range(3))
+        assert not bucket.take()
+        clock.advance(1.0)  # +2 tokens
+        assert bucket.take() and bucket.take()
+        assert not bucket.take()
+
+    def test_rate_zero_is_a_pure_burst_counter(self):
+        clock = SimulatedClock()
+        bucket = TokenBucket(clock, rate=0.0, burst=2.0)
+        assert bucket.take() and bucket.take() and not bucket.take()
+        clock.advance(3600)
+        assert not bucket.take()
+
+
+class _FakeResolver:
+    """The duck-typed surface ResilientFrontend needs from a resolver."""
+
+    def __init__(self, clock, cached=(), explode=False):
+        self.clock = clock
+        self.cached = set(cached)
+        self.explode = explode
+        self.handled = 0
+
+    def handle_query(self, query, source):
+        if self.explode:
+            raise RuntimeError("boom")
+        self.handled += 1
+        response = query.make_response()
+        response.rcode = Rcode.NOERROR
+        return response
+
+    def answer_from_cache(self, query):
+        if str(query.question[0].name) not in self.cached:
+            return None
+        response = query.make_response()
+        response.rcode = Rcode.NOERROR
+        return response
+
+    def run_refreshes(self, limit=None):
+        return 0
+
+
+def _query_wire(qname: str) -> bytes:
+    return Message.make_query(qname, RdataType.A).to_wire()
+
+
+class TestResilientFrontend:
+    def test_bucket_shed_is_refused_with_prohibited(self):
+        clock = SimulatedClock()
+        frontend = ResilientFrontend(
+            _FakeResolver(clock),
+            FrontendConfig(client_rate=0.0, client_burst=2.0),
+            clock=clock,
+        )
+        for _ in range(2):
+            wire = frontend.handle_datagram(_query_wire("miss.test."), "198.51.100.1")
+            assert Message.from_wire(wire).rcode == Rcode.NOERROR
+        shed = Message.from_wire(
+            frontend.handle_datagram(_query_wire("miss.test."), "198.51.100.1")
+        )
+        assert shed.rcode == Rcode.REFUSED
+        assert 18 in shed.ede_codes
+        assert frontend.stats.bucket_sheds == 1
+        # A different client has its own bucket.
+        other = frontend.handle_datagram(_query_wire("miss.test."), "198.51.100.2")
+        assert Message.from_wire(other).rcode == Rcode.NOERROR
+
+    def test_shedding_still_serves_cache_hits(self):
+        clock = SimulatedClock()
+        frontend = ResilientFrontend(
+            _FakeResolver(clock, cached={"hit.test."}),
+            FrontendConfig(max_inflight=0),
+            clock=clock,
+        )
+        hit = Message.from_wire(
+            frontend.handle_datagram(_query_wire("hit.test."), "198.51.100.1")
+        )
+        miss = Message.from_wire(
+            frontend.handle_datagram(_query_wire("miss.test."), "198.51.100.1")
+        )
+        assert hit.rcode == Rcode.NOERROR
+        assert miss.rcode == Rcode.REFUSED
+        assert frontend.stats.inflight_sheds == 2
+        assert frontend.stats.served_cached == 1
+        assert frontend.stats.shed_refused == 1
+
+    def test_truncate_slip(self):
+        clock = SimulatedClock()
+        frontend = ResilientFrontend(
+            _FakeResolver(clock),
+            FrontendConfig(client_rate=0.0, client_burst=0.0, truncate_every=2),
+            clock=clock,
+        )
+        first = Message.from_wire(
+            frontend.handle_datagram(_query_wire("a.test."), "198.51.100.1")
+        )
+        second = Message.from_wire(
+            frontend.handle_datagram(_query_wire("b.test."), "198.51.100.1")
+        )
+        assert first.rcode == Rcode.REFUSED and not first.tc
+        assert second.tc  # every 2nd shed is a truncate-to-TCP nudge
+        assert frontend.stats.shed_truncated == 1
+
+    def test_exploding_handler_degrades_to_servfail(self):
+        clock = SimulatedClock()
+        frontend = ResilientFrontend(_FakeResolver(clock, explode=True), clock=clock)
+        query = Message.make_query("kaboom.test.", RdataType.A)
+        wire = frontend.handle_datagram(query.to_wire(), "198.51.100.1")
+        response = Message.from_wire(wire)
+        assert response.id == query.id
+        assert response.rcode == Rcode.SERVFAIL
+        assert frontend.stats.handler_errors == 1
+
+    def test_garbage_datagrams_get_formerr(self):
+        clock = SimulatedClock()
+        frontend = ResilientFrontend(_FakeResolver(clock), clock=clock)
+        short = frontend.handle_datagram(b"\x07", "198.51.100.1")
+        assert Message.from_wire(short).rcode == Rcode.FORMERR
+        garbage = bytes([0xAB] * 16)
+        echoed = frontend.handle_datagram(garbage, "198.51.100.1")
+        assert echoed[:2] == garbage[:2]  # message ID survives
+        assert echoed[2] & 0x80  # QR
+        assert (echoed[3] & 0x0F) == Rcode.FORMERR
+        assert frontend.stats.formerr == 2
+
+    def test_bucket_table_stays_bounded(self):
+        clock = SimulatedClock()
+        frontend = ResilientFrontend(
+            _FakeResolver(clock), FrontendConfig(max_clients=4), clock=clock
+        )
+        for i in range(10):
+            frontend.handle_datagram(_query_wire("x.test."), f"198.51.100.{i}")
+        assert len(frontend._buckets) <= 4
+
+
+class TestHeaderSynthesis:
+    def test_short_datagram_gets_minimal_formerr(self):
+        wire = synthesize_header_response(b"\x01\x02", Rcode.FORMERR)
+        assert Message.from_wire(wire).rcode == Rcode.FORMERR
+
+    def test_full_header_is_echoed(self):
+        query = Message.make_query("echo.test.", RdataType.A)
+        wire = synthesize_header_response(query.to_wire(), Rcode.SERVFAIL)
+        response = Message.from_wire(wire)
+        assert response.id == query.id
+        assert response.qr
+        assert response.rcode == Rcode.SERVFAIL
+
+
+@pytest.mark.chaos
+class TestServeStaleThroughOutage:
+    """Serve-stale × chaos: EDE 3/19 during a scheduled outage, fresh
+    after recovery, RFC 8767 30-second TTLs on the wire — for any seed."""
+
+    def _resolver(self, world, resilience=None):
+        return RecursiveResolver(
+            fabric=world, profile=CLOUDFLARE, root_hints=[ROOT_IP], validate=False,
+            resilience=resilience, cache_config=default_cache_config(),
+        )
+
+    def _warm(self, resolver):
+        assert resolver.resolve(WWW, RdataType.A).rcode == Rcode.NOERROR
+        assert resolver.resolve(GONE, RdataType.A).rcode == Rcode.NXDOMAIN
+
+    def test_stale_positive_and_negative_during_outage(self):
+        world = _build_world()
+        resolver = self._resolver(world)
+        self._warm(resolver)
+        world.clock.advance(7200)
+        world.install_chaos(ChaosPolicy(
+            seed=CHAOS_SEED, outages=[Outage(0.0, 300.0, target="192.0.9.3")],
+        ))
+        stale = resolver.resolve(WWW, RdataType.A)
+        assert stale.rcode == Rcode.NOERROR
+        assert 3 in stale.ede_codes
+        assert all(r.ttl == STALE_TTL for r in stale.answer)
+        nx = resolver.resolve(GONE, RdataType.A)
+        assert nx.rcode == Rcode.NXDOMAIN
+        assert 19 in nx.ede_codes
+        assert all(r.ttl <= STALE_TTL for r in nx.authority)
+        assert resolver.stats.stale_served == 1
+        assert resolver.stats.stale_nxdomain_served == 1
+
+    def test_fresh_again_after_recovery(self):
+        world = _build_world()
+        resolver = self._resolver(world)
+        self._warm(resolver)
+        world.clock.advance(7200)
+        world.install_chaos(ChaosPolicy(
+            seed=CHAOS_SEED, outages=[Outage(0.0, 60.0, target="192.0.9.3")],
+        ))
+        assert 3 in resolver.resolve(WWW, RdataType.A).ede_codes
+        world.clock.advance(120)  # past the outage window
+        fresh = resolver.resolve(WWW, RdataType.A)
+        assert fresh.rcode == Rcode.NOERROR and not fresh.ede_codes
+        nx = resolver.resolve(GONE, RdataType.A)
+        assert nx.rcode == Rcode.NXDOMAIN and not nx.ede_codes
+
+    def test_deadline_budget_bounds_degraded_answers(self):
+        world = _build_world()
+        resolver = self._resolver(world, ResilienceConfig(
+            breaker=BreakerConfig(failure_threshold=3, cooldown=30.0),
+            client_deadline=1.5,
+        ))
+        self._warm(resolver)
+        world.clock.advance(7200)
+        world.install_chaos(ChaosPolicy(
+            seed=CHAOS_SEED, outages=[Outage(0.0, 300.0, target="192.0.9.3")],
+        ))
+        for _ in range(4):
+            started = world.clock.now()
+            stale = resolver.resolve(WWW, RdataType.A)
+            assert world.clock.now() - started <= 1.5 + 1e-9
+            assert stale.rcode == Rcode.NOERROR and 3 in stale.ede_codes
+            world.clock.advance(1.0)
+        assert resolver.stats.deadline_hits >= 1
+        assert resolver.engine.stats.breaker_skips >= 1
+
+    def test_answer_from_cache_never_goes_upstream(self):
+        world = _build_world()
+        resolver = self._resolver(world)
+        self._warm(resolver)
+        upstream_before = resolver.engine.stats.queries
+        query = Message.make_query(WWW, RdataType.A)
+        cached = resolver.answer_from_cache(query)
+        assert cached is not None and cached.rcode == Rcode.NOERROR
+        # A name that was never resolved has nothing cached: None, and
+        # still no upstream packets.
+        assert resolver.answer_from_cache(
+            Message.make_query("absent.drill.test.", RdataType.A)
+        ) is None
+        world.clock.advance(7200)
+        # Expired-but-stale entries are still served from here (EDE 3).
+        stale = resolver.answer_from_cache(query)
+        assert stale is not None and 3 in stale.ede_codes
+        assert resolver.engine.stats.queries == upstream_before

@@ -71,3 +71,33 @@ class TestUdpAuthoritative:
         response = Message.from_wire(raw)
         assert response.rcode == Rcode.SERVFAIL
         assert response.ede_codes == (9,)
+
+
+class TestUdpFailurePaths:
+    """A raising endpoint must never swallow the datagram (the client
+    would burn its full timeout waiting): the protocol layer degrades to
+    FORMERR/SERVFAIL on its own — the PR-4 hardening of
+    ``_EndpointProtocol.datagram_received``."""
+
+    class Exploding:
+        def handle_datagram(self, wire, source):
+            raise RuntimeError("boom")
+
+    def test_raising_endpoint_answers_servfail_with_ede(self):
+        query = Message.make_query("kaboom.test.", RdataType.A)
+        (raw,) = serve_and_query(self.Exploding(), [query.to_wire()])
+        response = Message.from_wire(raw)
+        assert response.id == query.id
+        assert response.rcode == Rcode.SERVFAIL
+        assert 0 in response.ede_codes  # Other Error: internal failure
+
+    def test_raising_endpoint_on_garbage_answers_formerr(self):
+        garbage = bytes([0xAB] * 16)
+        (raw,) = serve_and_query(self.Exploding(), [garbage])
+        assert raw[:2] == garbage[:2]  # message ID echoed for correlation
+        assert raw[2] & 0x80  # QR set
+        assert (raw[3] & 0x0F) == Rcode.FORMERR
+
+    def test_raising_endpoint_on_short_garbage_answers_formerr(self):
+        (raw,) = serve_and_query(self.Exploding(), [b"\x07"])
+        assert Message.from_wire(raw).rcode == Rcode.FORMERR
