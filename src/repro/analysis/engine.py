@@ -26,7 +26,12 @@ from typing import Callable, Iterable, Iterator
 
 from .determinism import check_determinism
 from .findings import Finding
-from .invariants import check_ede_literals, check_enum_members, check_tables
+from .invariants import (
+    check_ede_literals,
+    check_enum_members,
+    check_obs_registry_calls,
+    check_tables,
+)
 
 RULE_UNUSED_SUPPRESSION = "unused-suppression"
 RULE_PARSE_ERROR = "parse-error"
@@ -36,6 +41,7 @@ SOURCE_RULES: tuple[Callable[[ast.AST, str], Iterator[Finding]], ...] = (
     check_determinism,
     check_enum_members,
     check_ede_literals,
+    check_obs_registry_calls,
 )
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([a-zA-Z0-9_\s,-]+)\]")

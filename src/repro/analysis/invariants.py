@@ -31,6 +31,13 @@ results instead of failing loudly.  These rules cross-check the tables:
     8914 registry *and* reachable from at least one vendor profile's
     policy — a degraded answer must never carry a code no modeled
     resolver could produce.
+``obs-registry``
+    Every literal metric name passed to ``counter()`` / ``gauge()`` /
+    ``histogram()`` is declared in :data:`repro.obs.registry.METRICS`
+    with the same instrument kind, every declared spec is well-formed
+    (Prometheus-legal name and label names), and every declared metric
+    is actually requested somewhere in the package — documentation and
+    emission cannot drift apart in either direction.
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ RULE_ENUM_MEMBER = "enum-member"
 RULE_TESTBED_MATRIX = "testbed-matrix"
 RULE_RDATA_REGISTRY = "rdata-registry"
 RULE_RESILIENCE_CODES = "resilience-codes"
+RULE_OBS_REGISTRY = "obs-registry"
 
 INVARIANT_RULES = (
     RULE_EDE_REGISTRY,
@@ -52,6 +60,7 @@ INVARIANT_RULES = (
     RULE_TESTBED_MATRIX,
     RULE_RDATA_REGISTRY,
     RULE_RESILIENCE_CODES,
+    RULE_OBS_REGISTRY,
 )
 
 #: Keyword arguments whose values are tables of EDE INFO-CODEs.
@@ -68,6 +77,7 @@ def _registries():
     from ..dns.rcode import Rcode
     from ..dns.types import Opcode, RdataClass, RdataType
     from ..dnssec.trace import FailureReason, ResolutionEvent
+    from ..obs.trace import TraceEventKind
 
     return {
         "EdeCode": EdeCode,
@@ -77,6 +87,7 @@ def _registries():
         "Rcode": Rcode,
         "FailureReason": FailureReason,
         "ResolutionEvent": ResolutionEvent,
+        "TraceEventKind": TraceEventKind,
     }
 
 
@@ -150,6 +161,93 @@ def check_ede_literals(tree: ast.AST, path: str) -> Iterator[Finding]:
                     path=path,
                     line=lineno,
                 )
+
+
+#: Instrument-constructor method names whose literal first argument is
+#: a metric name from the obs registry.
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _literal_metric_calls(tree: ast.AST) -> Iterator[tuple[str, str, int]]:
+    """(name, kind, line) for each ``.counter("lit")``-style call."""
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _METRIC_METHODS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            continue
+        yield node.args[0].value, node.func.attr, node.lineno
+
+
+def check_obs_registry_calls(tree: ast.AST, path: str) -> Iterator[Finding]:
+    """Literal instrument names must be documented with the right kind."""
+    from ..obs.registry import METRICS
+
+    for name, kind, lineno in _literal_metric_calls(tree):
+        spec = METRICS.get(name)
+        if spec is None:
+            yield Finding(
+                rule=RULE_OBS_REGISTRY,
+                message=(
+                    f"metric {name!r} is not declared in"
+                    " repro.obs.registry.METRICS; document it there first"
+                ),
+                path=path,
+                line=lineno,
+            )
+        elif spec.kind != kind:
+            yield Finding(
+                rule=RULE_OBS_REGISTRY,
+                message=(
+                    f"metric {name!r} is declared as a {spec.kind} but"
+                    f" requested via .{kind}()"
+                ),
+                path=path,
+                line=lineno,
+            )
+
+
+def check_obs_metrics() -> Iterator[Finding]:
+    """METRICS specs are well-formed and every declared name is emitted."""
+    from ..obs.metrics import _LABEL_RE, _NAME_RE
+    from ..obs.registry import METRICS
+
+    path = "repro/obs/registry.py"
+
+    def finding(message: str) -> Finding:
+        return Finding(rule=RULE_OBS_REGISTRY, message=message, path=path)
+
+    for name, spec in METRICS.items():
+        if not _NAME_RE.match(name):
+            yield finding(f"metric name {name!r} is not Prometheus-legal")
+        if spec.kind not in ("counter", "gauge", "histogram"):
+            yield finding(f"metric {name!r} has unknown kind {spec.kind!r}")
+        for label in spec.labels:
+            if not _LABEL_RE.match(label):
+                yield finding(
+                    f"metric {name!r} declares illegal label name {label!r}"
+                )
+
+    from .engine import iter_python_files, repo_source_root
+
+    used: set[str] = set()
+    for source_path in iter_python_files(repo_source_root()):
+        try:
+            tree = ast.parse(source_path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue  # the parse-error rule reports this
+        for name, _kind, _line in _literal_metric_calls(tree):
+            used.add(name)
+    for name in METRICS:
+        if name not in used:
+            yield finding(
+                f"metric {name!r} is documented but no code requests it;"
+                " remove the spec or wire the emission"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -292,3 +390,4 @@ def check_tables() -> Iterator[Finding]:
     yield from check_testbed_matrix()
     yield from check_rdata_registry()
     yield from check_resilience_codes()
+    yield from check_obs_metrics()

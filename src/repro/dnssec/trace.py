@@ -141,11 +141,20 @@ class EventRecord:
     detail: str = ""
 
     def __str__(self) -> str:
+        """Render as ``EVENT [server] [qname] [rdtype] [detail]``.
+
+        Every non-empty field appears, space-joined, in that fixed
+        order — log lines and trace dumps are diffable across runs.
+        (``rdtype`` was historically dropped, which made two records
+        for different types render identically.)
+        """
         parts = [self.event.name]
         if self.server:
             parts.append(self.server)
         if self.qname is not None:
             parts.append(str(self.qname))
+        if self.rdtype:
+            parts.append(self.rdtype)
         if self.detail:
             parts.append(self.detail)
         return " ".join(parts)
@@ -215,6 +224,13 @@ class ResolutionOutcome:
     stale: bool = False
 
     def events_of(self, *kinds: ResolutionEvent) -> list[EventRecord]:
+        """Records of the given kinds, **in original insertion order**.
+
+        The event list is chronological (engine appends as things
+        happen), and filtering must not reorder it: EDE attribution
+        and trace rendering both rely on "first timeout before first
+        SERVFAIL" meaning exactly that.
+        """
         return [record for record in self.events if record.event in kinds]
 
     def has_event(self, *kinds: ResolutionEvent) -> bool:

@@ -1,0 +1,117 @@
+"""The documented observability registry: every name, in one place.
+
+Two closed vocabularies make the observability layer checkable:
+
+* :data:`METRICS` — every metric family the package may emit, with its
+  type, help text, and label names.  Code must request instruments with
+  literal names from this table; ``python -m repro.tools.selfcheck``
+  (rule ``obs-registry``) flags any ``counter()/gauge()/histogram()``
+  call whose name is undocumented, any type mismatch, and any
+  documented metric no code emits.
+* :class:`~repro.obs.trace.TraceEventKind` — the span-event registry;
+  the existing ``enum-member`` rule covers references to it.
+
+Keeping the vocabulary closed is what lets dashboards, the golden-trace
+snapshots, and the differential tests treat names as stable API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declared shape of one metric family."""
+
+    kind: str  # counter | gauge | histogram
+    help: str
+    labels: tuple[str, ...] = ()
+
+
+#: name -> declared spec.  Sorted here for reviewability; the exposition
+#: sorts independently so this order is documentation, not behaviour.
+METRICS: dict[str, MetricSpec] = {
+    # -- recursive resolver ------------------------------------------------
+    "repro_resolver_queries_total": MetricSpec(
+        "counter", "Client queries accepted by a recursive resolver", ("profile",)
+    ),
+    "repro_resolver_responses_total": MetricSpec(
+        "counter", "Responses by final RCODE", ("profile", "rcode")
+    ),
+    "repro_resolver_ede_total": MetricSpec(
+        "counter", "EDE options attached to responses, by INFO-CODE",
+        ("profile", "code"),
+    ),
+    "repro_resolver_cache_hits_total": MetricSpec(
+        "counter", "Answers served without upstream work",
+        ("profile", "kind"),  # kind: positive | negative | error
+    ),
+    "repro_resolver_stale_served_total": MetricSpec(
+        "counter", "RFC 8767 stale answers served", ("profile", "kind")
+    ),
+    "repro_resolver_coalesced_total": MetricSpec(
+        "counter", "Resolutions that piggybacked on an in-flight twin",
+        ("profile", "level"),  # level: client | infra
+    ),
+    "repro_resolver_infra_fetch_total": MetricSpec(
+        "counter", "Validator infrastructure fetches", ("profile", "outcome")
+    ),
+    "repro_resolver_validation_total": MetricSpec(
+        "counter", "DNSSEC validation verdicts", ("profile", "state")
+    ),
+    "repro_resolver_resolve_virtual_seconds": MetricSpec(
+        "histogram", "Virtual time from client query to response", ("profile",)
+    ),
+    # -- iterative engine --------------------------------------------------
+    "repro_engine_upstream_queries_total": MetricSpec(
+        "counter", "Queries handed to the fabric", ("transport",)
+    ),
+    "repro_engine_upstream_rtt_virtual_seconds": MetricSpec(
+        "histogram", "Virtual round-trip time of answered upstream queries"
+    ),
+    "repro_engine_transport_events_total": MetricSpec(
+        "counter", "Transport/server anomalies observed while iterating",
+        ("event",),
+    ),
+    "repro_engine_breaker_skips_total": MetricSpec(
+        "counter", "Queries short-circuited by an open circuit breaker"
+    ),
+    # -- forwarder ---------------------------------------------------------
+    "repro_forwarder_queries_total": MetricSpec(
+        "counter", "Client queries accepted by a forwarding resolver"
+    ),
+    "repro_forwarder_upstream_failovers_total": MetricSpec(
+        "counter", "Upstream resolvers skipped after transport failure"
+    ),
+    "repro_forwarder_ede_total": MetricSpec(
+        "counter", "EDE options relayed or originated by the forwarder",
+        ("origin",),  # origin: forwarded | generated
+    ),
+    # -- resilient frontend ------------------------------------------------
+    "repro_frontend_datagrams_total": MetricSpec(
+        "counter", "Datagrams that reached the overload-shedding frontend"
+    ),
+    "repro_frontend_shed_total": MetricSpec(
+        "counter", "Cache-miss work shed under overload", ("reason",)
+    ),
+    "repro_frontend_served_cached_total": MetricSpec(
+        "counter", "Always-served cache/stale answers while shedding"
+    ),
+    "repro_frontend_inflight": MetricSpec(
+        "gauge", "Concurrent cache-miss resolutions in flight"
+    ),
+    # -- scanner -----------------------------------------------------------
+    "repro_scan_phase_domains_total": MetricSpec(
+        "counter", "Domains completed per scan phase", ("phase",)
+    ),
+    "repro_scan_phase_virtual_seconds": MetricSpec(
+        "gauge", "Virtual makespan of each scan phase", ("phase",)
+    ),
+    "repro_scan_records_total": MetricSpec(
+        "counter", "Scan records emitted", ("outcome",)  # outcome: ok | error
+    ),
+    "repro_scan_progress_domains": MetricSpec(
+        "gauge", "Domains completed so far in the running scan"
+    ),
+}

@@ -1,0 +1,127 @@
+"""Human rendering of a :class:`QueryTrace` — the ``dig +trace`` view.
+
+Turns the ordered span into the troubleshooting narrative the paper
+argues EDE enables: what the resolver tried, what went wrong where, and
+*why* each INFO-CODE on the final answer was attached.
+"""
+
+from __future__ import annotations
+
+from ..dns.ede import EDE_DESCRIPTIONS, EdeCode
+from ..dns.rcode import Rcode
+from .trace import QueryTrace, TraceEvent, TraceEventKind
+
+
+def _describe_code(code: int) -> str:
+    try:
+        return EDE_DESCRIPTIONS.get(EdeCode(code), f"code {code}")
+    except ValueError:
+        return f"unassigned code {code}"
+
+
+def _event_line(trace: QueryTrace, event: TraceEvent) -> str:
+    offset = event.t - trace.start
+    attrs = event.attrs
+    if event.kind is TraceEventKind.BEGIN:
+        body = f"query {attrs.get('qname')} {attrs.get('rdtype')} via {attrs.get('profile')}"
+    elif event.kind is TraceEventKind.UPSTREAM_QUERY:
+        body = (
+            f"-> {attrs.get('server')} {attrs.get('qname')} {attrs.get('rdtype')}"
+            f" ({attrs.get('transport', 'udp')})"
+        )
+    elif event.kind is TraceEventKind.UPSTREAM_RESPONSE:
+        rcode = attrs.get("rcode")
+        rcode_name = Rcode(rcode).name if rcode is not None else "?"
+        body = f"<- {attrs.get('server')} {rcode_name} rtt={attrs.get('rtt', 0):.3f}s"
+    elif event.kind is TraceEventKind.EVENT:
+        parts = [attrs.get("event", "?")]
+        for key in ("server", "qname", "detail"):
+            if attrs.get(key):
+                parts.append(str(attrs[key]))
+        body = "! " + " ".join(parts)
+    elif event.kind is TraceEventKind.CACHE_HIT:
+        body = f"cache hit ({attrs.get('hit')})"
+    elif event.kind is TraceEventKind.COALESCED:
+        body = f"coalesced onto in-flight twin ({attrs.get('level')})"
+    elif event.kind is TraceEventKind.INFRA_FETCH:
+        body = (
+            f"infra fetch {attrs.get('qname')} {attrs.get('rdtype')}"
+            f" in {attrs.get('zone')} ({attrs.get('outcome')})"
+        )
+    elif event.kind is TraceEventKind.VALIDATION:
+        body = f"validation: {attrs.get('state')}"
+        if attrs.get("reason"):
+            body += f" ({attrs['reason']}"
+            if attrs.get("zone"):
+                body += f" at {attrs['zone']}"
+            body += ")"
+    elif event.kind is TraceEventKind.EDE:
+        body = f"EDE {attrs.get('code')} ({_describe_code(attrs.get('code', -1))})"
+        if attrs.get("extra_text"):
+            body += f": {attrs['extra_text']}"
+    elif event.kind is TraceEventKind.END:
+        rcode = attrs.get("rcode")
+        rcode_name = Rcode(rcode).name if rcode is not None else "?"
+        flags = [
+            flag
+            for flag in ("stale", "from_cache")
+            if attrs.get(flag)
+        ]
+        body = f"answer {rcode_name}" + (f" [{' '.join(flags)}]" if flags else "")
+    else:  # pragma: no cover - closed enum
+        body = event.kind.value
+    return f";;   +{offset:8.3f}s {body}"
+
+
+def render_trace(trace: QueryTrace) -> str:
+    """The full ordered span, one line per event, virtual offsets."""
+    lines = [";; QUERY TRACE (virtual time):"]
+    lines.extend(_event_line(trace, event) for event in trace.events)
+    return "\n".join(lines)
+
+
+def explain_ede(trace: QueryTrace) -> str:
+    """The "why this EDE" summary rendered from the trace.
+
+    For each INFO-CODE on the final answer, name the validation reason
+    or transport event that earned it; with no EDE at all, say why the
+    answer is clean.
+    """
+    validation = None
+    for event in trace.events:
+        if event.kind is TraceEventKind.VALIDATION:
+            validation = event
+    transport = [
+        event for event in trace.events if event.kind is TraceEventKind.EVENT
+    ]
+    ede_events = trace.events_of(TraceEventKind.EDE)
+
+    lines = [";; WHY:"]
+    if not ede_events:
+        rcode = trace.final_rcode
+        rcode_name = Rcode(rcode).name if rcode is not None else "?"
+        detail = "no extended error attached"
+        if validation is not None and validation.attrs.get("state") == "secure":
+            detail = "validation succeeded (secure), no extended error attached"
+        lines.append(f";;   {rcode_name}: {detail}")
+        return "\n".join(lines)
+
+    for event in ede_events:
+        code = event.attrs.get("code", -1)
+        cause = ""
+        if validation is not None and validation.attrs.get("reason"):
+            cause = f"validation found {validation.attrs['reason']}"
+            if validation.attrs.get("zone"):
+                cause += f" at zone {validation.attrs['zone']}"
+        elif transport:
+            last = transport[-1].attrs
+            cause = f"transport saw {last.get('event')}"
+            if last.get("server"):
+                cause += f" from {last['server']}"
+        line = f";;   EDE {code} ({_describe_code(code)})"
+        if cause:
+            line += f" because {cause}"
+        if event.attrs.get("extra_text"):
+            line += f" — {event.attrs['extra_text']!r}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ from ..dns.name import Name
 from ..dns.rcode import Rcode
 from ..dns.types import RdataType
 from ..net.fabric import NetworkFabric, TransportError
+from ..obs import NULL_OBS, Observability
 from .cache import CacheConfig, ResolverCache, default_cache_config
 from .policy import ACTION_EDE, LocalPolicy, PolicyAction
 
@@ -57,6 +58,7 @@ class ForwardingResolver:
         cache_config: CacheConfig | None = None,
         timeout: float = 3.0,
         rng_seed: int = 0xF04D,
+        obs: Observability | None = None,
     ):
         if not upstreams:
             raise ValueError("a forwarder needs at least one upstream")
@@ -73,6 +75,12 @@ class ForwardingResolver:
         self.timeout = timeout
         self._rng = random.Random(rng_seed)
         self.stats = ForwarderStats()
+        self.obs = obs or NULL_OBS
+        self._m_queries = self.obs.counter("repro_forwarder_queries_total")
+        self._m_failovers = self.obs.counter(
+            "repro_forwarder_upstream_failovers_total"
+        )
+        self._m_ede = self.obs.counter("repro_forwarder_ede_total")
 
     # -- fabric endpoint ------------------------------------------------------
 
@@ -91,6 +99,7 @@ class ForwardingResolver:
 
     def handle_query(self, query: Message, source: str = "") -> Message:
         self.stats.queries += 1
+        self._m_queries.inc()
         question = query.question[0]
         qname, rdtype = question.name, question.rdtype
 
@@ -135,11 +144,13 @@ class ForwardingResolver:
                 )
             except TransportError:
                 self.stats.upstream_failovers += 1
+                self._m_failovers.inc()
                 continue
             try:
                 response = Message.from_wire(raw)
             except Exception:
                 self.stats.upstream_failovers += 1
+                self._m_failovers.inc()
                 continue
             return upstream, response
         self.stats.upstream_exhausted += 1
@@ -160,6 +171,7 @@ class ForwardingResolver:
                     text = prefix + text if text else prefix.strip()
                 response.add_ede(option.info_code, text)
                 self.stats.ede_forwarded += 1
+                self._m_ede.labels(origin="forwarded").inc()
         return response
 
     def _all_upstreams_down(
@@ -172,6 +184,7 @@ class ForwardingResolver:
             if query.edns is not None:
                 response.add_ede(EdeCode.STALE_ANSWER)
                 self.stats.ede_generated += 1
+                self._m_ede.labels(origin="generated").inc()
             return response
         response.rcode = Rcode.SERVFAIL
         if query.edns is not None:
@@ -181,6 +194,7 @@ class ForwardingResolver:
                 f"no upstream resolver reachable ({', '.join(self.upstreams)})",
             )
             self.stats.ede_generated += 2
+            self._m_ede.labels(origin="generated").inc(2)
         return response
 
     def _policy_response(self, query: Message, qname, rdtype, decision) -> Message:
@@ -199,4 +213,5 @@ class ForwardingResolver:
         if query.edns is not None:
             response.add_ede(ACTION_EDE[decision.action], decision.rule.reason)
             self.stats.ede_generated += 1
+            self._m_ede.labels(origin="generated").inc()
         return response

@@ -24,6 +24,7 @@ from ..dns.rrset import RRset
 from ..dns.types import RdataType
 from ..dnssec.trace import EventRecord, ResolutionEvent
 from ..net.fabric import NetworkFabric, Timeout, TransportError, Unreachable
+from ..obs import NULL_OBS, Observability, TraceEventKind
 from .resilience import BreakerBook, BreakerConfig, DeadlineBudget
 from .server_stats import ServerSelectionConfig, ServerStatsBook
 
@@ -129,9 +130,15 @@ class IterativeEngine:
         fabric: NetworkFabric,
         root_hints: dict[str, list[str]] | list[str],
         config: EngineConfig | None = None,
+        obs: Observability | None = None,
     ):
         self.fabric = fabric
         self.config = config or EngineConfig()
+        self.obs = obs or NULL_OBS
+        self._m_upstream = self.obs.counter("repro_engine_upstream_queries_total")
+        self._m_rtt = self.obs.histogram("repro_engine_upstream_rtt_virtual_seconds")
+        self._m_events = self.obs.counter("repro_engine_transport_events_total")
+        self._m_breaker_skips = self.obs.counter("repro_engine_breaker_skips_total")
         if isinstance(root_hints, dict):
             addresses = [addr for addrs in root_hints.values() for addr in addrs]
         else:
@@ -158,6 +165,15 @@ class IterativeEngine:
         self.stats = EngineStats()
 
     # -- low-level query ------------------------------------------------------------
+
+    def _note(self, events: list[EventRecord], record: EventRecord) -> None:
+        """Record one transport observation: the ``events`` list (the
+        EDE-attribution input, exactly as before) plus the observability
+        mirror — a virtual-timestamped trace event and a counter."""
+        events.append(record)
+        if self.obs.enabled:
+            self.obs.trace_event_record(record)
+            self._m_events.labels(event=record.event.name).inc()
 
     def _next_id(self) -> int:
         self._msg_id = (self._msg_id + 1) & 0xFFFF
@@ -199,7 +215,7 @@ class IterativeEngine:
             return
         deadline.reported = True
         self.stats.deadline_exhaustions += 1
-        events.append(
+        self._note(events, 
             EventRecord(
                 ResolutionEvent.DEADLINE_EXHAUSTED,
                 qname=qname,
@@ -219,7 +235,7 @@ class IterativeEngine:
             return
         budget.reported = True
         self.stats.budget_exhaustions += 1
-        events.append(
+        self._note(events, 
             EventRecord(
                 ResolutionEvent.QUERY_BUDGET_EXCEEDED,
                 qname=qname,
@@ -239,7 +255,7 @@ class IterativeEngine:
         try:
             return Message.from_wire(raw)
         except Exception:
-            events.append(
+            self._note(events, 
                 EventRecord(
                     ResolutionEvent.SERVER_FORMERR,
                     server=f"{server}:53",
@@ -265,7 +281,7 @@ class IterativeEngine:
             # but do not give up on the server either — a fresh query
             # (with a fresh ID) may well succeed.
             self.stats.mismatched_ids += 1
-            events.append(
+            self._note(events, 
                 EventRecord(
                     ResolutionEvent.MISMATCHED_ID,
                     server=f"{server}:53",
@@ -276,7 +292,7 @@ class IterativeEngine:
             )
             return _Vet.RETRY
         if not response.question or response.question[0].name != qname:
-            events.append(
+            self._note(events, 
                 EventRecord(
                     ResolutionEvent.MISMATCHED_QUESTION,
                     server=f"{server}:53",
@@ -288,7 +304,7 @@ class IterativeEngine:
         if query.edns is not None and response.edns is None:
             # Pre-EDNS server silently dropped the OPT record instead of
             # answering FORMERR (wild-scan Invalid Data category).
-            events.append(
+            self._note(events, 
                 EventRecord(
                     ResolutionEvent.SERVER_NO_EDNS,
                     server=f"{server}:53",
@@ -317,7 +333,7 @@ class IterativeEngine:
         server lame so adaptive selection deprioritizes it."""
         if response.rcode not in self._BAD_RCODE_EVENTS:
             return False
-        events.append(
+        self._note(events, 
             EventRecord(
                 self._BAD_RCODE_EVENTS[Rcode(response.rcode)],
                 server=f"{server}:53",
@@ -352,7 +368,8 @@ class IterativeEngine:
         """
         if not self.breakers.allow(server):
             self.stats.breaker_skips += 1
-            events.append(
+            self._m_breaker_skips.inc()
+            self._note(events, 
                 EventRecord(
                     ResolutionEvent.BREAKER_OPEN,
                     server=f"{server}:53",
@@ -386,12 +403,19 @@ class IterativeEngine:
             wire = query.to_wire()
             self.stats.queries += 1
             started = self.fabric.clock.now()
+            if self.obs.enabled:
+                self._m_upstream.labels(transport="udp").inc()
+                self.obs.trace_event(
+                    TraceEventKind.UPSTREAM_QUERY,
+                    server=f"{server}:53", qname=str(qname),
+                    rdtype=str(rdtype), transport="udp",
+                )
             try:
                 raw = self.fabric.send(
                     server, wire, source=self.config.source_ip, timeout=timeout
                 )
             except Unreachable:
-                events.append(
+                self._note(events, 
                     EventRecord(
                         ResolutionEvent.SERVER_UNREACHABLE,
                         server=f"{server}:53",
@@ -402,7 +426,7 @@ class IterativeEngine:
                 self.server_stats.note_lame(server)
                 return None  # no point retrying an unroutable address
             except Timeout:
-                events.append(
+                self._note(events, 
                     EventRecord(
                         ResolutionEvent.SERVER_TIMEOUT,
                         server=f"{server}:53",
@@ -416,11 +440,18 @@ class IterativeEngine:
                 continue
             except TransportError:
                 return None
-            self.server_stats.note_rtt(server, self.fabric.clock.now() - started)
+            rtt = self.fabric.clock.now() - started
+            self.server_stats.note_rtt(server, rtt)
             response = self._parse_response(raw, server, qname, rdtype, events)
             if response is None:
                 self.server_stats.note_lame(server)
                 return None
+            if self.obs.enabled:
+                self._m_rtt.observe(rtt)
+                self.obs.trace_event(
+                    TraceEventKind.UPSTREAM_RESPONSE,
+                    server=f"{server}:53", rcode=int(response.rcode), rtt=rtt,
+                )
             vet = self._vet_response(query, response, server, qname, rdtype, events)
             if vet is _Vet.RETRY:
                 self._backoff(attempt, attempts, deadline)
@@ -434,6 +465,13 @@ class IterativeEngine:
                     self._note_budget_exhausted(budget, qname, rdtype, events)
                     return None
                 self.stats.tcp_fallbacks += 1
+                if self.obs.enabled:
+                    self._m_upstream.labels(transport="tcp").inc()
+                    self.obs.trace_event(
+                        TraceEventKind.UPSTREAM_QUERY,
+                        server=f"{server}:53", qname=str(qname),
+                        rdtype=str(rdtype), transport="tcp",
+                    )
                 try:
                     raw = self.fabric.send(
                         server, wire, source=self.config.source_ip,
@@ -445,7 +483,7 @@ class IterativeEngine:
                         transport="tcp",
                     )
                 except TransportError:
-                    events.append(
+                    self._note(events, 
                         EventRecord(
                             ResolutionEvent.SERVER_TIMEOUT,
                             server=f"{server}:53",
@@ -502,7 +540,8 @@ class IterativeEngine:
         zone_key = f"zone/{zone}"
         if not self.breakers.allow(zone_key):
             self.stats.breaker_skips += 1
-            events.append(
+            self._m_breaker_skips.inc()
+            self._note(events, 
                 EventRecord(
                     ResolutionEvent.BREAKER_OPEN,
                     qname=qname,
@@ -586,7 +625,7 @@ class IterativeEngine:
                 current_zone, probe, rdtype, events, budget, deadline
             )
             if response is None:
-                events.append(
+                self._note(events, 
                     EventRecord(
                         ResolutionEvent.ALL_SERVERS_FAILED,
                         qname=target,
@@ -617,7 +656,7 @@ class IterativeEngine:
             if cname_rrset is not None:
                 cname_hops += 1
                 if cname_hops > self.config.max_cname_chain:
-                    events.append(
+                    self._note(events, 
                         EventRecord(
                             ResolutionEvent.ITERATION_LIMIT_EXCEEDED,
                             qname=target,
@@ -626,7 +665,7 @@ class IterativeEngine:
                     )
                     result.rcode = Rcode.SERVFAIL
                     return result
-                events.append(
+                self._note(events, 
                     EventRecord(ResolutionEvent.CNAME_CHASED, qname=target)
                 )
                 chained_answers.extend(rrset.copy() for rrset in response.answer)
@@ -645,7 +684,7 @@ class IterativeEngine:
                         response, child_zone, events, depth, budget, deadline
                     )
                 if not servers:
-                    events.append(
+                    self._note(events, 
                         EventRecord(
                             ResolutionEvent.ALL_SERVERS_FAILED,
                             qname=target,
@@ -678,7 +717,7 @@ class IterativeEngine:
             result.aa = response.aa
             return result
 
-        events.append(
+        self._note(events, 
             EventRecord(
                 ResolutionEvent.ITERATION_LIMIT_EXCEEDED,
                 qname=qname,

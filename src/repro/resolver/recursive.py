@@ -31,6 +31,7 @@ from ..dnssec.trace import (
 from ..dnssec.validator import FetchResult, Validator
 from ..net.clock import Clock
 from ..net.fabric import NetworkFabric
+from ..obs import NULL_OBS, Observability, TraceEventKind
 from .cache import STALE_TTL, CacheConfig, ResolverCache
 from .ede_policy import EdePolicy
 from .iterative import EngineConfig, IterativeEngine
@@ -108,10 +109,24 @@ class RecursiveResolver:
         error_reporting: bool = False,
         resilience: ResilienceConfig | None = None,
         cache_config: CacheConfig | None = None,
+        obs: Observability | None = None,
     ):
         self.fabric = fabric
         self.profile = profile
         self.clock: Clock = fabric.clock
+        self.obs = obs or NULL_OBS
+        #: Metric/trace label: the short vendor key ("bind", "unbound", ...)
+        #: — the same key ``run_matrix`` files results under.
+        self._obs_profile = profile.policy.name
+        self._m_queries = self.obs.counter("repro_resolver_queries_total")
+        self._m_responses = self.obs.counter("repro_resolver_responses_total")
+        self._m_ede = self.obs.counter("repro_resolver_ede_total")
+        self._m_cache_hits = self.obs.counter("repro_resolver_cache_hits_total")
+        self._m_stale = self.obs.counter("repro_resolver_stale_served_total")
+        self._m_coalesced = self.obs.counter("repro_resolver_coalesced_total")
+        self._m_infra = self.obs.counter("repro_resolver_infra_fetch_total")
+        self._m_validation = self.obs.counter("repro_resolver_validation_total")
+        self._m_latency = self.obs.histogram("repro_resolver_resolve_virtual_seconds")
         engine_config = engine_config or EngineConfig()
         if source_ip:
             engine_config = dataclasses.replace(engine_config, source_ip=source_ip)
@@ -123,7 +138,7 @@ class RecursiveResolver:
             engine_config = dataclasses.replace(
                 engine_config, breaker=resilience.breaker
             )
-        self.engine = IterativeEngine(fabric, root_hints, engine_config)
+        self.engine = IterativeEngine(fabric, root_hints, engine_config, obs=self.obs)
         #: Cache policy resolution: an explicit ``cache_config`` wins;
         #: otherwise the profile's transcription of the vendor's cache
         #: behaviour applies (serving front ends pass
@@ -194,6 +209,52 @@ class RecursiveResolver:
         return self.handle_query(query)
 
     def handle_query(self, query: Message, source: str = "") -> Message:
+        if not self.obs.enabled:
+            return self._handle_query(query, source)
+        question = query.question[0]
+        self._m_queries.labels(profile=self._obs_profile).inc()
+        started = self.clock.now()
+        trace = self.obs.begin_trace(
+            str(question.name), str(question.rdtype), self._obs_profile
+        )
+        try:
+            response = self._handle_query(query, source)
+            self._observe_response(trace, response, started)
+            return response
+        finally:
+            self.obs.end_trace(trace)
+
+    def _observe_response(self, trace, response: Message, started: float) -> None:
+        """Metrics + trace tail for one finished client response."""
+        label = self._obs_profile
+        self._m_responses.labels(
+            profile=label, rcode=Rcode(response.rcode).name
+        ).inc()
+        for option in response.extended_errors:
+            self._m_ede.labels(profile=label, code=str(int(option.info_code))).inc()
+        self._m_latency.labels(profile=label).observe(self.clock.now() - started)
+        if trace is None:
+            return
+        for option in response.extended_errors:
+            self.obs.trace_event(
+                TraceEventKind.EDE,
+                code=int(option.info_code),
+                extra_text=option.extra_text,
+            )
+        end_attrs: dict = {
+            "rcode": int(response.rcode),
+            "answers": len(response.answer),
+        }
+        if any(
+            str(event.attrs.get("event", "")).startswith("STALE_")
+            for event in trace.events_of(TraceEventKind.EVENT)
+        ):
+            end_attrs["stale"] = True
+        if trace.events_of(TraceEventKind.CACHE_HIT):
+            end_attrs["from_cache"] = True
+        self.obs.trace_event(TraceEventKind.END, **end_attrs)
+
+    def _handle_query(self, query: Message, source: str = "") -> Message:
         self.stats.queries += 1
         question = query.question[0]
         qname, rdtype = question.name, question.rdtype
@@ -287,6 +348,11 @@ class RecursiveResolver:
         flight = self._client_flights.get(key)
         if flight is not None and self.clock.wait_virtual(lambda: flight.done):
             self.stats.coalesced += 1
+            if self.obs.enabled:
+                self._m_coalesced.labels(
+                    profile=self._obs_profile, level="client"
+                ).inc()
+                self.obs.trace_event(TraceEventKind.COALESCED, level="client")
             outcome = self._outcome_from_cache(qname, rdtype)
             if outcome is not None:
                 return outcome
@@ -313,15 +379,15 @@ class RecursiveResolver:
             outcome = ResolutionOutcome()
             outcome.rcode = error.rcode
             outcome.from_cache = True
-            outcome.events.append(
-                EventRecord(
-                    ResolutionEvent.CACHED_ERROR_SERVED,
-                    qname=qname,
-                    rdtype=str(rdtype),
-                    detail=error.detail,
-                )
+            record = EventRecord(
+                ResolutionEvent.CACHED_ERROR_SERVED,
+                qname=qname,
+                rdtype=str(rdtype),
+                detail=error.detail,
             )
+            outcome.events.append(record)
             outcome.validation = ValidationTrace.insecure()
+            self._note_cache_hit("error", record)
             return outcome
 
         cached = self.cache.get_rrset(qname, rdtype)
@@ -331,6 +397,7 @@ class RecursiveResolver:
             outcome.answer_rrsets = [cached]
             outcome.from_cache = True
             outcome.validation = ValidationTrace.insecure()
+            self._note_cache_hit("positive")
             return outcome
         negative = self.cache.get_negative(qname, rdtype)
         if negative is not None:
@@ -339,8 +406,17 @@ class RecursiveResolver:
             outcome.authority_rrsets = [r.copy() for r in negative.authority]
             outcome.from_cache = True
             outcome.validation = ValidationTrace.insecure()
+            self._note_cache_hit("negative")
             return outcome
         return None
+
+    def _note_cache_hit(self, kind: str, record: EventRecord | None = None) -> None:
+        if not self.obs.enabled:
+            return
+        self._m_cache_hits.labels(profile=self._obs_profile, kind=kind).inc()
+        self.obs.trace_event(TraceEventKind.CACHE_HIT, hit=kind)
+        if record is not None:
+            self.obs.trace_event_record(record)
 
     def _resolve_uncached(
         self,
@@ -405,6 +481,19 @@ class RecursiveResolver:
                     now,
                 )
                 outcome.validation = trace
+                if self.obs.enabled:
+                    state = trace.state.name.lower()
+                    self._m_validation.labels(
+                        profile=self._obs_profile, state=state
+                    ).inc()
+                    attrs: dict = {"state": state}
+                    if trace.reason is not None:
+                        attrs["reason"] = trace.reason.name
+                    if trace.role is not None:
+                        attrs["role"] = trace.role.name
+                    if trace.zone is not None:
+                        attrs["zone"] = str(trace.zone)
+                    self.obs.trace_event(TraceEventKind.VALIDATION, **attrs)
                 if trace.is_bogus:
                     self.stats.validated_bogus += 1
                     outcome.rcode = Rcode.SERVFAIL
@@ -438,13 +527,18 @@ class RecursiveResolver:
             outcome.rcode = Rcode.NOERROR
             outcome.answer_rrsets = [stale]
             outcome.stale = True
-            outcome.events.append(
-                EventRecord(
-                    ResolutionEvent.STALE_ANSWER_SERVED, qname=qname, rdtype=str(rdtype)
-                )
+            record = EventRecord(
+                ResolutionEvent.STALE_ANSWER_SERVED, qname=qname, rdtype=str(rdtype)
             )
+            outcome.events.append(record)
+            if self.obs.enabled:
+                self.obs.trace_event_record(record)
             if not self._refreshing:  # stats count client-visible stales only
                 self.stats.stale_served += 1
+                if self.obs.enabled:
+                    self._m_stale.labels(
+                        profile=self._obs_profile, kind="positive"
+                    ).inc()
             self._enqueue_refresh(qname, rdtype)
             return
         negative = self.cache.get_stale_negative(qname, rdtype)
@@ -461,14 +555,19 @@ class RecursiveResolver:
                 if negative.rcode == Rcode.NXDOMAIN
                 else ResolutionEvent.STALE_ANSWER_SERVED
             )
-            outcome.events.append(
-                EventRecord(event, qname=qname, rdtype=str(rdtype))
-            )
+            record = EventRecord(event, qname=qname, rdtype=str(rdtype))
+            outcome.events.append(record)
+            if self.obs.enabled:
+                self.obs.trace_event_record(record)
             if not self._refreshing:
                 if negative.rcode == Rcode.NXDOMAIN:
                     self.stats.stale_nxdomain_served += 1
+                    kind = "nxdomain"
                 else:
                     self.stats.stale_served += 1
+                    kind = "positive"
+                if self.obs.enabled:
+                    self._m_stale.labels(profile=self._obs_profile, kind=kind).inc()
             self._enqueue_refresh(qname, rdtype)
 
     # -- stale-while-revalidate ---------------------------------------------------
@@ -569,6 +668,7 @@ class RecursiveResolver:
         entry = self._infra_cache.get(key)
         if entry is not None and entry.expires_at > self.clock.now():
             self.stats.infra_hits += 1
+            self._note_infra_fetch(zone, qname, rdtype, "hit")
             return entry.result
         # Single-flight on infrastructure records: two lanes validating
         # through the same zone cut want the same DNSKEY/DS set — the
@@ -576,11 +676,17 @@ class RecursiveResolver:
         flight = self._infra_flights.get(key)
         if flight is not None and self.clock.wait_virtual(lambda: flight.done):
             self.stats.coalesced_infra += 1
+            if self.obs.enabled:
+                self._m_coalesced.labels(
+                    profile=self._obs_profile, level="infra"
+                ).inc()
+                self.obs.trace_event(TraceEventKind.COALESCED, level="infra")
             entry = self._infra_cache.get(key)
             if entry is not None and entry.expires_at > self.clock.now():
                 return entry.result
             # Owner unwound without caching; fall through and fetch.
         self.stats.infra_misses += 1
+        self._note_infra_fetch(zone, qname, rdtype, "miss")
         flight = _Flight()
         self._infra_flights[key] = flight
         try:
@@ -613,6 +719,20 @@ class RecursiveResolver:
         finally:
             flight.done = True
             self._infra_flights.pop(key, None)
+
+    def _note_infra_fetch(
+        self, zone: Name, qname: Name, rdtype: RdataType, outcome: str
+    ) -> None:
+        if not self.obs.enabled:
+            return
+        self._m_infra.labels(profile=self._obs_profile, outcome=outcome).inc()
+        self.obs.trace_event(
+            TraceEventKind.INFRA_FETCH,
+            zone=str(zone),
+            qname=str(qname),
+            rdtype=str(rdtype),
+            outcome=outcome,
+        )
 
     def flush_caches(self) -> None:
         self.cache.flush()

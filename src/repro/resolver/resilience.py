@@ -447,6 +447,17 @@ class ResilientFrontend:
         self._inflight = 0
         self._shed_count = 0
         self.stats = FrontendStats()
+        # Fake resolvers in tests may not carry an obs handle; degrade
+        # to the null observability rather than demanding one.
+        from ..obs import NULL_OBS
+
+        self.obs = getattr(resolver, "obs", NULL_OBS)
+        self._m_datagrams = self.obs.counter("repro_frontend_datagrams_total")
+        self._m_shed = self.obs.counter("repro_frontend_shed_total")
+        self._m_served_cached = self.obs.counter(
+            "repro_frontend_served_cached_total"
+        )
+        self._m_inflight = self.obs.gauge("repro_frontend_inflight")
 
     # -- shed policy ---------------------------------------------------------
 
@@ -483,6 +494,7 @@ class ResilientFrontend:
 
     def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
         self.stats.datagrams += 1
+        self._m_datagrams.inc()
         try:
             query = Message.from_wire(wire)
         except Exception:
@@ -507,9 +519,11 @@ class ResilientFrontend:
         shedding = False
         if self._inflight >= self.config.max_inflight:
             self.stats.inflight_sheds += 1
+            self._m_shed.labels(reason="inflight").inc()
             shedding = True
         elif not self._bucket(source).take():
             self.stats.bucket_sheds += 1
+            self._m_shed.labels(reason="rate").inc()
             shedding = True
         if shedding:
             # Cache hits and stale answers are always served — shedding
@@ -517,13 +531,16 @@ class ResilientFrontend:
             cached = self.resolver.answer_from_cache(query)
             if cached is not None:
                 self.stats.served_cached += 1
+                self._m_served_cached.inc()
                 return cached
             return self._shed_response(query)
         self._inflight += 1
         self.stats.inflight_peak = max(self.stats.inflight_peak, self._inflight)
+        self._m_inflight.set(self._inflight)
         try:
             response = self.resolver.handle_query(query, source)
         finally:
             self._inflight -= 1
+            self._m_inflight.set(self._inflight)
         self.stats.answered += 1
         return response

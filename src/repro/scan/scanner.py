@@ -27,6 +27,7 @@ from typing import Callable, Iterable
 from ..dns.name import Name
 from ..dns.rcode import Rcode
 from ..dns.types import RdataType
+from ..obs import NULL_OBS, Observability
 from ..resolver.profiles import CLOUDFLARE, ResolverProfile
 from ..resolver.recursive import RecursiveResolver
 from .population import Profile, TWO_PHASE_PROFILES, WildDomain
@@ -89,6 +90,9 @@ class ScanResult:
     #: Client resolutions and infra fetches served by piggybacking on
     #: another lane's identical in-flight upstream query.
     coalesced: int = 0
+    #: Metrics snapshot (``MetricsRegistry.snapshot()``) when the scan
+    #: ran with observability enabled; None under the null sink.
+    metrics: dict | None = None
 
     @property
     def active_virtual(self) -> float:
@@ -118,15 +122,22 @@ class WildScanner:
         wild: WildInternet,
         profile: ResolverProfile = CLOUDFLARE,
         seed: int = 7,
+        obs: Observability | None = None,
     ):
         self.wild = wild
+        self.obs = obs or NULL_OBS
         self.resolver = RecursiveResolver(
             fabric=wild.fabric,
             profile=profile,
             root_hints=wild.root_hints,
             trust_anchors=wild.trust_anchors,
+            obs=self.obs,
         )
         self._rng = random.Random(seed)
+        self._m_phase_domains = self.obs.counter("repro_scan_phase_domains_total")
+        self._m_phase_seconds = self.obs.gauge("repro_scan_phase_virtual_seconds")
+        self._m_records = self.obs.counter("repro_scan_records_total")
+        self._m_progress = self.obs.gauge("repro_scan_progress_domains")
 
     def scan(
         self,
@@ -192,6 +203,11 @@ class WildScanner:
             if writer is not None:
                 writer.write(record)
             done += 1
+            if self.obs.enabled:
+                self._m_records.labels(
+                    outcome="error" if record.is_error else "ok"
+                ).inc()
+                self._m_progress.set(done)
             if progress is not None and done % progress_every == 0:
                 progress(done, total)
 
@@ -200,36 +216,49 @@ class WildScanner:
 
             clock = self.wild.fabric.clock
 
-            def run_phase(items, fn):
+            def run_items(items, fn):
                 # Fresh pool per phase: phase boundaries are barriers (the
                 # stale TTL advance must happen after *every* prime), and
                 # the pool leaves the base clock at the phase makespan.
                 VirtualLanePool(clock, workers).run(items, fn)
         else:
 
-            def run_phase(items, fn):
+            def run_items(items, fn):
                 for item in items:
                     fn(item)
 
+        def run_phase(phase: str, items, fn):
+            started = self.wild.fabric.clock.now()
+            run_items(items, fn)
+            if self.obs.enabled:
+                self._m_phase_domains.labels(phase=phase).inc(len(items))
+                self._m_phase_seconds.labels(phase=phase).set(
+                    self.wild.fabric.clock.now() - started
+                )
+
         try:
-            run_phase(single_phase, lambda d: emit(self._query_safe(d)))
+            run_phase(
+                "single", single_phase, lambda d: emit(self._query_safe(d))
+            )
 
             # Phase 1: prime caches for stale/cached-error domains.
             stale = [d for d in two_phase if d.profile is Profile.STALE]
             errors = [d for d in two_phase if d.profile is Profile.CACHED_ERROR]
-            run_phase(stale, self._prime_safe)
+            run_phase("stale_prime", stale, self._prime_safe)
             if stale:
                 # Let the cached answers expire (TTL 300) but stay in the
                 # serve-stale window; the flipping servers now answer REFUSED.
                 self.wild.fabric.clock.advance(600)
                 result.ttl_wait_virtual += 600
-            run_phase(stale, lambda d: emit(self._query_safe(d)))
+            run_phase(
+                "stale_query", stale, lambda d: emit(self._query_safe(d))
+            )
 
             def prime_and_query(domain: WildDomain) -> None:
                 self._prime_safe(domain)  # populates the SERVFAIL error cache
                 emit(self._query_safe(domain))
 
-            run_phase(errors, prime_and_query)
+            run_phase("cached_error", errors, prime_and_query)
             if progress is not None:
                 progress(done, total)
         finally:
@@ -241,6 +270,8 @@ class WildScanner:
         result.coalesced = (
             stats.coalesced + stats.coalesced_infra - start_coalesced
         )
+        if self.obs.enabled:
+            result.metrics = self.obs.registry.snapshot()
         return result
 
     def resume_from(

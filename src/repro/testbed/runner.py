@@ -10,6 +10,7 @@ from dataclasses import dataclass, field
 
 from ..dns.rcode import Rcode
 from ..dns.types import RdataType
+from ..obs import Observability
 from ..resolver.profiles import ALL_PROFILES, ResolverProfile
 from ..resolver.recursive import RecursiveResolver
 from .expected import EXPECTED_TABLE4, PROFILE_ORDER
@@ -89,7 +90,9 @@ class MatrixResult:
 
 
 def make_resolvers(
-    testbed: Testbed, profiles: tuple[ResolverProfile, ...] = ALL_PROFILES
+    testbed: Testbed,
+    profiles: tuple[ResolverProfile, ...] = ALL_PROFILES,
+    obs: "Observability | None" = None,
 ) -> dict[str, RecursiveResolver]:
     """One resolver per vendor profile, attached to the testbed fabric."""
     return {
@@ -98,6 +101,7 @@ def make_resolvers(
             profile=profile,
             root_hints=testbed.root_hints,
             trust_anchors=testbed.trust_anchors,
+            obs=obs,
         )
         for profile in profiles
     }
@@ -106,10 +110,11 @@ def make_resolvers(
 def run_matrix(
     testbed: Testbed | None = None,
     profiles: tuple[ResolverProfile, ...] = ALL_PROFILES,
+    obs: "Observability | None" = None,
 ) -> MatrixResult:
     """Query all 63 cases through all profiles; the paper's core experiment."""
     testbed = testbed or build_testbed()
-    resolvers = make_resolvers(testbed, profiles)
+    resolvers = make_resolvers(testbed, profiles, obs=obs)
     result = MatrixResult(profile_names=tuple(p.policy.name for p in profiles))
     for deployed in testbed.cases.values():
         for name, resolver in resolvers.items():

@@ -11,11 +11,17 @@ Examples::
     python -m repro.tools.dig valid.extended-dns-errors.com --profile unbound
     python -m repro.tools.dig nx.bad-nsec3-hash.extended-dns-errors.com --all-profiles
     python -m repro.tools.dig valid.extended-dns-errors.com +stats
+    python -m repro.tools.dig rrsig-exp-all.extended-dns-errors.com +trace
 
 ``+stats`` (dig idiom; ``--stats`` also works) appends the resolver's
 resilience metadata: stale/deadline counters, cache stale hits, and any
 circuit breakers that are not CLOSED — so a degraded answer is visibly
 degraded instead of silently NOERROR.
+
+``+trace`` (``--trace``) prints the resolution's full query trace —
+every upstream query, cache hit, validation verdict, and EDE
+attachment on the virtual clock — followed by a "WHY" section that
+attributes each INFO-CODE to the event that earned it.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ import time
 from ..dns.name import Name
 from ..dns.rcode import Rcode
 from ..dns.types import RdataType
+from ..obs import CollectingSink, Observability
+from ..obs.render import explain_ede, render_trace
 from ..resolver.profiles import ALL_PROFILES, get_profile
 from ..resolver.recursive import RecursiveResolver
 from ..testbed.infra import build_testbed
@@ -85,9 +93,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stats", action="store_true",
                         help="print stale/breaker/deadline metadata"
                              " (dig-style `+stats` also accepted)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the query trace and EDE attribution"
+                             " (dig-style `+trace` also accepted)")
     if argv is None:
         argv = sys.argv[1:]
-    argv = ["--stats" if token == "+stats" else token for token in argv]
+    rewrites = {"+stats": "--stats", "+trace": "--trace"}
+    argv = [rewrites.get(token, token) for token in argv]
     args = parser.parse_args(argv)
 
     qname = Name.from_text(args.qname if args.qname.endswith(".") else args.qname + ".")
@@ -102,9 +114,14 @@ def main(argv: list[str] | None = None) -> int:
 
     profiles = ALL_PROFILES if args.all_profiles else (get_profile(args.profile),)
     for profile in profiles:
+        sink = CollectingSink()
+        obs = None
+        if args.trace:
+            obs = Observability(clock=testbed.fabric.clock, sink=sink)
         resolver = RecursiveResolver(
             fabric=testbed.fabric, profile=profile,
             root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+            obs=obs,
         )
         started = time.time()  # repro: allow[wall-clock] -- CLI latency display
         response = resolver.resolve(
@@ -112,6 +129,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         elapsed = time.time() - started  # repro: allow[wall-clock]
         _print_response(profile.name, response, elapsed)
+        if args.trace and sink.last() is not None:
+            print(render_trace(sink.last()))
+            print(explain_ede(sink.last()))
+            print()
         if args.stats:
             _print_stats(resolver)
     return 0

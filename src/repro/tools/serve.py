@@ -16,6 +16,13 @@ The served resolvers run with the full resilience layer on: circuit
 breakers, client deadline budgets, stale-while-revalidate, and an
 overload-shedding frontend (per-client token bucket + global in-flight
 cap).  ``--no-resilience`` reverts to the bare seed behaviour.
+
+``--metrics PORT`` additionally serves the shared metrics registry in
+the Prometheus text exposition format on ``http://HOST:PORT/metrics``
+(all profiles report into one registry, labeled by profile).
+``--metrics-dump PATH`` writes the same exposition to a file on
+shutdown (and ``--duration`` bounds the run, for smoke tests);
+``--trace-log PATH`` streams every finished query trace as NDJSON.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import asyncio
 import sys
 
 from ..net.udp import UdpServer
+from ..obs import NdjsonSink, Observability
 from ..resolver.cache import default_cache_config
 from ..resolver.profiles import ALL_PROFILES
 from ..resolver.recursive import RecursiveResolver
@@ -36,9 +44,26 @@ from ..resolver.resilience import (
 from ..testbed.infra import build_testbed
 
 
+async def _serve_metrics(reader, writer, obs: Observability) -> None:
+    """Minimal HTTP/1.0 responder for GET /metrics (and anything else)."""
+    try:
+        await reader.readline()  # request line; we answer regardless
+        body = obs.registry.render_prometheus().encode()
+        writer.write(
+            b"HTTP/1.0 200 OK\r\n"
+            b"Content-Type: text/plain; version=0.0.4\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        await writer.drain()
+    finally:
+        writer.close()
+
+
 async def serve(args: argparse.Namespace) -> None:
     print("building the testbed...", flush=True)
     testbed = build_testbed()
+    sink = NdjsonSink(args.trace_log) if args.trace_log else None
+    obs = Observability(clock=testbed.fabric.clock, sink=sink)
     servers: list[UdpServer] = []
     for index, profile in enumerate(ALL_PROFILES):
         resilience = None
@@ -50,6 +75,7 @@ async def serve(args: argparse.Namespace) -> None:
             fabric=testbed.fabric, profile=profile,
             root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
             resilience=resilience, cache_config=cache_config,
+            obs=obs,
         )
         endpoint = resolver
         if not args.no_resilience:
@@ -65,12 +91,30 @@ async def serve(args: argparse.Namespace) -> None:
         await server.start()
         servers.append(server)
         print(f"  {profile.name:26s} on {server.host}:{server.port}")
+    metrics_server = None
+    if args.metrics:
+        metrics_server = await asyncio.start_server(
+            lambda r, w: _serve_metrics(r, w, obs), args.host, args.metrics
+        )
+        print(f"  {'metrics':26s} on http://{args.host}:{args.metrics}/metrics")
     print("serving; ctrl-c to stop", flush=True)
     try:
-        await asyncio.Event().wait()
+        if args.duration > 0:
+            await asyncio.sleep(args.duration)
+        else:
+            await asyncio.Event().wait()
     finally:
         for server in servers:
             await server.stop()
+        if metrics_server is not None:
+            metrics_server.close()
+            await metrics_server.wait_closed()
+        if args.metrics_dump:
+            with open(args.metrics_dump, "w", encoding="utf-8") as handle:
+                handle.write(obs.registry.render_prometheus())
+            print(f"metrics written to {args.metrics_dump}", flush=True)
+        if sink is not None:
+            sink.close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -91,6 +135,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-client token-bucket burst (default 40)")
     parser.add_argument("--max-inflight", type=int, default=64,
                         help="global cap on concurrent cache-miss work (default 64)")
+    parser.add_argument("--metrics", type=int, default=0, metavar="PORT",
+                        help="serve Prometheus metrics on this TCP port")
+    parser.add_argument("--metrics-dump", default="", metavar="PATH",
+                        help="write the final metrics exposition to PATH")
+    parser.add_argument("--trace-log", default="", metavar="PATH",
+                        help="append every finished query trace to PATH (NDJSON)")
+    parser.add_argument("--duration", type=float, default=0.0,
+                        help="stop after this many wall seconds (0 = run forever)")
     args = parser.parse_args(argv)
     try:
         asyncio.run(serve(args))
