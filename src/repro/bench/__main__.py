@@ -1,8 +1,17 @@
-"""CLI for the scan benchmark: ``python -m repro.bench --scale 200 --json``.
+"""CLI for the benchmarks: ``python -m repro.bench --scale 200 --json``.
 
-Writes ``BENCH_scan.json`` (or ``--out``) and exits non-zero when any
-concurrent run's per-domain categorization diverges from the sequential
-baseline — CI runs this on every PR as the bench-smoke gate.
+Two modes:
+
+* default — the scan benchmark.  Writes ``BENCH_scan.json`` (or
+  ``--out``) and exits non-zero when any concurrent run's per-domain
+  categorization diverges from the sequential baseline;
+* ``--serve`` — the serving benchmark.  Replays the five load scenarios
+  (steady, flash crowd, stampede, outage+recovery, overload) through a
+  resilient frontend once per retry-jitter seed, writes
+  ``BENCH_serve.json``, and exits non-zero when phase reports are not
+  byte-identical across seeds or the degradation contract fails.
+
+CI runs both on every PR (bench-smoke / serve-bench-smoke gates).
 """
 
 from __future__ import annotations
@@ -13,10 +22,82 @@ import sys
 from . import DEFAULT_SEED, bench_report, write_report
 
 
+def _serve_main(args: argparse.Namespace) -> int:
+    from ..load import (
+        DEFAULT_JITTER_SEEDS,
+        render_phase_table,
+        serve_bench_report,
+        write_serve_report,
+    )
+
+    seeds = tuple(
+        int(seed) for seed in (args.serve_seeds or "").split(",") if seed
+    ) or DEFAULT_JITTER_SEEDS
+    report = serve_bench_report(
+        scale=args.serve_scale,
+        workers=args.serve_workers,
+        jitter_seeds=seeds,
+        target_domains=args.scale[0] if args.scale else 2000,
+    )
+    out = args.out if args.out != "BENCH_scan.json" else "BENCH_serve.json"
+    write_serve_report(report, out)
+
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_phase_table(report["scenarios"]))
+        print(
+            f"{report['queries_per_seed']} queries/seed over seeds "
+            f"{report['config']['jitter_seeds']}, wall {report['wall_s']}s"
+        )
+        for row in report["contract"]:
+            print(f"  [{'ok' if row['ok'] else 'FAIL'}] {row['check']}: {row['detail']}")
+        print(f"report written to {out}")
+
+    failed = False
+    if not report["deterministic"]:
+        print(
+            "FAIL: phase reports differ across retry-jitter seeds "
+            f"{report['mismatched_seeds']}",
+            file=sys.stderr,
+        )
+        failed = True
+    if not report["contract_ok"]:
+        print("FAIL: degradation contract violated", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Sequential-vs-concurrent scan benchmark over seeded populations.",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the serving (load-scenario) benchmark instead of the scan benchmark",
+    )
+    parser.add_argument(
+        "--serve-scale",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help="client-population multiplier for --serve (default: 1.0)",
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=8,
+        metavar="N",
+        help="lane count for --serve (default: 8)",
+    )
+    parser.add_argument(
+        "--serve-seeds",
+        metavar="S[,S...]",
+        help="comma-separated retry-jitter seeds for --serve (default: 1,20230524)",
     )
     parser.add_argument(
         "--scale",
@@ -42,6 +123,9 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="print the report to stdout as JSON"
     )
     args = parser.parse_args(argv)
+
+    if args.serve:
+        return _serve_main(args)
 
     scales = args.scale or [1000]
     workers_specs = [

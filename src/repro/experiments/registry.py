@@ -21,6 +21,7 @@ from .harness import (
 )
 from .outage_drill import experiment_outage_drill
 from .report import ExperimentReport
+from .serve_load import experiment_serve_load
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Graceful-degradation outage drill (resilience layer)",
             "",
             experiment_outage_drill,
+        ),
+        ExperimentSpec(
+            "serve_load",
+            "Sustained-load serving drill (resilience layer)",
+            "",
+            experiment_serve_load,
         ),
     )
 }

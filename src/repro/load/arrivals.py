@@ -1,0 +1,75 @@
+"""Bursty arrival processes for the load generator.
+
+Each client is an *interrupted Poisson process* (the standard on/off
+traffic model): exponentially distributed ON periods during which
+queries arrive at ``rate`` qps, separated by exponentially distributed
+OFF (think: a page load's burst of lookups, then silence).  Summed over
+the population this produces the bursty, heavy-tailed offered load real
+resolvers see — while staying a pure function of the seeded RNG, so a
+schedule replays byte-for-byte.
+
+``mean_off = 0`` degenerates to a plain Poisson stream at ``rate``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class OnOffProcess:
+    """Per-client arrival process parameters."""
+
+    #: Arrival rate while ON, queries per virtual second.
+    rate: float
+    #: Mean ON-period duration, seconds.
+    mean_on: float = 5.0
+    #: Mean OFF-period duration, seconds (0 = always on).
+    mean_off: float = 0.0
+
+    def scaled(self, factor: float) -> "OnOffProcess":
+        """The same burst shape at ``factor`` times the offered load."""
+        return replace(self, rate=self.rate * factor)
+
+    @property
+    def duty_cycle(self) -> float:
+        if self.mean_off <= 0.0:
+            return 1.0
+        return self.mean_on / (self.mean_on + self.mean_off)
+
+
+def client_arrivals(
+    process: OnOffProcess,
+    start: float,
+    duration: float,
+    rng: random.Random,
+) -> list[float]:
+    """Arrival times for one client in ``[start, start + duration)``.
+
+    The client starts in ON or OFF with probability proportional to the
+    duty cycle (a stationary start, so phase boundaries do not carry a
+    synchronized everyone-ON artifact unless a scenario wants one).
+    """
+    if process.rate <= 0.0 or duration <= 0.0:
+        return []
+    end = start + duration
+    times: list[float] = []
+    t = start
+    if process.mean_off > 0.0 and rng.random() >= process.duty_cycle:
+        t += rng.expovariate(1.0 / process.mean_off)
+    while t < end:
+        if process.mean_off > 0.0:
+            on_end = min(end, t + rng.expovariate(1.0 / process.mean_on))
+        else:
+            on_end = end
+        while True:
+            t += rng.expovariate(process.rate)
+            if t >= on_end:
+                break
+            times.append(t)
+        if process.mean_off > 0.0:
+            t = on_end + rng.expovariate(1.0 / process.mean_off)
+        else:
+            t = on_end
+    return times

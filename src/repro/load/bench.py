@@ -1,0 +1,147 @@
+"""The serving benchmark: run the suite twice, demand identical reports.
+
+``serve_bench_report`` runs the full scenario suite once per jitter
+seed.  The schedule seed — and therefore the client population, arrival
+times, query mix and message IDs — is identical across runs; only the
+resolver's retry-jitter RNG and the chaos policy RNG change.  The suite
+is accepted only if every phase report is byte-identical across seeds
+(compared as canonical JSON), which proves client-visible behaviour is
+a pure function of the workload, not of upstream randomness.
+
+On top of the determinism gate the report carries a ``contract`` block
+re-checking the resilience guarantees the paper's degradation story
+rests on (see :mod:`repro.load.scenarios` for the scenario-by-scenario
+statement of each).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import nullcontext
+
+from ..analysis.sanitizer import determinism_sanitizer
+
+from .engine import LoadConfig, LoadEngine
+from .scenarios import SCENARIO_ORDER
+
+SERVE_SCHEMA = "repro-bench-serve/v1"
+
+#: The two retry-jitter seeds the determinism gate compares.
+DEFAULT_JITTER_SEEDS: tuple[int, ...] = (1, 20230524)
+
+
+def _canonical(scenarios: list[dict]) -> str:
+    return json.dumps(scenarios, sort_keys=True)
+
+
+def _check_contract(scenarios: list[dict]) -> list[dict]:
+    """Assert the resilience guarantees; one row per check."""
+    rows = {
+        (scenario["scenario"], phase["phase"]): phase
+        for scenario in scenarios
+        for phase in scenario["phases"]
+    }
+    checks: list[dict] = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        checks.append({"check": name, "ok": bool(ok), "detail": detail})
+
+    outage = rows.get(("outage", "outage"))
+    recovery = rows.get(("outage", "recovery"))
+    if outage is not None:
+        fraction = outage.get("cached_answered_fraction", 0.0)
+        check(
+            "outage-cached-answered",
+            fraction >= 0.9,
+            f"hot-name queries answered during outage: {fraction:.1%} (floor 90%)",
+        )
+        check(
+            "outage-breakers-opened",
+            outage["breaker_transitions"].get("open", 0) > 0,
+            "breakers opened during the outage "
+            f"({outage['breaker_transitions'].get('open', 0)} transitions)",
+        )
+    if recovery is not None:
+        check(
+            "recovery-breakers-closed",
+            bool(recovery.get("breakers_closed")),
+            "every breaker CLOSED by the end of the recovery phase",
+        )
+    overload = rows.get(("overload", "overload"))
+    if overload is not None:
+        check(
+            "overload-sheds",
+            overload["fractions"]["shed"] > 0.0
+            and overload["shed_reasons"].get("rrl", 0) > 0,
+            f"overload sheds load via RRL ({overload['shed_reasons']})",
+        )
+    violations = sum(phase["deadline_violations"] for phase in rows.values())
+    check(
+        "no-deadline-violations",
+        violations == 0,
+        f"answered queries past their client deadline: {violations}",
+    )
+    return checks
+
+
+def serve_bench_report(
+    scale: float = 1.0,
+    workers: int = 8,
+    jitter_seeds: tuple[int, ...] = DEFAULT_JITTER_SEEDS,
+    scenario_names: tuple[str, ...] = SCENARIO_ORDER,
+    target_domains: int = 2000,
+) -> dict:
+    """Run the suite once per jitter seed and assemble the report."""
+    wall_start = time.perf_counter()  # repro: allow[wall-clock]
+    guard = (
+        determinism_sanitizer()
+        if os.environ.get("REPRO_SANITIZER")
+        else nullcontext()
+    )
+    runs: list[dict] = []
+    with guard:
+        population = None
+        for seed in jitter_seeds:
+            config = LoadConfig(
+                target_domains=target_domains,
+                jitter_seed=seed,
+                workers=workers,
+                scale=scale,
+            )
+            engine = LoadEngine(config, population=population)
+            population = engine.population  # build once, share across seeds
+            runs.append(engine.run_suite(scenario_names))
+    wall = time.perf_counter() - wall_start  # repro: allow[wall-clock]
+
+    reference = runs[0]["scenarios"]
+    mismatched = [
+        seed
+        for seed, run in zip(jitter_seeds[1:], runs[1:])
+        if _canonical(run["scenarios"]) != _canonical(reference)
+    ]
+    contract = _check_contract(reference)
+    return {
+        "schema": SERVE_SCHEMA,
+        "config": {
+            "scale": scale,
+            "workers": workers,
+            "target_domains": target_domains,
+            "jitter_seeds": list(jitter_seeds),
+            "scenarios": list(scenario_names),
+        },
+        "queries_per_seed": runs[0]["queries_total"],
+        "deterministic": not mismatched,
+        "mismatched_seeds": mismatched,
+        "contract": contract,
+        "contract_ok": all(row["ok"] for row in contract),
+        "scenarios": reference,
+        "wall_s": round(wall, 3),
+    }
+
+
+def write_serve_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,365 @@
+"""The load replay engine: schedule, drive, measure.
+
+The engine pre-computes every query event of a scenario — arrival time,
+client, qname, encoded wire — from the *schedule* seed, then replays
+them through a :class:`~repro.resolver.resilience.ResilientFrontend`
+on the deterministic virtual-time lane pool.  A lane picks up the next
+event, advances its lane clock to the arrival time (or carries the
+queueing delay if it is already past it), and hands the datagram to the
+frontend exactly like the UDP server would; latency is read back off
+the virtual clock at the point a client would observe it.
+
+Two seeds, two roles:
+
+* ``schedule_seed`` — population ranking, client classes, arrival
+  processes, Zipf draws, client message IDs.  Fixed per suite.
+* ``jitter_seed`` — the engine's retry-jitter RNG
+  (:class:`~repro.resolver.iterative.EngineConfig` ``rng_seed``) and
+  the chaos policy's RNG.  The benchmark runs the suite under two
+  jitter seeds and requires byte-identical phase reports: the resolver
+  budget (1.5 s) sits below the per-upstream timeout (2 s), so a first
+  timeout always exhausts the budget and jittered backoff never gets to
+  sleep — upstream randomness must not leak into client-visible
+  behaviour, and the gate proves it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..bench import DEFAULT_SEED, population_config_for
+from ..dns.message import Message
+from ..dns.name import Name
+from ..dns.rcode import Rcode
+from ..dns.types import RdataType
+from ..net.chaos import ChaosPolicy, Outage
+from ..net.lanes import run_in_lanes
+from ..obs import Observability
+from ..resolver.cache import default_cache_config
+from ..resolver.iterative import EngineConfig
+from ..resolver.profiles import CLOUDFLARE
+from ..resolver.recursive import RecursiveResolver
+from ..resolver.resilience import (
+    BreakerConfig,
+    FrontendConfig,
+    ResilienceConfig,
+    ResilientFrontend,
+)
+from ..scan.population import Population, Profile, generate_population
+from ..scan.wild import WildInternet
+from .arrivals import client_arrivals
+from .population import Client, ZipfMix, build_clients
+from .report import build_phase_report, counter_delta, counter_values
+from .scenarios import SCENARIO_ORDER, SCENARIOS, PhaseSpec, ScenarioSpec
+
+#: Profiles that resolve to a cacheable NOERROR without validation —
+#: the hot set is drawn from these so the outage phase has stale data
+#: to degrade onto.
+_HOT_ELIGIBLE = (Profile.VALID_UNSIGNED, Profile.VALID_SIGNED)
+
+
+@dataclass
+class LoadConfig:
+    """Everything one benchmark suite run needs."""
+
+    #: Synthetic population size (maps to the 1:k sampling scale).
+    target_domains: int = 2000
+    population_seed: int = DEFAULT_SEED
+    #: Fixes the whole client workload; never varied by the bench.
+    schedule_seed: int = 20230515
+    #: Retry-jitter + chaos seed; the determinism gate varies this.
+    jitter_seed: int = 1
+    workers: int = 8
+    #: Offered-load multiplier, applied to the *client count* rather
+    #: than to per-client rates: a down-scaled run keeps each client's
+    #: arrival rate (and therefore its RRL/token-bucket behaviour)
+    #: intact while shrinking the population.
+    scale: float = 1.0
+    clients: int = 64
+    hot_size: int = 8
+    #: Resolver-side client deadline budget.  Must stay below the 2 s
+    #: upstream timeout (see module docstring) and below every client
+    #: class deadline.
+    client_deadline: float = 1.5
+    breaker: BreakerConfig = field(
+        default_factory=lambda: BreakerConfig(failure_threshold=3, cooldown=30.0)
+    )
+    client_rate: float = 20.0
+    client_burst: float = 40.0
+    max_inflight: int = 6
+
+
+@dataclass(frozen=True)
+class _Event:
+    at: float
+    seq: int
+    client: Client
+    qname: str
+    wire: bytes
+
+
+def _derived_seed(*parts: int) -> int:
+    value = 0
+    for part in parts:
+        value = (value * 1_000_003 + part + 1) % (2**63)
+    return value
+
+
+class LoadEngine:
+    """Runs scenarios over one synthetic population."""
+
+    def __init__(self, config: LoadConfig, population: Population | None = None):
+        self.config = config
+        self.population = population or generate_population(
+            population_config_for(config.target_domains, config.population_seed)
+        )
+        self.clients = build_clients(
+            max(4, round(config.clients * config.scale)), config.schedule_seed
+        )
+        self._ranked = [
+            domain.name + "." for domain in self.population.tranco_domains()
+        ]
+
+    # -- world construction --------------------------------------------------
+
+    def _build_world(self) -> tuple[WildInternet, ResilientFrontend]:
+        wild = WildInternet(self.population)
+        obs = Observability(clock=wild.fabric.clock)
+        resolver = RecursiveResolver(
+            fabric=wild.fabric,
+            profile=CLOUDFLARE,
+            root_hints=wild.root_hints,
+            trust_anchors=wild.trust_anchors,
+            validate=False,
+            engine_config=EngineConfig(rng_seed=self.config.jitter_seed),
+            resilience=ResilienceConfig(
+                breaker=self.config.breaker,
+                client_deadline=self.config.client_deadline,
+            ),
+            cache_config=default_cache_config(),
+            obs=obs,
+        )
+        frontend = ResilientFrontend(
+            resolver,
+            FrontendConfig(
+                client_rate=self.config.client_rate,
+                client_burst=self.config.client_burst,
+                max_inflight=self.config.max_inflight,
+                # The engine drives background refreshes itself, after
+                # measuring client-visible service time.
+                inline_refreshes=False,
+            ),
+        )
+        return wild, frontend
+
+    def _hot_domains(self, wild: WildInternet) -> list:
+        hot = []
+        for domain in self.population.tranco_domains():
+            if domain.profile not in _HOT_ELIGIBLE:
+                continue
+            if not wild.server_address_for(domain).startswith("45."):
+                continue
+            hot.append(domain)
+            if len(hot) >= self.config.hot_size:
+                break
+        if not hot:
+            raise ValueError("population too small to pick a hot set")
+        return hot
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _build_events(
+        self,
+        phase: PhaseSpec,
+        scenario_index: int,
+        phase_index: int,
+        start: float,
+        mix: ZipfMix,
+        sweep: tuple[str, ...] = (),
+    ) -> list[_Event]:
+        base = self.config.schedule_seed
+        process = phase.arrivals
+        raw: list[tuple[float, str, str]] = []
+        for name_index, name in enumerate(sweep):
+            client = self.clients[name_index % len(self.clients)]
+            raw.append((start, client.address, name))
+        for client_index, client in enumerate(self.clients):
+            rng = random.Random(
+                _derived_seed(base, scenario_index, phase_index, client_index)
+            )
+            for at in client_arrivals(process, start, phase.duration, rng):
+                raw.append((at, client.address, mix.sample(rng)))
+        raw.sort()
+        by_address = {client.address: client for client in self.clients}
+        wire_rng = random.Random(
+            _derived_seed(base, scenario_index, phase_index, 0x5EED)
+        )
+        events = []
+        for seq, (at, address, qname) in enumerate(raw):
+            wire = Message.make_query(
+                Name.from_text(qname),
+                RdataType.A,
+                recursion_desired=True,
+                rng=wire_rng,
+            ).to_wire()
+            events.append(
+                _Event(
+                    at=at, seq=seq, client=by_address[address],
+                    qname=qname, wire=wire,
+                )
+            )
+        return events
+
+    # -- execution -----------------------------------------------------------
+
+    @staticmethod
+    def _classify(response: Message) -> str:
+        if response.rcode == Rcode.REFUSED:
+            return "refused"
+        if response.rcode == Rcode.FORMERR:
+            return "formerr"
+        if response.rcode == Rcode.SERVFAIL:
+            return "servfail"
+        if response.tc and not response.answer:
+            return "truncated"
+        codes = response.ede_codes
+        if 3 in codes or 19 in codes:
+            return "stale"
+        return "fresh"
+
+    def _run_phase(
+        self,
+        frontend: ResilientFrontend,
+        clock,
+        events: list[_Event],
+        hot_names: frozenset[str],
+    ) -> dict:
+        latencies: list[float] = []
+        queue_waits: list[float] = []
+        classified: dict[str, int] = {}
+        tallies = {"violations": 0, "hot_total": 0, "hot_answered": 0}
+
+        def handle(event: _Event) -> None:
+            now = clock.now()
+            if event.at > now:
+                clock.advance(event.at - now)
+            started = clock.now()
+            wire = frontend.handle_datagram(event.wire, event.client.address)
+            finished = clock.now()
+            service = finished - started
+            category = self._classify(Message.from_wire(wire))
+            classified[category] = classified.get(category, 0) + 1
+            latencies.append(finished - event.at + event.client.klass.rtt)
+            queue_waits.append(started - event.at)
+            if category in ("fresh", "stale"):
+                if service > event.client.klass.deadline + 1e-9:
+                    tallies["violations"] += 1
+            if event.qname in hot_names:
+                tallies["hot_total"] += 1
+                if category in ("fresh", "stale"):
+                    tallies["hot_answered"] += 1
+            # Stale-while-revalidate work happens after the response is
+            # on the wire: the lane (this simulated server thread) still
+            # pays the virtual time, but no client waits on it.
+            frontend.resolver.run_refreshes()
+        run_in_lanes(clock, self.config.workers, events, handle)
+        return {
+            "latencies": latencies,
+            "queue_waits": queue_waits,
+            "classified": classified,
+            **tallies,
+        }
+
+    def run_scenario(self, name: str) -> dict:
+        spec: ScenarioSpec = SCENARIOS[name]
+        scenario_index = SCENARIO_ORDER.index(name)
+        wild, frontend = self._build_world()
+        clock = wild.fabric.clock
+        registry = frontend.obs.registry
+        resolver = frontend.resolver
+
+        hot_domains = self._hot_domains(wild)
+        hot_positive = tuple(domain.name + "." for domain in hot_domains)
+        hot_missing = tuple(
+            "missing." + domain.name + "." for domain in hot_domains
+        )
+        hot_names = hot_positive + hot_missing
+        dead_addresses = frozenset(
+            wild.server_address_for(domain) for domain in hot_domains
+        )
+
+        rows = []
+        for phase_index, phase in enumerate(spec.phases):
+            if phase.advance_before:
+                clock.advance(phase.advance_before)
+            if phase.outage_seconds:
+                wild.fabric.install_chaos(
+                    ChaosPolicy(
+                        seed=self.config.jitter_seed,
+                        outages=[
+                            Outage(
+                                0.0,
+                                phase.outage_seconds,
+                                target=dead_addresses.__contains__,
+                            )
+                        ],
+                    )
+                )
+            mix = ZipfMix(
+                self._ranked,
+                s=phase.zipf_s,
+                # The stale-NXDOMAIN side of the hot set rides along at
+                # a fixed 1-in-5 of hot draws.
+                hot=hot_positive * 4 + hot_missing,
+                hot_weight=phase.hot_weight,
+            )
+            sweep = hot_names if phase.name == "warm" else ()
+            events = self._build_events(
+                phase, scenario_index, phase_index, clock.now(), mix, sweep
+            )
+            before = counter_values(registry)
+            measured = self._run_phase(
+                frontend, clock, events, frozenset(hot_names)
+            )
+            if not phase.report:
+                continue
+            extras: dict = {}
+            if phase.name == "outage":
+                extras["cached_answered_fraction"] = round(
+                    measured["hot_answered"] / measured["hot_total"], 6
+                ) if measured["hot_total"] else 0.0
+                extras["breakers_open_at_end"] = len(
+                    resolver.engine.breakers.open_keys()
+                )
+            if phase.name == "recovery":
+                extras["breakers_closed"] = not resolver.engine.breakers.open_keys()
+                extras["refresh_backlog"] = (
+                    len(resolver._refresh) if resolver._refresh is not None else 0
+                )
+            rows.append(
+                build_phase_report(
+                    scenario=name,
+                    phase=phase.name,
+                    latencies=measured["latencies"],
+                    queue_waits=measured["queue_waits"],
+                    classified=measured["classified"],
+                    deadline_violations=measured["violations"],
+                    delta=counter_delta(before, counter_values(registry)),
+                    extras=extras,
+                )
+            )
+        return {"scenario": name, "title": spec.title, "phases": rows}
+
+    def run_suite(
+        self, names: tuple[str, ...] = SCENARIO_ORDER
+    ) -> dict:
+        scenarios = [self.run_scenario(name) for name in names]
+        return {
+            "scenarios": scenarios,
+            "queries_total": sum(
+                row["queries"]
+                for scenario in scenarios
+                for row in scenario["phases"]
+            ),
+        }

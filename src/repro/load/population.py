@@ -1,0 +1,110 @@
+"""Client population and query mix for the load generator.
+
+Clients come in *classes* — a datacenter stub resolver, a broadband
+CPE, a mobile handset — differing in their network RTT to the resolver
+and in how long they wait before abandoning a query.  The resolver's
+own client deadline budget must sit *below* every class deadline, so a
+degraded answer (stale with EDE 3/19, or SERVFAIL with an accurate
+code) always beats the client's timer; the load engine verifies that
+per answered query.
+
+The query mix is the classic heavy-tailed picture of resolver traffic:
+a Zipf distribution over the synthetic population's Tranco-like
+ranking, optionally re-weighted onto a small *hot set* (the flash-crowd
+and stampede scenarios concentrate there).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClientClass:
+    """One kind of client: RTT to the resolver and patience."""
+
+    name: str
+    #: Round-trip client <-> resolver, added to the observed latency.
+    rtt: float
+    #: Seconds before this client abandons the query.  Must exceed the
+    #: resolver's own client deadline budget, or degraded answers would
+    #: arrive at nobody.
+    deadline: float
+    #: Relative share of the population.
+    weight: float
+
+
+#: Deadlines all sit above the load engine's 1.5 s resolver budget.
+DEFAULT_CLIENT_CLASSES: tuple[ClientClass, ...] = (
+    ClientClass("datacenter", rtt=0.002, deadline=2.0, weight=0.2),
+    ClientClass("broadband", rtt=0.020, deadline=3.0, weight=0.5),
+    ClientClass("mobile", rtt=0.080, deadline=5.0, weight=0.3),
+)
+
+
+@dataclass(frozen=True)
+class Client:
+    """One simulated stub client (the frontend's RRL key is ``address``)."""
+
+    address: str
+    klass: ClientClass
+
+
+def build_clients(
+    count: int,
+    seed: int,
+    classes: tuple[ClientClass, ...] = DEFAULT_CLIENT_CLASSES,
+) -> list[Client]:
+    """A deterministic population of ``count`` clients (198.18/15 space)."""
+    rng = random.Random(seed * 1_000_003 + 17)
+    cumulative = list(itertools.accumulate(k.weight for k in classes))
+    total = cumulative[-1]
+    clients = []
+    for index in range(count):
+        draw = rng.random() * total
+        klass = classes[bisect.bisect_left(cumulative, draw)]
+        address = f"198.18.{(index >> 8) & 0xFF}.{index & 0xFF}"
+        clients.append(Client(address=address, klass=klass))
+    return clients
+
+
+class ZipfMix:
+    """Zipf(s) sampler over a ranked name list, with a hot-set override.
+
+    With probability ``hot_weight`` a draw comes uniformly from ``hot``
+    (the flash-crowd concentration); otherwise from the base Zipf over
+    ``names`` in rank order.  Sampling is O(log n) via a precomputed
+    cumulative weight table.
+    """
+
+    def __init__(
+        self,
+        names: list[str],
+        s: float = 1.0,
+        hot: tuple[str, ...] = (),
+        hot_weight: float = 0.0,
+    ):
+        if not names and not hot:
+            raise ValueError("a query mix needs at least one name")
+        self.names = list(names)
+        self.s = s
+        self.hot = tuple(hot)
+        self.hot_weight = hot_weight if self.hot else 0.0
+        self._cumulative: list[float] = []
+        total = 0.0
+        for rank in range(1, len(self.names) + 1):
+            total += 1.0 / rank**s
+            self._cumulative.append(total)
+
+    def sample(self, rng: random.Random) -> str:
+        if self.hot and (
+            not self.names
+            or self.hot_weight >= 1.0
+            or rng.random() < self.hot_weight
+        ):
+            return self.hot[rng.randrange(len(self.hot))]
+        draw = rng.random() * self._cumulative[-1]
+        return self.names[bisect.bisect_left(self._cumulative, draw)]

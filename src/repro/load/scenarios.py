@@ -1,0 +1,175 @@
+"""The five load scenarios, as declarative phase schedules.
+
+Every scenario is self-contained: it runs on a fresh world and opens
+with an unreported ``warm`` phase that sweeps the hot set (one positive
+and one NXDOMAIN name per hot domain) into the resolver cache before
+the reported phases begin.  Reported phases:
+
+``steady``
+    Baseline Zipf traffic at a comfortable offered load; the cache
+    warms up, nearly everything is answered fresh.
+``flash``
+    Flash crowd: the arrival rate jumps ~8x and 90% of queries
+    concentrate on the hot set — single-flight coalescing and the
+    always-served cache path absorb the spike.
+``stampede``
+    Cache stampede: the clock leaps past every TTL, then a synchronized
+    burst re-queries the (now expired) popular names; concurrent lanes
+    pile onto the same names and must coalesce rather than multiply
+    upstream fetches.
+``outage`` / ``recovery``
+    The chaos fabric takes the hot set's hosting servers down for the
+    whole outage phase (entries are already TTL-expired, i.e.
+    stale-eligible).  The degradation contract is measured here: ≥90%
+    of hot-name queries answered (fresh or stale with EDE 3/19), no
+    answered query past its client's deadline, breakers open.  The
+    window then lapses; during ``recovery`` half-open probes re-close
+    every breaker.
+``overload``
+    Offered load far beyond the shed threshold: per-client rates a
+    multiple of the token-bucket refill, with a tail-heavy mix so
+    cache-miss work also presses the in-flight cap.  Sheds must be
+    REFUSED + Prohibited (18) while cache/stale hits keep flowing.
+
+Phase durations interlock with three constants elsewhere: the wild
+zones' 300 s record TTL (expiry jumps are 400 s), the 86 400 s
+serve-stale window (everything expired stays stale-eligible), and the
+30 s breaker cooldown (the recovery phase is long enough for probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .arrivals import OnOffProcess
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of one scenario."""
+
+    name: str
+    #: Virtual seconds of arrivals to schedule.
+    duration: float
+    arrivals: OnOffProcess
+    #: Zipf exponent for the base mix (lower = heavier tail).
+    zipf_s: float = 1.1
+    #: Fraction of queries forced onto the hot set.
+    hot_weight: float = 0.3
+    #: Virtual-clock jump applied *before* this phase (TTL expiry leaps).
+    advance_before: float = 0.0
+    #: Install a chaos outage covering this phase's hot hosting servers
+    #: for this many seconds (0 = no chaos action).
+    outage_seconds: float = 0.0
+    #: Whether this phase appears in the report (warm phases do not).
+    report: bool = True
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named scenario: warm-up plus its reported phases."""
+
+    name: str
+    title: str
+    phases: tuple[PhaseSpec, ...] = field(default_factory=tuple)
+
+
+def _warm() -> PhaseSpec:
+    """The shared unreported warm-up: seed the cache, hot set first."""
+    return PhaseSpec(
+        name="warm",
+        duration=20.0,
+        arrivals=OnOffProcess(rate=1.0),
+        hot_weight=0.7,
+        report=False,
+    )
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            "steady",
+            "Steady state: baseline Zipf mix",
+            (
+                _warm(),
+                PhaseSpec(
+                    "steady",
+                    duration=90.0,
+                    arrivals=OnOffProcess(rate=0.8, mean_on=6.0, mean_off=3.0),
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            "flash",
+            "Flash crowd: hot-name concentration spike",
+            (
+                _warm(),
+                PhaseSpec(
+                    "flash",
+                    duration=45.0,
+                    arrivals=OnOffProcess(rate=6.0, mean_on=3.0, mean_off=1.0),
+                    hot_weight=0.9,
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            "stampede",
+            "Cache stampede: synchronized TTL expiry of popular names",
+            (
+                _warm(),
+                PhaseSpec(
+                    "stampede",
+                    duration=20.0,
+                    arrivals=OnOffProcess(rate=5.0),
+                    hot_weight=0.95,
+                    advance_before=400.0,  # past the 300 s TTLs
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            "outage",
+            "Upstream outage and recovery (chaos fabric)",
+            (
+                _warm(),
+                PhaseSpec(
+                    "outage",
+                    duration=120.0,
+                    arrivals=OnOffProcess(rate=1.0, mean_on=8.0, mean_off=4.0),
+                    hot_weight=1.0,
+                    advance_before=400.0,  # expired => stale-eligible
+                    outage_seconds=120.0,
+                ),
+                PhaseSpec(
+                    "recovery",
+                    duration=90.0,
+                    arrivals=OnOffProcess(rate=0.8, mean_on=8.0, mean_off=4.0),
+                    hot_weight=1.0,
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            "overload",
+            "Overload: offered load beyond the shed threshold",
+            (
+                _warm(),
+                PhaseSpec(
+                    "overload",
+                    duration=12.0,
+                    arrivals=OnOffProcess(rate=50.0, mean_on=2.0, mean_off=0.5),
+                    zipf_s=0.8,
+                    hot_weight=0.5,
+                ),
+            ),
+        ),
+    )
+}
+
+#: Canonical suite order (also the order in ``BENCH_serve.json``).
+SCENARIO_ORDER: tuple[str, ...] = (
+    "steady",
+    "flash",
+    "stampede",
+    "outage",
+    "overload",
+)

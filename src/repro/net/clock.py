@@ -26,12 +26,16 @@ class Clock:
         if seconds > 0:
             time.sleep(seconds)  # repro: allow[wall-clock]
 
-    def wait_virtual(self, predicate: Callable[[], bool]) -> bool:
+    def wait_virtual(
+        self, predicate: Callable[[], bool], wake_at: float | None = None
+    ) -> bool:
         """Park the caller until ``predicate()`` holds, if this clock can.
 
         Returns True when the wait happened (concurrent lanes active),
         False when the caller must fall back to synchronous behaviour.
-        The wall clock has no lanes, so this is always False here.
+        ``wake_at`` optionally bounds the wait: the caller resumes at
+        that virtual time even if the predicate never fires.  The wall
+        clock has no lanes, so this is always False here.
         """
         return False
 
@@ -79,14 +83,18 @@ class SimulatedClock(Clock):
             raise ValueError("time only moves forward")
         self._now = float(timestamp)
 
-    def wait_virtual(self, predicate: Callable[[], bool]) -> bool:
+    def wait_virtual(
+        self, predicate: Callable[[], bool], wake_at: float | None = None
+    ) -> bool:
         """Park the calling lane until ``predicate()`` holds.
 
         Only meaningful while a :class:`VirtualLanePool` drives this
         clock; single-flight coalescing in the resolver uses it to wait
-        for another lane's identical in-flight fetch.
+        for another lane's identical in-flight fetch, passing the
+        client's deadline as ``wake_at`` so the wait cannot outlive the
+        answer the client is owed.
         """
         lanes = self._lanes
-        if lanes is not None and lanes.lane_wait(predicate):
+        if lanes is not None and lanes.lane_wait(predicate, wake_at):
             return True
         return False

@@ -21,7 +21,14 @@ flight; to model that without giving up determinism, a
   query coalescing in the recursive resolver uses this to park a lane
   until another lane's identical upstream fetch completes.  A blocked
   lane rejoins at ``max(own time, unblocking lane's time)``: the data it
-  waited for did not exist earlier than that.
+  waited for did not exist earlier than that;
+* a predicate wait may carry a *timed wake-up* (``wake_at``): the parked
+  lane becomes runnable again at that virtual instant even if the
+  predicate never fires, rejoining at exactly ``max(own time,
+  wake_at)``.  Deadline-bounded waits (a resolver parked on another
+  lane's fetch, but owing its client an answer first) need this —
+  without it a waiter could only resume at another lane's possibly much
+  later clock.
 
 When the pool drains, the base clock is set to the *makespan* —
 ``max`` over lane times — which is exactly the wall-clock a real
@@ -65,6 +72,7 @@ class VirtualLanePool:
         self._running: int | None = None
         self._finished: set[int] = set()
         self._blocked: dict[int, Callable[[], bool]] = {}
+        self._wake_at: dict[int, float] = {}
         self._failure: BaseException | None = None
         #: lifetime counters, for bench reporting
         self.tasks_run = 0
@@ -90,6 +98,7 @@ class VirtualLanePool:
         self._running = None
         self._finished = set()
         self._blocked = {}
+        self._wake_at = {}
         self._failure = None
 
         threads = [
@@ -139,12 +148,19 @@ class VirtualLanePool:
             self._yield_turn(lane)
         return True
 
-    def lane_wait(self, predicate: Callable[[], bool]) -> bool:
+    def lane_wait(
+        self, predicate: Callable[[], bool], wake_at: float | None = None
+    ) -> bool:
         """Park the calling lane until ``predicate()`` holds.
 
         Returns False when called off-lane (the caller should fall back
         to synchronous behaviour).  The predicate is re-evaluated at
         every scheduling point; it must be cheap and side-effect free.
+
+        With ``wake_at``, the lane additionally becomes runnable at that
+        virtual time even if the predicate never fired — it rejoins at
+        exactly ``max(own time, wake_at)``, and the caller is expected
+        to re-check the predicate to tell the two wake-ups apart.
         """
         lane = self.lane_id()
         if lane is None:
@@ -152,6 +168,8 @@ class VirtualLanePool:
         with self._cv:
             if not predicate():
                 self._blocked[lane] = predicate
+                if wake_at is not None:
+                    self._wake_at[lane] = wake_at
                 self._yield_turn(lane)
             else:
                 self._yield_turn(lane)
@@ -185,6 +203,7 @@ class VirtualLanePool:
             with self._cv:
                 self._finished.add(lane)
                 self._blocked.pop(lane, None)
+                self._wake_at.pop(lane, None)
                 self._schedule(lane)
             self._tls.lane = None
 
@@ -208,18 +227,34 @@ class VirtualLanePool:
     def _schedule(self, prev: int | None) -> None:
         """Pick the next lane (cv held): smallest time, then smallest id."""
         # Predicates may have been satisfied by whatever `prev` just did;
-        # a lane unblocked now rejoins no earlier than prev's clock.
+        # a lane unblocked now rejoins no earlier than prev's clock —
+        # but a timed waiter never rejoins later than its alarm: its
+        # wake-up would have fired at ``wake_at`` regardless of when
+        # this scheduling point happens to observe the predicate.
         for waiter in sorted(self._blocked):
             if self._blocked[waiter]():
                 del self._blocked[waiter]
+                wake = self._wake_at.pop(waiter, None)
                 if prev is not None:
-                    self._times[waiter] = max(self._times[waiter], self._times[prev])
-        runnable = [
-            lane
+                    rejoin = self._times[prev]
+                    if wake is not None:
+                        rejoin = min(rejoin, wake)
+                    self._times[waiter] = max(self._times[waiter], rejoin)
+        # Candidates: runnable lanes at their own clock, plus timed
+        # waiters at their wake-up instant (a parked lane with a
+        # wake_at is exactly a timer — it may resume on schedule even
+        # if nothing satisfied its predicate first).
+        candidates = [
+            (self._times[lane], lane)
             for lane in range(len(self._times))
             if lane not in self._finished and lane not in self._blocked
         ]
-        if not runnable:
+        candidates.extend(
+            (max(self._times[lane], at), lane)
+            for lane, at in self._wake_at.items()
+            if lane not in self._finished
+        )
+        if not candidates:
             if self._blocked and self._failure is None and len(self._finished) < len(self._times):
                 self._failure = LaneDeadlock(
                     f"all lanes parked: {sorted(self._blocked)} wait on predicates "
@@ -228,7 +263,13 @@ class VirtualLanePool:
             self._running = None
             self._cv.notify_all()
             return
-        choice = min(runnable, key=lambda lane: (self._times[lane], lane))
+        when, choice = min(candidates)
+        if choice in self._blocked:
+            # Timed wake-up: the predicate never fired, but the lane's
+            # alarm is the earliest thing that can happen.
+            del self._blocked[choice]
+            del self._wake_at[choice]
+            self._times[choice] = when
         if choice != self._running:
             self.switches += 1
         self._running = choice

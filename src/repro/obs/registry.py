@@ -77,6 +77,11 @@ METRICS: dict[str, MetricSpec] = {
     "repro_engine_breaker_skips_total": MetricSpec(
         "counter", "Queries short-circuited by an open circuit breaker"
     ),
+    "repro_breaker_transitions_total": MetricSpec(
+        "counter",
+        "Circuit-breaker state transitions and half-open probe grants",
+        ("transition",),  # transition: open | half_open | close | probe
+    ),
     # -- forwarder ---------------------------------------------------------
     "repro_forwarder_queries_total": MetricSpec(
         "counter", "Client queries accepted by a forwarding resolver"
@@ -93,7 +98,13 @@ METRICS: dict[str, MetricSpec] = {
         "counter", "Datagrams that reached the overload-shedding frontend"
     ),
     "repro_frontend_shed_total": MetricSpec(
-        "counter", "Cache-miss work shed under overload", ("reason",)
+        "counter", "Cache-miss work shed under overload",
+        ("reason",),  # reason: rrl | inflight-cap | garbage
+    ),
+    "repro_frontend_responses_total": MetricSpec(
+        "counter", "Frontend responses by outcome",
+        # outcome: answered | cached | refused | truncated | formerr | servfail
+        ("outcome",),
     ),
     "repro_frontend_served_cached_total": MetricSpec(
         "counter", "Always-served cache/stale answers while shedding"

@@ -156,7 +156,7 @@ class IterativeEngine:
         self.rng = random.Random(self.config.rng_seed)
         #: Per-server/per-zone circuit breakers; a no-op book when the
         #: config carries no BreakerConfig (the seed behaviour).
-        self.breakers = BreakerBook(fabric.clock, self.config.breaker)
+        self.breakers = BreakerBook(fabric.clock, self.config.breaker, obs=self.obs)
         self.server_stats = ServerStatsBook(
             fabric.clock,
             self.config.selection,

@@ -343,32 +343,47 @@ class RecursiveResolver:
         # exact question, park until it finishes and serve its result
         # (usually via the cache it just populated).  ``wait_virtual``
         # returns False outside concurrent lanes, where an in-flight
-        # duplicate is impossible anyway.
+        # duplicate is impossible anyway.  The wait is bounded by the
+        # client's deadline: a parked lane still owes its client an
+        # answer before their timer fires, so on expiry it stops
+        # waiting and degrades (the spent budget makes the resolve
+        # below abort upstream work and fall straight to serve-stale).
         key = (qname, int(rdtype), bool(checking_disabled))
         flight = self._client_flights.get(key)
-        if flight is not None and self.clock.wait_virtual(lambda: flight.done):
-            self.stats.coalesced += 1
-            if self.obs.enabled:
-                self._m_coalesced.labels(
-                    profile=self._obs_profile, level="client"
-                ).inc()
-                self.obs.trace_event(TraceEventKind.COALESCED, level="client")
-            outcome = self._outcome_from_cache(qname, rdtype)
-            if outcome is not None:
-                return outcome
-            if flight.outcome is not None:
-                return flight.outcome
-            # Owner failed without caching anything; resolve ourselves.
+        if flight is not None and self.clock.wait_virtual(
+            lambda: flight.done,
+            wake_at=deadline.deadline if deadline is not None else None,
+        ):
+            if flight.done:
+                self.stats.coalesced += 1
+                if self.obs.enabled:
+                    self._m_coalesced.labels(
+                        profile=self._obs_profile, level="client"
+                    ).inc()
+                    self.obs.trace_event(TraceEventKind.COALESCED, level="client")
+                outcome = self._outcome_from_cache(qname, rdtype)
+                if outcome is not None:
+                    return outcome
+                if flight.outcome is not None:
+                    return flight.outcome
+                # Owner failed without caching anything; resolve ourselves.
 
-        flight = _Flight()
-        self._client_flights[key] = flight
+        own = _Flight()
+        # Claim the single-flight slot unless a live owner still holds it
+        # (deadline bail-out above): their waiters must keep a marker
+        # that actually flips when the owner finishes.
+        current = self._client_flights.get(key)
+        claimed = current is None or current.done
+        if claimed:
+            self._client_flights[key] = own
         try:
             outcome = self._resolve_uncached(qname, rdtype, checking_disabled, deadline)
-            flight.outcome = outcome
+            own.outcome = outcome
             return outcome
         finally:
-            flight.done = True
-            self._client_flights.pop(key, None)
+            own.done = True
+            if claimed and self._client_flights.get(key) is own:
+                self._client_flights.pop(key, None)
 
     def _outcome_from_cache(
         self, qname: Name, rdtype: RdataType
@@ -592,8 +607,19 @@ class RecursiveResolver:
                 qname, rdtype_value = key
                 rdtype = RdataType(rdtype_value)
                 self.stats.refreshes += 1
+                # Budget the refresh like a client query: background
+                # work must not hog the serving thread longer than a
+                # query may, and the clamp keeps the retry path's
+                # jittered backoff from ever sleeping (the first
+                # timeout spends the whole budget) — so refresh timing
+                # stays a pure function of the workload.
+                deadline: DeadlineBudget | None = None
+                if self.resilience is not None and self.resilience.client_deadline > 0:
+                    deadline = DeadlineBudget.after(
+                        self.clock, self.resilience.client_deadline
+                    )
                 outcome = self._resolve_uncached(
-                    qname, rdtype, checking_disabled=False
+                    qname, rdtype, checking_disabled=False, deadline=deadline
                 )
                 if outcome.stale or outcome.rcode == Rcode.SERVFAIL:
                     self._refresh.reschedule(key)
@@ -672,23 +698,34 @@ class RecursiveResolver:
             return entry.result
         # Single-flight on infrastructure records: two lanes validating
         # through the same zone cut want the same DNSKEY/DS set — the
-        # second parks and reads the entry the first just cached.
+        # second parks and reads the entry the first just cached.  Like
+        # the client-flight wait, bounded by the client deadline riding
+        # in thread-local state: past it, stop waiting and let the spent
+        # budget abort the fetch below.
+        deadline = getattr(self._deadline_tls, "active", None)
         flight = self._infra_flights.get(key)
-        if flight is not None and self.clock.wait_virtual(lambda: flight.done):
-            self.stats.coalesced_infra += 1
-            if self.obs.enabled:
-                self._m_coalesced.labels(
-                    profile=self._obs_profile, level="infra"
-                ).inc()
-                self.obs.trace_event(TraceEventKind.COALESCED, level="infra")
-            entry = self._infra_cache.get(key)
-            if entry is not None and entry.expires_at > self.clock.now():
-                return entry.result
-            # Owner unwound without caching; fall through and fetch.
+        if flight is not None and self.clock.wait_virtual(
+            lambda: flight.done,
+            wake_at=deadline.deadline if deadline is not None else None,
+        ):
+            if flight.done:
+                self.stats.coalesced_infra += 1
+                if self.obs.enabled:
+                    self._m_coalesced.labels(
+                        profile=self._obs_profile, level="infra"
+                    ).inc()
+                    self.obs.trace_event(TraceEventKind.COALESCED, level="infra")
+                entry = self._infra_cache.get(key)
+                if entry is not None and entry.expires_at > self.clock.now():
+                    return entry.result
+                # Owner unwound without caching; fall through and fetch.
         self.stats.infra_misses += 1
         self._note_infra_fetch(zone, qname, rdtype, "miss")
-        flight = _Flight()
-        self._infra_flights[key] = flight
+        own = _Flight()
+        current = self._infra_flights.get(key)
+        claimed = current is None or current.done
+        if claimed:
+            self._infra_flights[key] = own
         try:
             now = self.clock.now()
             events: list[EventRecord] = []
@@ -717,8 +754,9 @@ class RecursiveResolver:
             )
             return result
         finally:
-            flight.done = True
-            self._infra_flights.pop(key, None)
+            own.done = True
+            if claimed and self._infra_flights.get(key) is own:
+                self._infra_flights.pop(key, None)
 
     def _note_infra_fetch(
         self, zone: Name, qname: Name, rdtype: RdataType, outcome: str

@@ -115,11 +115,15 @@ class BreakerBook:
     (non-resilient) paths pay nothing and change nothing.
     """
 
-    def __init__(self, clock: Clock, config: BreakerConfig | None = None):
+    def __init__(self, clock: Clock, config: BreakerConfig | None = None, obs=None):
         self._clock = clock
         self.config = config
         self._breakers: dict[str, CircuitBreaker] = {}
         self.stats = BreakerStats()
+        from ..obs import NULL_OBS
+
+        self.obs = obs if obs is not None else NULL_OBS
+        self._m_transitions = self.obs.counter("repro_breaker_transitions_total")
 
     @property
     def enabled(self) -> bool:
@@ -151,6 +155,7 @@ class BreakerBook:
                 return False
             breaker.state = BreakerState.HALF_OPEN
             breaker.probe_inflight = False
+            self._m_transitions.labels(transition="half_open").inc()
         # HALF_OPEN: exactly one probe at a time.  A probe that never
         # reported back (its query path died without an observation)
         # expires after one cooldown so the breaker cannot wedge shut.
@@ -162,6 +167,7 @@ class BreakerBook:
         breaker.probe_inflight = True
         breaker.probe_started = now
         self.stats.probes += 1
+        self._m_transitions.labels(transition="probe").inc()
         return True
 
     # -- ServerStatsBook listener protocol ---------------------------------
@@ -174,6 +180,8 @@ class BreakerBook:
             return
         if breaker.state is BreakerState.HALF_OPEN:
             self.stats.probe_successes += 1
+        if breaker.state is not BreakerState.CLOSED:
+            self._m_transitions.labels(transition="close").inc()
         breaker.state = BreakerState.CLOSED
         breaker.consecutive_failures = 0
         breaker.probe_inflight = False
@@ -197,6 +205,7 @@ class BreakerBook:
         breaker.open_until = self._clock.now() + self.config.cooldown
         breaker.probe_inflight = False
         self.stats.opened += 1
+        self._m_transitions.labels(transition="open").inc()
 
     # -- inspection ---------------------------------------------------------
 
@@ -357,7 +366,18 @@ class ResilienceConfig:
 
 
 class TokenBucket:
-    """A virtual-time token bucket (the classic RRL building block)."""
+    """A virtual-time token bucket (the classic RRL building block).
+
+    Refill is hardened against irregular clock observations: a shared
+    bucket read from concurrent lanes can see time *backwards* (lane B
+    is virtually earlier than the lane A that last touched it), and
+    phase transitions in the load scenarios leap the clock minutes at a
+    time.  Negative elapsed time must not drain tokens or rewind
+    ``last`` (which would later double-refill), and a huge jump must
+    saturate at ``burst``, never overshoot.  Invariant, checked by a
+    hypothesis property test: ``0 <= tokens <= max(burst, n_initial)``
+    across arbitrary jump sequences.
+    """
 
     __slots__ = ("_clock", "rate", "burst", "tokens", "last")
 
@@ -370,8 +390,10 @@ class TokenBucket:
 
     def take(self, n: float = 1.0) -> bool:
         now = self._clock.now()
-        self.tokens = min(self.burst, self.tokens + (now - self.last) * self.rate)
-        self.last = now
+        elapsed = now - self.last
+        if elapsed > 0.0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self.last = now
         if self.tokens >= n:
             self.tokens -= n
             return True
@@ -392,6 +414,18 @@ class FrontendConfig:
     truncate_every: int = 0
     #: Bound on the per-client bucket table (oldest evicted beyond it).
     max_clients: int = 4096
+    #: Drain a few background refreshes after each answered datagram.
+    #: Hosts that account for background work separately (the load
+    #: engine) turn this off and call ``resolver.run_refreshes()``
+    #: themselves.
+    inline_refreshes: bool = True
+
+
+#: The closed vocabulary of shed reasons, as exposed on the
+#: ``repro_frontend_shed_total`` metric's ``reason`` label and in
+#: :meth:`FrontendStats.snapshot`: per-client token-bucket response rate
+#: limiting, the global in-flight cap, and unparseable datagrams.
+SHED_REASONS: tuple[str, ...] = ("rrl", "inflight-cap", "garbage")
 
 
 @dataclass
@@ -406,6 +440,29 @@ class FrontendStats:
     inflight_sheds: int = 0
     handler_errors: int = 0
     inflight_peak: int = 0
+    #: reason -> count, same closed vocabulary as the metric label.
+    shed_by_reason: dict = field(default_factory=dict)
+
+    def shed(self, reason: str) -> None:
+        if reason not in SHED_REASONS:
+            raise ValueError(f"undocumented shed reason {reason!r}")
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+
+    def snapshot(self) -> dict:
+        """JSON-ready labeled view; every reason present, zeros included."""
+        return {
+            "datagrams": self.datagrams,
+            "answered": self.answered,
+            "served_cached": self.served_cached,
+            "shed_refused": self.shed_refused,
+            "shed_truncated": self.shed_truncated,
+            "handler_errors": self.handler_errors,
+            "inflight_peak": self.inflight_peak,
+            "shed_by_reason": {
+                reason: self.shed_by_reason.get(reason, 0)
+                for reason in SHED_REASONS
+            },
+        }
 
 
 def synthesize_header_response(wire: bytes, rcode: int) -> bytes:
@@ -454,6 +511,7 @@ class ResilientFrontend:
         self.obs = getattr(resolver, "obs", NULL_OBS)
         self._m_datagrams = self.obs.counter("repro_frontend_datagrams_total")
         self._m_shed = self.obs.counter("repro_frontend_shed_total")
+        self._m_responses = self.obs.counter("repro_frontend_responses_total")
         self._m_served_cached = self.obs.counter(
             "repro_frontend_served_cached_total"
         )
@@ -483,11 +541,13 @@ class ResilientFrontend:
         ):
             response.tc = True
             self.stats.shed_truncated += 1
+            self._m_responses.labels(outcome="truncated").inc()
             return response
         response.rcode = Rcode.REFUSED
         if query.edns is not None:
             response.add_ede(int(EdeCode.PROHIBITED), "client rate limited")
         self.stats.shed_refused += 1
+        self._m_responses.labels(outcome="refused").inc()
         return response
 
     # -- endpoint protocol ---------------------------------------------------
@@ -499,31 +559,42 @@ class ResilientFrontend:
             query = Message.from_wire(wire)
         except Exception:
             self.stats.formerr += 1
+            self.stats.shed(reason="garbage")
+            self._m_shed.labels(reason="garbage").inc()
+            self._m_responses.labels(outcome="formerr").inc()
             return synthesize_header_response(wire, Rcode.FORMERR)
         try:
             response = self._serve(query, source).to_wire()
         except Exception:
             self.stats.handler_errors += 1
+            self._m_responses.labels(outcome="servfail").inc()
             return synthesize_header_response(wire, Rcode.SERVFAIL)
         # Stale-while-revalidate: the frontend spends a little post-answer
         # effort refreshing entries whose staleness was just papered over.
         # Isolated from the answer path — a refresh blow-up must never
-        # turn an already-built response into a SERVFAIL.
-        try:
-            self.resolver.run_refreshes()
-        except Exception:
-            self.stats.handler_errors += 1
+        # turn an already-built response into a SERVFAIL.  Hosts that
+        # want to schedule (and account for) that background work
+        # themselves — the load engine separates it from client-visible
+        # service time — turn ``inline_refreshes`` off and drive
+        # ``resolver.run_refreshes()`` at their own cadence.
+        if self.config.inline_refreshes:
+            try:
+                self.resolver.run_refreshes()
+            except Exception:
+                self.stats.handler_errors += 1
         return response
 
     def _serve(self, query: Message, source: str) -> Message:
         shedding = False
         if self._inflight >= self.config.max_inflight:
             self.stats.inflight_sheds += 1
-            self._m_shed.labels(reason="inflight").inc()
+            self.stats.shed(reason="inflight-cap")
+            self._m_shed.labels(reason="inflight-cap").inc()
             shedding = True
         elif not self._bucket(source).take():
             self.stats.bucket_sheds += 1
-            self._m_shed.labels(reason="rate").inc()
+            self.stats.shed(reason="rrl")
+            self._m_shed.labels(reason="rrl").inc()
             shedding = True
         if shedding:
             # Cache hits and stale answers are always served — shedding
@@ -532,6 +603,7 @@ class ResilientFrontend:
             if cached is not None:
                 self.stats.served_cached += 1
                 self._m_served_cached.inc()
+                self._m_responses.labels(outcome="cached").inc()
                 return cached
             return self._shed_response(query)
         self._inflight += 1
@@ -543,4 +615,5 @@ class ResilientFrontend:
             self._inflight -= 1
             self._m_inflight.set(self._inflight)
         self.stats.answered += 1
+        self._m_responses.labels(outcome="answered").inc()
         return response

@@ -23,6 +23,12 @@ the Prometheus text exposition format on ``http://HOST:PORT/metrics``
 ``--metrics-dump PATH`` writes the same exposition to a file on
 shutdown (and ``--duration`` bounds the run, for smoke tests);
 ``--trace-log PATH`` streams every finished query trace as NDJSON.
+
+``--drill SCENARIO`` skips the sockets entirely and replays one named
+load scenario (steady, flash, stampede, outage, overload) through the
+in-process resilience layer on the virtual clock, printing the same
+phase report the serving benchmark emits — a one-command way to watch
+the degradation behaviour without standing up the UDP testbed.
 """
 
 from __future__ import annotations
@@ -117,6 +123,30 @@ async def serve(args: argparse.Namespace) -> None:
             sink.close()
 
 
+def drill(args: argparse.Namespace) -> int:
+    """Replay one load scenario in-process and print its phase report."""
+    from ..load import LoadConfig, LoadEngine, SCENARIO_ORDER, render_phase_table
+
+    if args.drill not in SCENARIO_ORDER:
+        print(
+            f"unknown scenario {args.drill!r}; pick one of: "
+            + ", ".join(SCENARIO_ORDER),
+            file=sys.stderr,
+        )
+        return 2
+    engine = LoadEngine(
+        LoadConfig(
+            target_domains=args.drill_domains,
+            scale=args.drill_scale,
+            workers=args.drill_workers,
+        )
+    )
+    print(f"replaying scenario {args.drill!r}...", flush=True)
+    result = engine.run_scenario(args.drill)
+    print(render_phase_table([result]))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.serve", description=__doc__,
@@ -143,7 +173,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="append every finished query trace to PATH (NDJSON)")
     parser.add_argument("--duration", type=float, default=0.0,
                         help="stop after this many wall seconds (0 = run forever)")
+    parser.add_argument("--drill", default="", metavar="SCENARIO",
+                        help="replay one load scenario in-process instead of"
+                             " serving UDP (steady, flash, stampede, outage,"
+                             " overload)")
+    parser.add_argument("--drill-scale", type=float, default=0.25,
+                        help="client-population multiplier for --drill"
+                             " (default 0.25)")
+    parser.add_argument("--drill-workers", type=int, default=4,
+                        help="lane count for --drill (default 4)")
+    parser.add_argument("--drill-domains", type=int, default=500,
+                        help="population size for --drill (default 500)")
     args = parser.parse_args(argv)
+    if args.drill:
+        return drill(args)
     try:
         asyncio.run(serve(args))
     except KeyboardInterrupt:

@@ -69,6 +69,7 @@ class TestStaticExperiments:
         assert set(EXPERIMENTS) == {
             "table1", "table2_3", "table4", "sec32", "sec33", "sec41",
             "sec42", "sec42_ns", "fig1", "fig2", "outage_drill",
+            "serve_load",
         }
 
     def test_outage_drill_all_ok_across_seeds(self):

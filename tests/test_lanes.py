@@ -151,3 +151,63 @@ def test_pool_restores_clock_mode():
     before = clock.now()
     clock.advance(5)
     assert clock.now() == before + 5
+
+def test_timed_wake_fires_when_predicate_never_does():
+    """A parked lane with a wake_at is a timer: it resumes at exactly
+    that virtual instant even though nothing satisfied its predicate."""
+    clock = SimulatedClock()
+    start = clock.now()
+    resumed = {}
+
+    def work(item):
+        if item == 0:
+            woke = clock.wait_virtual(lambda: False, wake_at=start + 5.0)
+            assert woke is True
+            resumed["at"] = clock.now()
+        else:
+            clock.advance(100.0)
+
+    VirtualLanePool(clock, 2).run(range(2), work)
+    assert resumed["at"] == pytest.approx(start + 5.0)
+    # The other lane's 100s did not leak into the waiter's rejoin time.
+    assert clock.now() == pytest.approx(start + 100.0)
+
+
+def test_predicate_wake_never_rejoins_later_than_alarm():
+    """When the predicate fires at a scheduling point far past wake_at
+    (the unblocking lane did the work and then advanced a long way in
+    one turn), the waiter still rejoins at its alarm — the wake-up
+    would have happened then regardless of when the scheduler looked."""
+    clock = SimulatedClock()
+    start = clock.now()
+    flag = []
+    resumed = {}
+
+    def work(item):
+        if item == 0:
+            clock.wait_virtual(lambda: bool(flag), wake_at=start + 3.0)
+            resumed["at"] = clock.now()
+            resumed["flag"] = bool(flag)
+        else:
+            flag.append(1)  # satisfied before any scheduling point...
+            clock.advance(12.0)  # ...observed only at this yield
+
+    VirtualLanePool(clock, 2).run(range(2), work)
+    assert resumed["flag"] is True
+    assert resumed["at"] == pytest.approx(start + 3.0)
+
+
+def test_timed_waiters_do_not_deadlock():
+    """A pool where every lane parks on a dead predicate but carries an
+    alarm must drain (each wake-up returns with the predicate false)."""
+    clock = SimulatedClock()
+    start = clock.now()
+    wakes = []
+
+    def work(item):
+        clock.wait_virtual(lambda: False, wake_at=start + 1.0 + item)
+        wakes.append(clock.now())
+
+    VirtualLanePool(clock, 2).run(range(4), work)
+    assert len(wakes) == 4
+    assert all(t >= start + 1.0 for t in wakes)

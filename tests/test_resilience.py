@@ -12,6 +12,8 @@ from __future__ import annotations
 import os
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dns.message import Message
 from repro.dns.rcode import Rcode
@@ -36,6 +38,17 @@ from repro.resolver.resilience import (
 )
 
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+class _JumpClock:
+    """A clock whose time the test sets directly — even backwards, the
+    way a shared TokenBucket sees time when read from concurrent lanes."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
 
 
 class TestBreakerBook:
@@ -178,6 +191,120 @@ class TestTokenBucket:
         assert bucket.take() and bucket.take() and not bucket.take()
         clock.advance(3600)
         assert not bucket.take()
+
+    def test_backwards_clock_does_not_rewind_refill_anchor(self):
+        # A shared bucket can be read from a lane whose virtual time is
+        # behind the lane that last touched it; the anchor must hold so
+        # the next forward observation cannot double-refill.
+        clock = _JumpClock()
+        bucket = TokenBucket(clock, rate=1.0, burst=10.0)
+        assert bucket.take(10.0)  # drained at t=0
+        clock.t = -100.0
+        assert not bucket.take()  # no tokens conjured from negative time
+        assert bucket.last == 0.0
+        clock.t = 5.0
+        bucket.take(0.0)
+        assert bucket.tokens == pytest.approx(5.0)  # refilled 5s, not 105s
+
+    @given(
+        rate=st.floats(0.0, 1000.0, allow_nan=False),
+        burst=st.floats(0.0, 100.0, allow_nan=False),
+        steps=st.lists(
+            st.tuples(
+                st.floats(-1e6, 1e6, allow_nan=False),  # clock jump
+                st.floats(0.0, 200.0, allow_nan=False),  # tokens requested
+            ),
+            max_size=60,
+        ),
+    )
+    @settings(deadline=None, max_examples=200)
+    def test_tokens_bounded_under_arbitrary_clock_jumps(self, rate, burst, steps):
+        # The invariant promised in the TokenBucket docstring: across
+        # any sequence of forward leaps and backwards observations,
+        # 0 <= tokens <= burst and the refill anchor never rewinds.
+        clock = _JumpClock()
+        bucket = TokenBucket(clock, rate=rate, burst=burst)
+        anchor = bucket.last
+        for jump, want in steps:
+            clock.t += jump
+            bucket.take(want)
+            assert 0.0 <= bucket.tokens <= burst * (1.0 + 1e-12)
+            assert bucket.last >= anchor
+            anchor = bucket.last
+
+
+class TestBreakerHalfOpenUnderLanes:
+    """Regression: the half-open probe slot must stay exclusive when
+    many lanes hit an expired OPEN breaker in the same virtual window."""
+
+    def test_exactly_one_probe_across_concurrent_lanes(self):
+        from repro.net.lanes import run_in_lanes
+        from repro.obs import Observability
+
+        clock = SimulatedClock()
+        obs = Observability(clock=clock)
+        book = BreakerBook(
+            clock, BreakerConfig(failure_threshold=1, cooldown=10.0), obs=obs
+        )
+        book.on_failure("srv")
+        assert book.state_of("srv") is BreakerState.OPEN
+        clock.advance(10.0)  # cooldown elapsed: next caller may probe
+
+        attempts = []
+
+        def attempt(i):
+            clock.advance(0.01 * (i + 1))  # lanes spread over virtual time
+            attempts.append((i, book.allow("srv")))
+
+        run_in_lanes(clock, 4, range(8), attempt)
+        granted = [i for i, allowed in attempts if allowed]
+        assert len(granted) == 1  # one probe slot, seven short-circuits
+        assert book.stats.probes == 1
+        assert book.stats.short_circuits == 7
+        assert book.state_of("srv") is BreakerState.HALF_OPEN
+
+        # The winning lane's probe reports back: breaker re-closes and
+        # the transition counters tell the whole story.
+        book.on_success("srv")
+        assert book.state_of("srv") is BreakerState.CLOSED
+        assert book.stats.probe_successes == 1
+
+        from repro.load.report import counter_values, sum_by_label
+
+        transitions = sum_by_label(
+            counter_values(obs.registry),
+            "repro_breaker_transitions_total",
+            "transition",
+        )
+        assert transitions == {
+            "open": 1, "half_open": 1, "probe": 1, "close": 1,
+        }
+
+    def test_losers_are_deterministic_across_worker_counts(self):
+        from repro.net.lanes import run_in_lanes
+
+        def trace(workers):
+            clock = SimulatedClock()
+            book = BreakerBook(
+                clock, BreakerConfig(failure_threshold=1, cooldown=5.0)
+            )
+            book.on_failure("srv")
+            clock.advance(5.0)
+            out = []
+
+            def attempt(i):
+                clock.advance(0.001)
+                out.append((i, book.allow("srv")))
+
+            run_in_lanes(clock, workers, range(6), attempt)
+            return out
+
+        assert trace(2) == trace(2)
+        # The grant goes to the first attempt in virtual-time order for
+        # every lane count.
+        for workers in (1, 2, 4):
+            granted = [i for i, ok in trace(workers) if ok]
+            assert granted == [0]
 
 
 class _FakeResolver:
