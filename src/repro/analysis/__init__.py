@@ -12,6 +12,12 @@ the invariants that guarantee rests on:
   INFO-CODE must resolve in the RFC 8914 registry, every testbed case
   in the paper's Table 4 transcription must map to a defined subdomain
   and a reachable policy branch, every enum member reference must exist.
+* **Flow rules** (:mod:`.flow`) — interprocedural analysis over a
+  whole-program call graph: no real-blocking call or unbounded wait
+  reachable from ``ResilientFrontend.handle_datagram``, no
+  jitter-domain value flowing into schedule-domain or client-visible
+  state, no ``raise`` escaping the frontend's handlers.  Intentional
+  exceptions live in a committed baseline (``flow_baseline.json``).
 * **Runtime sanitizer** (:mod:`.sanitizer`) — an opt-in guard that
   patches the same entry points to *raise* inside fabric runs, so the
   static allowlist can be proven sound end-to-end.
@@ -21,17 +27,27 @@ non-zero on findings; CI gates on it.
 """
 
 from .findings import Finding, Severity, findings_to_json, render_finding
-from .engine import analyze_paths, analyze_repo, repo_source_root
+from .engine import (
+    AliasResolver,
+    analyze_paths,
+    analyze_repo,
+    default_flow_baseline,
+    known_rules,
+    repo_source_root,
+)
 from .sanitizer import DeterminismViolation, determinism_sanitizer
 
 __all__ = [
+    "AliasResolver",
     "DeterminismViolation",
     "Finding",
     "Severity",
     "analyze_paths",
     "analyze_repo",
+    "default_flow_baseline",
     "determinism_sanitizer",
     "findings_to_json",
+    "known_rules",
     "render_finding",
     "repo_source_root",
 ]

@@ -63,47 +63,6 @@ _DATETIME_FUNCS = frozenset({
 _OS_ENTROPY_FUNCS = frozenset({"os.urandom", "os.getrandom"})
 _UUID_ENTROPY_FUNCS = frozenset({"uuid.uuid1", "uuid.uuid4"})
 
-#: Modules whose members we track through ``from X import Y`` bindings.
-_TRACKED_MODULES = frozenset({"time", "random", "os", "datetime", "secrets", "uuid"})
-
-
-class _Bindings(ast.NodeVisitor):
-    """Maps local names to the stdlib entry points they denote."""
-
-    def __init__(self) -> None:
-        #: name -> dotted path ("random", "time.time", "datetime.datetime")
-        self.names: dict[str, str] = {}
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            root = alias.name.split(".")[0]
-            if root in _TRACKED_MODULES:
-                self.names[alias.asname or root] = root
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.level == 0 and node.module in _TRACKED_MODULES:
-            for alias in node.names:
-                bound = alias.asname or alias.name
-                self.names[bound] = f"{node.module}.{alias.name}"
-
-
-def _collect_bindings(tree: ast.AST) -> dict[str, str]:
-    visitor = _Bindings()
-    visitor.visit(tree)
-    return visitor.names
-
-
-def _dotted(node: ast.expr, bindings: dict[str, str]) -> str | None:
-    """Resolve a call target to its stdlib dotted path, or None."""
-    if isinstance(node, ast.Name):
-        return bindings.get(node.id)
-    if isinstance(node, ast.Attribute):
-        base = _dotted(node.value, bindings)
-        if base is not None:
-            return f"{base}.{node.attr}"
-    return None
-
-
 def _is_unseeded(node: ast.Call) -> bool:
     if node.keywords:
         return any(
@@ -120,13 +79,17 @@ def _is_unseeded(node: ast.Call) -> bool:
 
 def check_determinism(tree: ast.AST, path: str) -> Iterator[Finding]:
     """Yield determinism findings for one parsed module."""
-    bindings = _collect_bindings(tree)
-    if not bindings:
+    # Shared alias machinery lives in the engine; imported lazily to keep
+    # the module-level import cycle harmless (the engine imports us too).
+    from .engine import AliasResolver
+
+    aliases = AliasResolver.collect(tree)
+    if not aliases.names:
         return
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
-        dotted = _dotted(node.func, bindings)
+        dotted = aliases.stdlib_dotted(node.func)
         if dotted is None:
             continue
         finding = _classify(dotted, node)

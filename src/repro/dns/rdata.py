@@ -88,7 +88,9 @@ class GenericRdata(Rdata):
         writer.write_bytes(self.data)
 
     @classmethod
-    def read(cls, reader: WireReader, rdlength: int, rdtype: RdataType = RdataType.NONE) -> "GenericRdata":
+    def read(
+        cls, reader: WireReader, rdlength: int, rdtype: RdataType = RdataType.NONE
+    ) -> "GenericRdata":
         return cls(rdtype_value=rdtype, data=reader.read_bytes(rdlength))
 
     def to_text(self) -> str:

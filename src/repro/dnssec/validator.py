@@ -36,9 +36,7 @@ from .signer import signed_data
 from .trace import (
     EventRecord,
     FailureReason,
-    ResolutionEvent,
     Role,
-    ValidationState,
     ValidationTrace,
 )
 
@@ -648,7 +646,7 @@ class Validator:
             )
         return ValidationTrace.secure()
 
-    # -- helpers ------------------------------------------------------------------------------------
+    # -- helpers -----------------------------------------------------------------------------------
 
     def _apex_nsec3param(self, zone: Name) -> NSEC3PARAM | None:
         result = self.source.fetch_from_zone(zone, zone, RdataType.NSEC3PARAM)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..dns.ede import EDE_DESCRIPTIONS, EdeCode, describe
+from ..dns.ede import EDE_DESCRIPTIONS, describe
 from ..scan.analysis import (
     ScanAnalysis,
     analyze,
@@ -18,8 +18,6 @@ from ..scan.analysis import (
     tranco_overlap,
 )
 from ..scan.population import (
-    NOMINAL_COUNTS,
-    NOMINAL_TOTAL_DOMAINS,
     Population,
     PopulationConfig,
     Profile,
@@ -27,7 +25,7 @@ from ..scan.population import (
 )
 from ..scan.scanner import ScanResult, WildScanner
 from ..scan.wild import WildInternet
-from ..testbed.expected import CONSISTENT_CASES, EXPECTED_TABLE4
+from ..testbed.expected import CONSISTENT_CASES
 from ..testbed.infra import Testbed, build_testbed
 from ..testbed.runner import MatrixResult, run_matrix
 from ..testbed.subdomains import ALL_CASES

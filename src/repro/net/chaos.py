@@ -23,7 +23,7 @@ stream) is untouched.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Callable, Sequence, Union
 

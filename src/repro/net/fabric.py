@@ -14,7 +14,7 @@ into the EDE codes of the paper's groups 6-7 and the wild scan's
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from .addresses import is_globally_routable

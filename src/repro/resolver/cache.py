@@ -13,7 +13,7 @@ Three cooperating stores, all driven by the virtual clock:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..dns.name import Name
 from ..dns.rrset import RRset

@@ -17,7 +17,7 @@ agent is not flooded), and the agent-side decoding plus an in-memory
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..dns.edns import EdnsOption
 from ..dns.message import Message

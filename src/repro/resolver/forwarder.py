@@ -21,7 +21,7 @@ confuse clients unless it marks its own contributions.  This forwarder:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..dns.ede import EdeCode
 from ..dns.message import Message

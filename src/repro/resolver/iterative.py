@@ -215,7 +215,7 @@ class IterativeEngine:
             return
         deadline.reported = True
         self.stats.deadline_exhaustions += 1
-        self._note(events, 
+        self._note(events,
             EventRecord(
                 ResolutionEvent.DEADLINE_EXHAUSTED,
                 qname=qname,
@@ -235,7 +235,7 @@ class IterativeEngine:
             return
         budget.reported = True
         self.stats.budget_exhaustions += 1
-        self._note(events, 
+        self._note(events,
             EventRecord(
                 ResolutionEvent.QUERY_BUDGET_EXCEEDED,
                 qname=qname,
@@ -255,7 +255,7 @@ class IterativeEngine:
         try:
             return Message.from_wire(raw)
         except Exception:
-            self._note(events, 
+            self._note(events,
                 EventRecord(
                     ResolutionEvent.SERVER_FORMERR,
                     server=f"{server}:53",
@@ -281,7 +281,7 @@ class IterativeEngine:
             # but do not give up on the server either — a fresh query
             # (with a fresh ID) may well succeed.
             self.stats.mismatched_ids += 1
-            self._note(events, 
+            self._note(events,
                 EventRecord(
                     ResolutionEvent.MISMATCHED_ID,
                     server=f"{server}:53",
@@ -292,7 +292,7 @@ class IterativeEngine:
             )
             return _Vet.RETRY
         if not response.question or response.question[0].name != qname:
-            self._note(events, 
+            self._note(events,
                 EventRecord(
                     ResolutionEvent.MISMATCHED_QUESTION,
                     server=f"{server}:53",
@@ -304,7 +304,7 @@ class IterativeEngine:
         if query.edns is not None and response.edns is None:
             # Pre-EDNS server silently dropped the OPT record instead of
             # answering FORMERR (wild-scan Invalid Data category).
-            self._note(events, 
+            self._note(events,
                 EventRecord(
                     ResolutionEvent.SERVER_NO_EDNS,
                     server=f"{server}:53",
@@ -333,7 +333,7 @@ class IterativeEngine:
         server lame so adaptive selection deprioritizes it."""
         if response.rcode not in self._BAD_RCODE_EVENTS:
             return False
-        self._note(events, 
+        self._note(events,
             EventRecord(
                 self._BAD_RCODE_EVENTS[Rcode(response.rcode)],
                 server=f"{server}:53",
@@ -369,7 +369,7 @@ class IterativeEngine:
         if not self.breakers.allow(server):
             self.stats.breaker_skips += 1
             self._m_breaker_skips.inc()
-            self._note(events, 
+            self._note(events,
                 EventRecord(
                     ResolutionEvent.BREAKER_OPEN,
                     server=f"{server}:53",
@@ -415,7 +415,7 @@ class IterativeEngine:
                     server, wire, source=self.config.source_ip, timeout=timeout
                 )
             except Unreachable:
-                self._note(events, 
+                self._note(events,
                     EventRecord(
                         ResolutionEvent.SERVER_UNREACHABLE,
                         server=f"{server}:53",
@@ -426,7 +426,7 @@ class IterativeEngine:
                 self.server_stats.note_lame(server)
                 return None  # no point retrying an unroutable address
             except Timeout:
-                self._note(events, 
+                self._note(events,
                     EventRecord(
                         ResolutionEvent.SERVER_TIMEOUT,
                         server=f"{server}:53",
@@ -483,7 +483,7 @@ class IterativeEngine:
                         transport="tcp",
                     )
                 except TransportError:
-                    self._note(events, 
+                    self._note(events,
                         EventRecord(
                             ResolutionEvent.SERVER_TIMEOUT,
                             server=f"{server}:53",
@@ -541,7 +541,7 @@ class IterativeEngine:
         if not self.breakers.allow(zone_key):
             self.stats.breaker_skips += 1
             self._m_breaker_skips.inc()
-            self._note(events, 
+            self._note(events,
                 EventRecord(
                     ResolutionEvent.BREAKER_OPEN,
                     qname=qname,
@@ -625,7 +625,7 @@ class IterativeEngine:
                 current_zone, probe, rdtype, events, budget, deadline
             )
             if response is None:
-                self._note(events, 
+                self._note(events,
                     EventRecord(
                         ResolutionEvent.ALL_SERVERS_FAILED,
                         qname=target,
@@ -656,7 +656,7 @@ class IterativeEngine:
             if cname_rrset is not None:
                 cname_hops += 1
                 if cname_hops > self.config.max_cname_chain:
-                    self._note(events, 
+                    self._note(events,
                         EventRecord(
                             ResolutionEvent.ITERATION_LIMIT_EXCEEDED,
                             qname=target,
@@ -665,7 +665,7 @@ class IterativeEngine:
                     )
                     result.rcode = Rcode.SERVFAIL
                     return result
-                self._note(events, 
+                self._note(events,
                     EventRecord(ResolutionEvent.CNAME_CHASED, qname=target)
                 )
                 chained_answers.extend(rrset.copy() for rrset in response.answer)
@@ -684,7 +684,7 @@ class IterativeEngine:
                         response, child_zone, events, depth, budget, deadline
                     )
                 if not servers:
-                    self._note(events, 
+                    self._note(events,
                         EventRecord(
                             ResolutionEvent.ALL_SERVERS_FAILED,
                             qname=target,
@@ -717,7 +717,7 @@ class IterativeEngine:
             result.aa = response.aa
             return result
 
-        self._note(events, 
+        self._note(events,
             EventRecord(
                 ResolutionEvent.ITERATION_LIMIT_EXCEEDED,
                 qname=qname,

@@ -12,7 +12,7 @@ Filtered 17, Prohibited 18, or Forged Answer 4).
 from __future__ import annotations
 
 import ipaddress
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..dns.dnssec_records import DS
 from ..dns.message import Message

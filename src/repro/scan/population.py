@@ -19,7 +19,7 @@ exercised at any scale.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 
 
@@ -416,7 +416,7 @@ def generate_population(config: PopulationConfig | None = None) -> Population:
             add_domain(tld, Profile.VALID_UNSIGNED)
             n_valid = max(0, n_valid - 1)
 
-    # -- the bulk misconfigured domains ---------------------------------------------------------------
+    # -- the bulk misconfigured domains ------------------------------------------------------------
     for profile, remaining in list(counts.items()):
         for _ in range(remaining):
             tld = draw_tld(misconfig_tlds)
@@ -439,7 +439,7 @@ def generate_population(config: PopulationConfig | None = None) -> Population:
                 domain.ns_index = pick_ns(timeout_pool, timeout_weights).index
         counts[profile] = 0
 
-    # -- the healthy majority --------------------------------------------------------------------------
+    # -- the healthy majority ----------------------------------------------------------------------
     for i in range(n_valid):
         tld = draw_tld(all_valid_tlds)
         signed = i < n_valid_signed
@@ -449,12 +449,12 @@ def generate_population(config: PopulationConfig | None = None) -> Population:
             signed=signed,
         )
 
-    # -- hosting assignment -----------------------------------------------------------------------------
+    # -- hosting assignment ------------------------------------------------------------------------
     n_hosting = max(8, len(domains) // 3000)
     for domain in domains:
         domain.hosting_index = rng.randrange(n_hosting)
 
-    # -- Tranco-like ranking (Figure 2) -------------------------------------------------------------------
+    # -- Tranco-like ranking (Figure 2) ------------------------------------------------------------
     tranco_size = max(100, config.scaled(NOMINAL_TRANCO))
     n_tranco_ede = min(
         config.scaled(NOMINAL_TRANCO_EDE),

@@ -23,12 +23,12 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from ..dns.dnssec_records import DNSKEY, DS, NSEC3, RRSIG
+from ..dns.dnssec_records import DNSKEY, DS, NSEC3
 from ..dns.edns import Edns
 from ..dns.message import Message
 from ..dns.name import Name
 from ..dns.rcode import Rcode
-from ..dns.rdata import A, CNAME, NS, SOA
+from ..dns.rdata import A, CNAME, NS
 from ..dns.rrset import RRset
 from ..dns.types import RdataType
 from ..dnssec.algorithms import Algorithm

@@ -10,7 +10,7 @@ answers…) used by the wild-scan tier live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..dns.edns import Edns
 from ..dns.message import Message

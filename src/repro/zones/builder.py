@@ -82,7 +82,9 @@ class ZoneBuilder:
         self.zone.add(rrset)
         return self
 
-    def add_record(self, name: Name, rdtype: RdataType, rdata: Rdata, ttl: int = 300) -> "ZoneBuilder":
+    def add_record(
+        self, name: Name, rdtype: RdataType, rdata: Rdata, ttl: int = 300
+    ) -> "ZoneBuilder":
         self.zone.add(RRset.of(name, rdtype, rdata, ttl=ttl))
         return self
 

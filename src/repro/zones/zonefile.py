@@ -342,7 +342,8 @@ def write_zone(zone: Zone, relativize: bool = True) -> str:
     """Serialize ``zone`` to master-file text (parse_zone round-trips it)."""
     lines = [f"$ORIGIN {zone.origin}", "$TTL 300", ""]
     rrsets = sorted(
-        zone.all_rrsets(), key=lambda r: (r.name, int(r.rdtype) != int(RdataType.SOA), int(r.rdtype))
+        zone.all_rrsets(),
+        key=lambda r: (r.name, int(r.rdtype) != int(RdataType.SOA), int(r.rdtype)),
     )
     for rrset in rrsets:
         owner: str

@@ -1,0 +1,7 @@
+"""Seeded violation: real-blocking call behind one level of indirection.
+
+The frontend module never imports ``time``; only the whole-program call
+graph can connect ``handle_datagram`` to the ``time.sleep`` hidden in
+``helpers.slow_retry``.  A per-file AST pass over ``frontend.py`` sees
+nothing.
+"""

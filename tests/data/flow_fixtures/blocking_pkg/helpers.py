@@ -1,0 +1,7 @@
+"""Helper module hiding the real-blocking primitive."""
+
+import time
+
+
+def slow_retry(delay: float) -> None:
+    time.sleep(delay)  # line 7: the seeded violation

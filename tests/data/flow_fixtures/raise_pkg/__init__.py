@@ -1,0 +1,1 @@
+"""Seeded violation: a raise that can escape handle_datagram."""

@@ -1,0 +1,25 @@
+"""A frontend that forgets to wrap its parse step."""
+
+
+class ParseError(Exception):
+    pass
+
+
+def decode(wire: bytes) -> bytes:
+    if not wire:
+        raise ParseError("empty datagram")  # line 10: the seeded violation
+    return wire
+
+
+def risky() -> None:
+    raise RuntimeError("boom")  # protected at the call site: must NOT flag
+
+
+class ResilientFrontend:
+    def handle_datagram(self, wire: bytes, source: str) -> bytes:
+        payload = decode(wire)
+        try:
+            risky()
+        except Exception:
+            return b""
+        return payload

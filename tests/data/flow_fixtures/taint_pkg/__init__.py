@@ -1,0 +1,1 @@
+"""Seeded violation: a jitter-domain RNG shaping client-visible state."""

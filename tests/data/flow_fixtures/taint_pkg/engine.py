@@ -1,0 +1,19 @@
+"""A load engine that lets its jitter seed pick message IDs."""
+
+import random
+
+
+def make_query(qname: str, qid: int) -> tuple[str, int]:
+    return (qname, qid)
+
+
+class LoadEngine:
+    def __init__(self, schedule_seed: int, jitter_seed: int) -> None:
+        self.schedule_rng = random.Random(schedule_seed)
+        self.jitter_rng = random.Random(jitter_seed)
+
+    def run(self) -> tuple[str, int]:
+        good = make_query("ok.example.", self.schedule_rng.randint(0, 65535))
+        qid = self.jitter_rng.randint(0, 65535)
+        bad = make_query("leak.example.", qid)  # line 18: the seeded violation
+        return good if sum(bad) else bad

@@ -5,7 +5,6 @@ counters, convenience helpers) so refactors cannot silently change
 them.
 """
 
-import pytest
 
 from repro.dns.ede import ExtendedError
 from repro.dns.message import Message, Question

@@ -43,7 +43,8 @@ def outcome_with_events(*events):
 class TestMapping:
     def test_reason_mapping(self):
         policy = EdePolicy(name="t", reason_codes={FailureReason.ZSK_MISSING: (9,)})
-        assert [e.code for e in policy.emissions(outcome_with_reason(FailureReason.ZSK_MISSING))] == [9]
+        outcome = outcome_with_reason(FailureReason.ZSK_MISSING)
+        assert [e.code for e in policy.emissions(outcome)] == [9]
 
     def test_unmapped_reason_is_silent(self):
         policy = EdePolicy(name="t", reason_codes={})

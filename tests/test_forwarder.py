@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.dns.name import Name
 from repro.dns.rcode import Rcode
 from repro.dns.types import RdataType
 from repro.resolver.forwarder import ForwardingResolver

@@ -1,7 +1,7 @@
 """Key management, DS digests, the simulated backend, and NSEC3 hashing."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.dns.dnssec_records import DS
 from repro.dns.name import Name
@@ -9,7 +9,6 @@ from repro.dnssec import simulated
 from repro.dnssec.algorithms import (
     Algorithm,
     AlgorithmStatus,
-    DsDigest,
     algorithm_info,
     digest_is_assigned,
     is_zone_signing_algorithm,

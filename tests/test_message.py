@@ -4,14 +4,14 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.dns.edns import DEFAULT_PAYLOAD, Edns
-from repro.dns.ede import EdeCode, ExtendedError
+from repro.dns.ede import EdeCode
 from repro.dns.exceptions import FormError
 from repro.dns.message import Message, Question
 from repro.dns.name import Name
 from repro.dns.rcode import Rcode
 from repro.dns.rdata import A, CNAME
 from repro.dns.rrset import RRset
-from repro.dns.types import Opcode, RdataClass, RdataType
+from repro.dns.types import Opcode, RdataType
 
 
 def rt(message: Message) -> Message:

@@ -8,7 +8,6 @@ well-formed response (no exception, a legal RCODE), bogus validation
 always maps to SERVFAIL, and insecure downgrades never do.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.dns.message import Message

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.dns.message import Message
 from repro.net.addresses import TESTBED_GLUE, classify, is_globally_routable
 from repro.net.clock import SimulatedClock
 from repro.net.fabric import (

@@ -9,7 +9,6 @@ from repro.dns.rdata import A, NS
 from repro.dns.rrset import RRset
 from repro.dns.types import RdataType
 from repro.net.clock import SimulatedClock
-from repro.net.fabric import NetworkFabric
 from repro.resolver.error_reporting import (
     REPORT_CHANNEL,
     ErrorReporter,

@@ -5,7 +5,6 @@ import pytest
 from repro.scan.population import (
     NOMINAL_COUNTS,
     NOMINAL_TOTAL_DOMAINS,
-    Population,
     PopulationConfig,
     Profile,
     generate_population,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.dns.message import Message
 from repro.dns.name import Name
 from repro.dns.rcode import Rcode
 from repro.dns.rdata import A, NS
@@ -107,11 +106,12 @@ class TestMinimization:
         result_a = plain.resolve(TARGET, RdataType.A, [])
         result_b = minimized.resolve(TARGET, RdataType.A, [])
         assert result_a.rcode == result_b.rcode == Rcode.NOERROR
-        addr = lambda r: [
-            rd.address
-            for rrset in r.answer if rrset.rdtype == RdataType.A
-            for rd in rrset.rdatas
-        ]
+        def addr(r):
+            return [
+                rd.address
+                for rrset in r.answer if rrset.rdtype == RdataType.A
+                for rd in rrset.rdatas
+            ]
         assert addr(result_a) == addr(result_b)
 
     def test_nxdomain_at_ancestor_is_final(self, world):

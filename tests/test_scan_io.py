@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.scan.analysis import analyze
 from repro.scan.io import iter_ndjson, read_ndjson, record_to_json, write_ndjson

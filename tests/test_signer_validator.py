@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.dns.dnssec_records import DS
 from repro.dns.name import Name
 from repro.dns.rcode import Rcode
 from repro.dns.rdata import A
@@ -16,7 +15,7 @@ from repro.dnssec.signer import (
     sign_rrset,
     signed_data,
 )
-from repro.dnssec.trace import FailureReason, Role, ValidationState
+from repro.dnssec.trace import FailureReason, ValidationState
 from repro.dnssec.validator import FetchResult, Validator, ValidatorConfig
 from repro.dnssec.ds import make_ds
 from repro.zones.builder import ZoneBuilder

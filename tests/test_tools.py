@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dns.rcode import Rcode
-from repro.dns.types import RdataType
 from repro.tools.inspect import ChainInspector
 
 

@@ -4,11 +4,9 @@ import pytest
 
 from repro.dns.message import Message
 from repro.dns.name import Name
-from repro.dns.rcode import Rcode
 from repro.dns.rdata import A, NS, TXT
 from repro.dns.rrset import RRset
 from repro.dns.types import RdataType
-from repro.net.fabric import NetworkFabric
 from repro.resolver.iterative import EngineConfig, IterativeEngine
 from repro.server.authoritative import AuthoritativeServer
 from repro.zones.builder import ZoneBuilder

@@ -9,7 +9,6 @@ from repro.dns.types import RdataType
 from repro.scan.population import Profile
 from repro.scan.wild import (
     WILD_ALGORITHM,
-    WildInternet,
     domain_mutation,
     hosting_address,
     tld_server_address,

@@ -7,7 +7,6 @@ from repro.dns.rcode import Rcode
 from repro.dns.rdata import A, NS
 from repro.dns.rrset import RRset
 from repro.dns.types import RdataType
-from repro.net.fabric import NetworkFabric
 from repro.resolver.profiles import CLOUDFLARE, UNBOUND
 from repro.resolver.recursive import RecursiveResolver
 from repro.server.authoritative import AuthoritativeServer

@@ -1,6 +1,5 @@
 """Property tests: arbitrary zones survive the master-file round trip."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dns.name import Name
