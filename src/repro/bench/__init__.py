@@ -41,6 +41,8 @@ class BenchRun:
 
     mode: str  # "sequential" or "lanes"
     workers: int
+    #: Resolver shards the scan ran against (1 = single resolver).
+    shards: int
     domains: int
     duration_virtual_s: float
     ttl_wait_s: float
@@ -56,11 +58,14 @@ class BenchRun:
     #: canonical per-domain categorization for divergence checks:
     #: name -> (rcode, ede codes, extra texts, error)
     categorization: dict = field(repr=False, default_factory=dict)
+    #: Router/L2 counters when the run used a sharded cluster.
+    cluster: dict | None = None
 
     def to_json(self) -> dict:
         data = {
             "mode": self.mode,
             "workers": self.workers,
+            "shards": self.shards,
             "domains": self.domains,
             "duration_virtual_s": round(self.duration_virtual_s, 3),
             "ttl_wait_s": round(self.ttl_wait_s, 3),
@@ -74,6 +79,8 @@ class BenchRun:
             "coalesce_rate": round(self.coalesce_rate, 4),
             "wall_s": round(self.wall_s, 2),
         }
+        if self.cluster is not None:
+            data["cluster"] = self.cluster
         return data
 
 
@@ -102,20 +109,23 @@ def run_one(
     *,
     use_lanes: bool | None = None,
     scanner_seed: int = 7,
+    shards: int = 1,
 ) -> BenchRun:
     """Build a fresh universe for ``population``'s config and scan it.
 
     A fresh :class:`WildInternet` per run keeps runs independent — the
     fabric, caches and virtual clock all start cold, exactly like the
     sequential baseline the concurrent runs are compared against.
+    ``shards`` > 1 scans through a consistent-hash resolver cluster of
+    that many shards instead of a single resolver.
     """
     wild = WildInternet(population)
-    scanner = WildScanner(wild, seed=scanner_seed)
+    scanner = WildScanner(wild, seed=scanner_seed, shards=shards)
     wall_start = time.perf_counter()  # repro: allow[wall-clock]
     result = scanner.scan(workers=workers, use_lanes=use_lanes)
     wall = time.perf_counter() - wall_start  # repro: allow[wall-clock]
 
-    cache = scanner.resolver.cache.stats
+    cache = scanner.resolver.cache_stats()
     # "Useful hit" counts every store that answered a client without an
     # upstream fetch; `misses` only tracks positive-store probes, so
     # this is the documented approximation (see EXPERIMENTS.md).
@@ -128,9 +138,19 @@ def run_one(
     n = len(result.records)
     active = max(result.active_virtual, 1e-9)
     lanes_on = (workers > 1) if use_lanes is None else bool(use_lanes)
+    cluster_info = None
+    if shards > 1:
+        cluster = scanner.resolver
+        cluster_info = {
+            "routed": list(cluster.cluster_stats.routed),
+            "imbalance": round(cluster.imbalance(), 4),
+            "l2_hits": cluster.l2.stats.hits if cluster.l2 else 0,
+            "l2_stores": cluster.l2.stats.stores if cluster.l2 else 0,
+        }
     return BenchRun(
         mode="lanes" if lanes_on else "sequential",
         workers=result.workers,
+        shards=max(1, shards),
         domains=n,
         duration_virtual_s=result.duration_virtual,
         ttl_wait_s=result.ttl_wait_virtual,
@@ -144,6 +164,7 @@ def run_one(
         coalesce_rate=result.coalesced / max(1, rstats.queries),
         wall_s=wall,
         categorization=categorization_of(result),
+        cluster=cluster_info,
     )
 
 
@@ -157,7 +178,10 @@ def bench_population(
     Returns the JSON-ready report for this population, including the
     divergence verdict: ``categorization_identical`` is True only when
     every concurrent run produced byte-identical per-domain results to
-    the sequential baseline.
+    the sequential baseline — and at least one such comparison actually
+    ran.  An empty ``workers_list`` therefore fails the gate instead of
+    vacuously passing it (``--workers ""`` used to exit 0 having
+    compared nothing).
     """
     config = population_config_for(target_domains, seed)
     population = generate_population(config)
@@ -167,7 +191,10 @@ def bench_population(
     for workers in workers_list:
         runs.append(run_one(population, workers=workers, use_lanes=True))
 
-    identical = all(run.categorization == baseline.categorization for run in runs)
+    comparisons = len(runs) - 1
+    identical = comparisons > 0 and all(
+        run.categorization == baseline.categorization for run in runs
+    )
     by_workers = {run.workers: run for run in runs if run.mode == "lanes"}
     speedups = {
         str(w): round(baseline.active_virtual_s / max(run.active_virtual_s, 1e-9), 2)
@@ -188,6 +215,45 @@ def bench_population(
         "ede_group_counts": {
             str(code): count for code, count in sorted(ede_counts.items())
         },
+        "comparison_runs": comparisons,
+        "categorization_identical": identical,
+    }
+
+
+def bench_shards(
+    target_domains: int,
+    shard_counts: Iterable[int] = (1, 2, 8),
+    seed: int = DEFAULT_SEED,
+    workers: int = 8,
+) -> dict:
+    """Shard-count scaling ladder: one cluster scan per shard count.
+
+    Every run is compared against a plain sequential single-resolver
+    baseline; ``categorization_identical`` holds only when every shard
+    count reproduced it byte-for-byte *and* at least one shard run was
+    compared (an empty ladder fails closed, like
+    :func:`bench_population`).
+    """
+    config = population_config_for(target_domains, seed)
+    population = generate_population(config)
+
+    baseline = run_one(population, workers=1, use_lanes=False)
+    shard_runs = [
+        run_one(population, workers=workers, use_lanes=True, shards=int(count))
+        for count in shard_counts
+    ]
+    comparisons = len(shard_runs)
+    identical = comparisons > 0 and all(
+        run.categorization == baseline.categorization for run in shard_runs
+    )
+    return {
+        "target_domains": target_domains,
+        "population_scale": config.scale,
+        "actual_domains": len(population.domains),
+        "workers": workers,
+        "baseline": baseline.to_json(),
+        "runs": [run.to_json() for run in shard_runs],
+        "comparison_runs": comparisons,
         "categorization_identical": identical,
     }
 
@@ -195,24 +261,38 @@ def bench_population(
 def bench_report(
     scale_specs: Iterable[tuple[int, Iterable[int]]],
     seed: int = DEFAULT_SEED,
+    shard_counts: Iterable[int] | None = None,
 ) -> dict:
     """Full multi-population report (the ``BENCH_scan.json`` payload).
 
     ``scale_specs`` pairs each target domain count with the worker
     counts to benchmark there, so a large population can run a trimmed
     ladder (e.g. 32 workers only) while the small one runs the full set.
+    ``shard_counts`` adds the shard-count scaling section, run at the
+    first population's target size; its identity verdict participates
+    in ``all_identical`` (and therefore the CLI exit code).
     """
     specs = [(int(scale), [int(w) for w in workers]) for scale, workers in scale_specs]
     populations = [
         bench_population(scale, workers, seed) for scale, workers in specs
     ]
-    return {
+    verdicts = [p["categorization_identical"] for p in populations]
+    report = {
         "schema": SCHEMA,
         "seed": seed,
         "workers": sorted({w for _scale, workers in specs for w in workers}),
         "populations": populations,
-        "all_identical": all(p["categorization_identical"] for p in populations),
     }
+    if shard_counts is not None:
+        shard_section = bench_shards(
+            specs[0][0] if specs else 1000,
+            shard_counts=shard_counts,
+            seed=seed,
+        )
+        report["shard_scaling"] = shard_section
+        verdicts.append(shard_section["categorization_identical"])
+    report["all_identical"] = bool(verdicts) and all(verdicts)
+    return report
 
 
 def write_report(report: dict, path: str = "BENCH_scan.json") -> None:

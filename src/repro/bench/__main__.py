@@ -58,11 +58,19 @@ def _serve_main(args: argparse.Namespace) -> int:
 
     failed = False
     if not report["deterministic"]:
-        print(
-            "FAIL: phase reports differ across retry-jitter seeds "
-            f"{report['mismatched_seeds']}",
-            file=sys.stderr,
-        )
+        if report["comparison_seeds"] < 1:
+            print(
+                "FAIL: determinism gate needs at least two retry-jitter "
+                "seeds to compare (got "
+                f"{len(report['config']['jitter_seeds'])})",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "FAIL: phase reports differ across retry-jitter seeds "
+                f"{report['mismatched_seeds']}",
+                file=sys.stderr,
+            )
         failed = True
     if not report["contract_ok"]:
         print("FAIL: degradation contract violated", file=sys.stderr)
@@ -115,6 +123,15 @@ def main(argv: list[str] | None = None) -> int:
             "--scale (the last value repeats; default: 1,8,32)"
         ),
     )
+    parser.add_argument(
+        "--shards",
+        metavar="S[,S...]",
+        help=(
+            "comma-separated resolver-cluster shard counts; adds a "
+            "shard-count scaling section (e.g. --shards 1,2,8) whose "
+            "categorization identity also gates the exit code"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument(
         "--out", default="BENCH_scan.json", help="report path (default: BENCH_scan.json)"
@@ -136,7 +153,11 @@ def main(argv: list[str] | None = None) -> int:
         for index, scale in enumerate(scales)
     ]
 
-    report = bench_report(scale_specs, seed=args.seed)
+    shard_counts = None
+    if args.shards:
+        shard_counts = [int(s) for s in args.shards.split(",") if s]
+
+    report = bench_report(scale_specs, seed=args.seed, shard_counts=shard_counts)
     write_report(report, args.out)
 
     if args.json:
@@ -157,13 +178,42 @@ def main(argv: list[str] | None = None) -> int:
                     f"coalesced {run['coalesced']}, "
                     f"cache hit {run['cache_hit_rate']:.1%}"
                 )
+        if "shard_scaling" in report:
+            section = report["shard_scaling"]
+            print(
+                f"shard scaling at {section['target_domains']} domains, "
+                f"{section['workers']} workers:"
+            )
+            for run in section["runs"]:
+                cluster = run.get("cluster") or {}
+                extra = (
+                    f", imbalance {cluster['imbalance']}, "
+                    f"l2 hits {cluster['l2_hits']}"
+                    if cluster
+                    else ""
+                )
+                print(
+                    f"  {run['shards']:>3} shards: "
+                    f"{run['domains_per_virtual_s']}/vs, "
+                    f"{run['messages']} messages{extra}"
+                )
         print(f"report written to {args.out}")
 
     if not report["all_identical"]:
-        print(
-            "FAIL: concurrent categorization diverges from the sequential baseline",
-            file=sys.stderr,
-        )
+        sections = list(report["populations"])
+        if "shard_scaling" in report:
+            sections.append(report["shard_scaling"])
+        if any(s["comparison_runs"] < 1 for s in sections):
+            print(
+                "FAIL: identity gate ran zero baseline comparisons "
+                "(empty --workers/--shards ladder)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "FAIL: concurrent categorization diverges from the sequential baseline",
+                file=sys.stderr,
+            )
         return 1
     return 0
 

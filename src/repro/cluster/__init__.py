@@ -1,0 +1,34 @@
+"""``repro.cluster`` — sharded multi-resolver serving (ROADMAP item 1).
+
+A :class:`ResolverCluster` puts N full recursive resolvers (each with
+its own cache, SRTT server book, and breaker book) behind a
+deterministic consistent-hash router keyed by registered domain, with
+an optional shared L2 read-through tier for infrastructure records.
+Shard count is provably invisible in scan output — see
+``tests/test_cluster_differential.py`` and docs/ARCHITECTURE.md
+("Cluster").
+"""
+
+from .cluster import (
+    ClusterConfig,
+    ClusterStats,
+    L2Stats,
+    ResolverCluster,
+    SharedL2Cache,
+)
+from .ring import (
+    DEFAULT_VNODES,
+    ConsistentHashRing,
+    registered_domain_key,
+)
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "ClusterConfig",
+    "ClusterStats",
+    "ConsistentHashRing",
+    "L2Stats",
+    "ResolverCluster",
+    "SharedL2Cache",
+    "registered_domain_key",
+]

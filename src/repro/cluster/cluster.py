@@ -1,0 +1,326 @@
+"""``ResolverCluster`` — N resolver shards behind one query router.
+
+The architecture a Cloudflare/Quad9-style public resolver actually
+runs, in miniature: every shard is a full
+:class:`~repro.resolver.recursive.RecursiveResolver` with its *own*
+answer cache, SRTT/lameness server book, and circuit-breaker book; a
+deterministic consistent-hash router (see :mod:`repro.cluster.ring`)
+assigns each query to a shard by the qname's registered domain.  The
+cluster speaks the same ``handle_datagram(wire, source) -> wire | None``
+endpoint protocol as a single resolver or a
+:class:`~repro.resolver.resilience.ResilientFrontend`, so it drops into
+``tools/serve.py``, the load engine, and the wild scanner unchanged.
+
+Shard count must be *provably invisible* in scan results — EDE
+categorization is a pure function of the messages exchanged, and the
+registered-domain keying guarantees per-name state (positive/negative/
+error caches, the two-phase stale flow, single-flight coalescing)
+stays on one shard.  ``tests/test_cluster_differential.py`` pins this
+byte-for-byte at 1, 2, and 8 shards.
+
+The optional shared **L2 tier** is a read-through cache of validator
+infrastructure fetches (DNSKEY/DS sets and referral data keyed by
+``(zone, qname, rdtype)``): the records every shard would fetch
+identically, and the only cross-shard sharing that cannot perturb
+per-name semantics.  A shard that misses its private L1 infra cache
+consults the L2 before going to the wire and publishes what it fetched.
+
+Router metrics (``repro_cluster_*``) ride the usual off-path
+observability contract: with :data:`~repro.obs.NULL_OBS` every
+recording call is a no-op and cluster runs are byte-identical to
+obs-enabled ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..dns.dnssec_records import DS
+from ..dns.message import Message
+from ..dns.name import Name
+from ..dns.types import RdataType
+from ..net.fabric import NetworkFabric
+from ..obs import NULL_OBS, Observability
+from ..resolver.cache import CacheConfig, CacheStats
+from ..resolver.iterative import EngineConfig
+from ..resolver.profiles import ResolverProfile
+from ..resolver.recursive import RecursiveResolver, ResolverStats
+from ..resolver.resilience import (
+    FrontendConfig,
+    ResilienceConfig,
+    ResilientFrontend,
+)
+from .ring import DEFAULT_VNODES, ConsistentHashRing, registered_domain_key
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of one resolver cluster."""
+
+    shards: int = 2
+    #: Virtual points per shard on the hash ring.
+    vnodes: int = DEFAULT_VNODES
+    #: Enable the shared L2 read-through infra-cache tier.
+    l2: bool = True
+    #: Bounded L2 size; oldest entries fall out first (deterministic).
+    l2_capacity: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("a cluster needs at least one shard")
+
+
+@dataclass
+class L2Stats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+
+class SharedL2Cache:
+    """Cross-shard read-through tier for infrastructure fetch results.
+
+    Values are ``(FetchResult, expires_at)`` pairs on the shared virtual
+    clock — exactly what a shard's private L1 infra cache holds, so a
+    read-through hit is indistinguishable (record-wise) from the fetch
+    the shard would otherwise have performed itself.  Mutated only with
+    the lane token held, like every other cross-lane structure.
+    """
+
+    def __init__(self, clock, capacity: int = 8192, listener=None):
+        self._clock = clock
+        self._capacity = max(1, int(capacity))
+        self._entries: dict[tuple, tuple] = {}
+        self.stats = L2Stats()
+        #: Optional ``callable(outcome: str)`` the cluster hooks to emit
+        #: ``repro_cluster_l2_total`` off-path.
+        self._listener = listener
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _note(self, outcome: str) -> None:
+        if self._listener is not None:
+            self._listener(outcome)
+
+    def get(self, key: tuple):
+        """``(result, expires_at)`` for a live entry, else None."""
+        entry = self._entries.get(key)
+        if entry is not None and entry[1] > self._clock.now():
+            self.stats.hits += 1
+            self._note("hit")
+            return entry
+        if entry is not None:
+            del self._entries[key]
+        self.stats.misses += 1
+        self._note("miss")
+        return None
+
+    def put(self, key: tuple, result, expires_at: float) -> None:
+        if key not in self._entries and len(self._entries) >= self._capacity:
+            self._entries.pop(next(iter(self._entries)))
+            self.stats.evictions += 1
+        self._entries[key] = (result, expires_at)
+        self.stats.stores += 1
+        self._note("store")
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+
+@dataclass
+class ClusterStats:
+    """Router-level counters (shard internals live on the shards)."""
+
+    routed: list[int] = field(default_factory=list)
+    parse_fallbacks: int = 0
+
+    @property
+    def routed_total(self) -> int:
+        return sum(self.routed)
+
+
+class ResolverCluster:
+    """N recursive-resolver shards behind a consistent-hash router."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        profile: ResolverProfile,
+        root_hints: list[str],
+        trust_anchors: list[DS] | None = None,
+        *,
+        config: ClusterConfig | None = None,
+        shards: int | None = None,
+        engine_config: EngineConfig | None = None,
+        validate: bool = True,
+        resilience: ResilienceConfig | None = None,
+        cache_config: CacheConfig | None = None,
+        frontend_config: FrontendConfig | None = None,
+        obs: Observability | None = None,
+    ):
+        if config is None:
+            config = ClusterConfig(shards=shards if shards is not None else 2)
+        elif shards is not None and shards != config.shards:
+            config = dataclasses.replace(config, shards=shards)
+        self.config = config
+        self.fabric = fabric
+        self.clock = fabric.clock
+        self.profile = profile
+        self.obs = obs or NULL_OBS
+        self._m_routed = self.obs.counter("repro_cluster_routed_total")
+        self._m_l2 = self.obs.counter("repro_cluster_l2_total")
+        self._m_imbalance = self.obs.gauge("repro_cluster_imbalance_ratio")
+        self._m_shards = self.obs.gauge("repro_cluster_shards")
+
+        self.l2: SharedL2Cache | None = None
+        if config.l2 and config.shards > 1:
+            self.l2 = SharedL2Cache(
+                self.clock, capacity=config.l2_capacity, listener=self._note_l2
+            )
+
+        self.ring = ConsistentHashRing(
+            (self._shard_id(i) for i in range(config.shards)),
+            vnodes=config.vnodes,
+        )
+        self._index_of = {
+            self._shard_id(i): i for i in range(config.shards)
+        }
+        self.shards: list[RecursiveResolver] = [
+            RecursiveResolver(
+                fabric=fabric,
+                profile=profile,
+                root_hints=list(root_hints),
+                trust_anchors=trust_anchors,
+                engine_config=engine_config,
+                validate=validate,
+                resilience=resilience,
+                cache_config=cache_config,
+                obs=self.obs,
+                l2=self.l2,
+            )
+            for _ in range(config.shards)
+        ]
+        self.frontends: list[ResilientFrontend] | None = None
+        if frontend_config is not None:
+            self.frontends = [
+                ResilientFrontend(shard, frontend_config)
+                for shard in self.shards
+            ]
+        self.cluster_stats = ClusterStats(routed=[0] * config.shards)
+        if self.obs.enabled:
+            self._m_shards.set(config.shards)
+
+    @staticmethod
+    def _shard_id(index: int) -> str:
+        return f"shard-{index}"
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_index_for(self, qname: Name | str) -> int:
+        """Deterministic shard index for a qname (no counters touched)."""
+        return self._index_of[self.ring.shard_for(registered_domain_key(qname))]
+
+    def _route(self, qname: Name | str) -> int:
+        index = self.shard_index_for(qname)
+        self.cluster_stats.routed[index] += 1
+        if self.obs.enabled:
+            self._m_routed.labels(shard=self._shard_id(index)).inc()
+            self._m_imbalance.set(self.imbalance())
+        return index
+
+    def _note_l2(self, outcome: str) -> None:
+        if self.obs.enabled:
+            self._m_l2.labels(outcome=outcome).inc()
+
+    def imbalance(self) -> float:
+        """Max shard load over the mean (1.0 = perfectly even)."""
+        routed = self.cluster_stats.routed
+        total = sum(routed)
+        if not total:
+            return 0.0
+        return max(routed) / (total / len(routed))
+
+    # -- resolver-compatible surface -----------------------------------------
+
+    def resolve(self, qname: Name | str, rdtype: RdataType | str = RdataType.A, **kwargs):
+        name = qname if isinstance(qname, Name) else Name.from_text(qname)
+        return self.shards[self._route(name)].resolve(name, rdtype, **kwargs)
+
+    def handle_query(self, query: Message, source: str = "") -> Message:
+        index = 0
+        if query.question:
+            index = self._route(query.question[0].name)
+        return self.shards[index].handle_query(query, source)
+
+    def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        """Route a datagram to its shard's endpoint.  Never raises.
+
+        Unparseable datagrams cannot be keyed; they fall through to
+        shard 0, whose endpoint owns the FORMERR/garbage handling (the
+        per-shard :class:`ResilientFrontend` never raises either).
+        """
+        index = 0
+        try:
+            query = Message.from_wire(wire)
+            if query.question:
+                index = self._route(query.question[0].name)
+            else:
+                self.cluster_stats.parse_fallbacks += 1
+        except Exception:
+            self.cluster_stats.parse_fallbacks += 1
+        endpoints = self.frontends if self.frontends is not None else self.shards
+        return endpoints[index].handle_datagram(wire, source)
+
+    def run_refreshes(self, limit: int | None = None) -> int:
+        return sum(shard.run_refreshes(limit) for shard in self.shards)
+
+    def flush_caches(self) -> None:
+        for shard in self.shards:
+            shard.flush_caches()
+        if self.l2 is not None:
+            self.l2.flush()
+
+    def answer_from_cache(self, query: Message) -> Message | None:
+        index = 0
+        if query.question:
+            index = self.shard_index_for(query.question[0].name)
+        return self.shards[index].answer_from_cache(query)
+
+    # -- aggregated inspection -----------------------------------------------
+
+    @property
+    def stats(self) -> ResolverStats:
+        """Summed snapshot of every shard's :class:`ResolverStats`."""
+        total = ResolverStats()
+        for shard in self.shards:
+            for spec in dataclasses.fields(ResolverStats):
+                setattr(
+                    total,
+                    spec.name,
+                    getattr(total, spec.name) + getattr(shard.stats, spec.name),
+                )
+        return total
+
+    def cache_stats(self) -> CacheStats:
+        """Summed snapshot of every shard's answer-cache counters."""
+        total = CacheStats()
+        for shard in self.shards:
+            for spec in dataclasses.fields(CacheStats):
+                setattr(
+                    total,
+                    spec.name,
+                    getattr(total, spec.name) + getattr(shard.cache.stats, spec.name),
+                )
+        return total
+
+    def open_breaker_keys(self) -> tuple[str, ...]:
+        keys: set[str] = set()
+        for shard in self.shards:
+            keys.update(shard.open_breaker_keys())
+        return tuple(sorted(keys))
+
+    def refresh_backlog(self) -> int:
+        return sum(shard.refresh_backlog() for shard in self.shards)

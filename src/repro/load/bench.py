@@ -121,6 +121,10 @@ def serve_bench_report(
         for seed, run in zip(jitter_seeds[1:], runs[1:])
         if _canonical(run["scenarios"]) != _canonical(reference)
     ]
+    # The gate compares runs across seeds; with fewer than two seeds
+    # nothing was compared, so "deterministic" must fail closed instead
+    # of passing vacuously (--serve-seeds 1 used to exit 0 untested).
+    deterministic = len(jitter_seeds) >= 2 and not mismatched
     contract = _check_contract(reference)
     return {
         "schema": SERVE_SCHEMA,
@@ -132,7 +136,8 @@ def serve_bench_report(
             "scenarios": list(scenario_names),
         },
         "queries_per_seed": runs[0]["queries_total"],
-        "deterministic": not mismatched,
+        "deterministic": deterministic,
+        "comparison_seeds": max(0, len(jitter_seeds) - 1),
         "mismatched_seeds": mismatched,
         "contract": contract,
         "contract_ok": all(row["ok"] for row in contract),

@@ -29,6 +29,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..bench import DEFAULT_SEED, population_config_for
+from ..cluster import ResolverCluster
 from ..dns.message import Message
 from ..dns.name import Name
 from ..dns.rcode import Rcode
@@ -88,6 +89,9 @@ class LoadConfig:
     client_rate: float = 20.0
     client_burst: float = 40.0
     max_inflight: int = 6
+    #: Resolver shards behind the consistent-hash router; 1 keeps the
+    #: classic single frontend+resolver world byte-identical.
+    shards: int = 1
 
 
 @dataclass(frozen=True)
@@ -123,9 +127,43 @@ class LoadEngine:
 
     # -- world construction --------------------------------------------------
 
-    def _build_world(self) -> tuple[WildInternet, ResilientFrontend]:
+    def _build_world(self):
+        """Wild internet + datagram endpoint + its resolver-like core.
+
+        Returns ``(wild, endpoint, resolver)``: the endpoint speaks
+        ``handle_datagram`` (a :class:`ResilientFrontend`, or a sharded
+        :class:`~repro.cluster.ResolverCluster` when ``config.shards``
+        > 1) and the resolver half answers ``run_refreshes`` /
+        ``open_breaker_keys`` / ``refresh_backlog`` for the phase loop.
+        """
         wild = WildInternet(self.population)
         obs = Observability(clock=wild.fabric.clock)
+        frontend_config = FrontendConfig(
+            client_rate=self.config.client_rate,
+            client_burst=self.config.client_burst,
+            max_inflight=self.config.max_inflight,
+            # The engine drives background refreshes itself, after
+            # measuring client-visible service time.
+            inline_refreshes=False,
+        )
+        if self.config.shards > 1:
+            cluster = ResolverCluster(
+                fabric=wild.fabric,
+                profile=CLOUDFLARE,
+                root_hints=wild.root_hints,
+                trust_anchors=wild.trust_anchors,
+                shards=self.config.shards,
+                validate=False,
+                engine_config=EngineConfig(rng_seed=self.config.jitter_seed),
+                resilience=ResilienceConfig(
+                    breaker=self.config.breaker,
+                    client_deadline=self.config.client_deadline,
+                ),
+                cache_config=default_cache_config(),
+                frontend_config=frontend_config,
+                obs=obs,
+            )
+            return wild, cluster, cluster
         resolver = RecursiveResolver(
             fabric=wild.fabric,
             profile=CLOUDFLARE,
@@ -140,18 +178,8 @@ class LoadEngine:
             cache_config=default_cache_config(),
             obs=obs,
         )
-        frontend = ResilientFrontend(
-            resolver,
-            FrontendConfig(
-                client_rate=self.config.client_rate,
-                client_burst=self.config.client_burst,
-                max_inflight=self.config.max_inflight,
-                # The engine drives background refreshes itself, after
-                # measuring client-visible service time.
-                inline_refreshes=False,
-            ),
-        )
-        return wild, frontend
+        frontend = ResilientFrontend(resolver, frontend_config)
+        return wild, frontend, resolver
 
     def _hot_domains(self, wild: WildInternet) -> list:
         hot = []
@@ -230,7 +258,8 @@ class LoadEngine:
 
     def _run_phase(
         self,
-        frontend: ResilientFrontend,
+        endpoint,
+        resolver,
         clock,
         events: list[_Event],
         hot_names: frozenset[str],
@@ -245,7 +274,7 @@ class LoadEngine:
             if event.at > now:
                 clock.advance(event.at - now)
             started = clock.now()
-            wire = frontend.handle_datagram(event.wire, event.client.address)
+            wire = endpoint.handle_datagram(event.wire, event.client.address)
             finished = clock.now()
             service = finished - started
             category = self._classify(Message.from_wire(wire))
@@ -262,7 +291,7 @@ class LoadEngine:
             # Stale-while-revalidate work happens after the response is
             # on the wire: the lane (this simulated server thread) still
             # pays the virtual time, but no client waits on it.
-            frontend.resolver.run_refreshes()
+            resolver.run_refreshes()
         run_in_lanes(clock, self.config.workers, events, handle)
         return {
             "latencies": latencies,
@@ -274,10 +303,9 @@ class LoadEngine:
     def run_scenario(self, name: str) -> dict:
         spec: ScenarioSpec = SCENARIOS[name]
         scenario_index = SCENARIO_ORDER.index(name)
-        wild, frontend = self._build_world()
+        wild, endpoint, resolver = self._build_world()
         clock = wild.fabric.clock
-        registry = frontend.obs.registry
-        resolver = frontend.resolver
+        registry = endpoint.obs.registry
 
         hot_domains = self._hot_domains(wild)
         hot_positive = tuple(domain.name + "." for domain in hot_domains)
@@ -320,7 +348,7 @@ class LoadEngine:
             )
             before = counter_values(registry)
             measured = self._run_phase(
-                frontend, clock, events, frozenset(hot_names)
+                endpoint, resolver, clock, events, frozenset(hot_names)
             )
             if not phase.report:
                 continue
@@ -329,14 +357,10 @@ class LoadEngine:
                 extras["cached_answered_fraction"] = round(
                     measured["hot_answered"] / measured["hot_total"], 6
                 ) if measured["hot_total"] else 0.0
-                extras["breakers_open_at_end"] = len(
-                    resolver.engine.breakers.open_keys()
-                )
+                extras["breakers_open_at_end"] = len(resolver.open_breaker_keys())
             if phase.name == "recovery":
-                extras["breakers_closed"] = not resolver.engine.breakers.open_keys()
-                extras["refresh_backlog"] = (
-                    len(resolver._refresh) if resolver._refresh is not None else 0
-                )
+                extras["breakers_closed"] = not resolver.open_breaker_keys()
+                extras["refresh_backlog"] = resolver.refresh_backlog()
             rows.append(
                 build_phase_report(
                     scenario=name,

@@ -112,6 +112,21 @@ METRICS: dict[str, MetricSpec] = {
     "repro_frontend_inflight": MetricSpec(
         "gauge", "Concurrent cache-miss resolutions in flight"
     ),
+    # -- resolver cluster --------------------------------------------------
+    "repro_cluster_routed_total": MetricSpec(
+        "counter", "Queries routed to each shard by the consistent-hash router",
+        ("shard",),
+    ),
+    "repro_cluster_l2_total": MetricSpec(
+        "counter", "Shared L2 infra-cache tier outcomes",
+        ("outcome",),  # outcome: hit | miss | store
+    ),
+    "repro_cluster_imbalance_ratio": MetricSpec(
+        "gauge", "Max shard load over the mean routed load (1.0 = even)"
+    ),
+    "repro_cluster_shards": MetricSpec(
+        "gauge", "Shard count of the running resolver cluster"
+    ),
     # -- scanner -----------------------------------------------------------
     "repro_scan_phase_domains_total": MetricSpec(
         "counter", "Domains completed per scan phase", ("phase",)

@@ -110,6 +110,7 @@ class RecursiveResolver:
         resilience: ResilienceConfig | None = None,
         cache_config: CacheConfig | None = None,
         obs: Observability | None = None,
+        l2: "SharedL2Cache | None" = None,
     ):
         self.fabric = fabric
         self.profile = profile
@@ -171,6 +172,11 @@ class RecursiveResolver:
         self.stats = ResolverStats()
         self._infra_cache: dict[tuple[Name, Name, int], _InfraEntry] = {}
         self._infra_ttl = 300.0
+        #: Optional cluster-shared L2 tier for infra fetch results (see
+        #: :class:`repro.cluster.SharedL2Cache`): consulted read-through
+        #: on an L1 miss, published to on every fresh fetch.  None when
+        #: this resolver runs standalone — the seed behaviour.
+        self._l2 = l2
         #: Per-lane (thread-local) event sink: a validator fetch mid-way
         #: through lane A's resolution must not leak events into lane
         #: B's concurrently running resolution.
@@ -696,6 +702,21 @@ class RecursiveResolver:
             self.stats.infra_hits += 1
             self._note_infra_fetch(zone, qname, rdtype, "hit")
             return entry.result
+        if self._l2 is not None:
+            shared = self._l2.get(key)
+            if shared is not None:
+                # Read-through: adopt the sibling shard's fetch into our
+                # private L1 at its original expiry.  The payload is the
+                # exact FetchResult a fresh fetch would have produced
+                # (zone content is deterministic), so this cannot change
+                # categorization — only the wire volume.
+                result, expires_at = shared
+                self._infra_cache[key] = _InfraEntry(
+                    result=result, expires_at=expires_at
+                )
+                self.stats.infra_hits += 1
+                self._note_infra_fetch(zone, qname, rdtype, "hit")
+                return result
         # Single-flight on infrastructure records: two lanes validating
         # through the same zone cut want the same DNSKEY/DS set — the
         # second parks and reads the entry the first just cached.  Like
@@ -752,6 +773,8 @@ class RecursiveResolver:
             self._infra_cache[key] = _InfraEntry(
                 result=result, expires_at=now + self._infra_ttl
             )
+            if self._l2 is not None:
+                self._l2.put(key, result, now + self._infra_ttl)
             return result
         finally:
             own.done = True
@@ -775,6 +798,18 @@ class RecursiveResolver:
     def flush_caches(self) -> None:
         self.cache.flush()
         self._infra_cache.clear()
+
+    # -- uniform inspection surface (shared with ResolverCluster) --------------------------------
+
+    def cache_stats(self):
+        """Answer-cache counters (the cluster sums these across shards)."""
+        return self.cache.stats
+
+    def open_breaker_keys(self) -> tuple[str, ...]:
+        return tuple(sorted(self.engine.breakers.open_keys()))
+
+    def refresh_backlog(self) -> int:
+        return len(self._refresh) if self._refresh is not None else 0
 
 
 class _ValidatorSource:

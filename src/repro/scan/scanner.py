@@ -24,10 +24,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
+from ..cluster import ClusterConfig, ResolverCluster
 from ..dns.name import Name
 from ..dns.rcode import Rcode
 from ..dns.types import RdataType
 from ..obs import NULL_OBS, Observability
+from ..resolver.iterative import EngineConfig
 from ..resolver.profiles import CLOUDFLARE, ResolverProfile
 from ..resolver.recursive import RecursiveResolver
 from .population import Profile, TWO_PHASE_PROFILES, WildDomain
@@ -123,21 +125,53 @@ class WildScanner:
         profile: ResolverProfile = CLOUDFLARE,
         seed: int = 7,
         obs: Observability | None = None,
+        *,
+        shards: int = 1,
+        cluster_config: ClusterConfig | None = None,
+        engine_config: EngineConfig | None = None,
     ):
         self.wild = wild
         self.obs = obs or NULL_OBS
-        self.resolver = RecursiveResolver(
-            fabric=wild.fabric,
-            profile=profile,
-            root_hints=wild.root_hints,
-            trust_anchors=wild.trust_anchors,
-            obs=self.obs,
-        )
+        self.profile = profile
+        self._engine_config = engine_config
+        self._cluster_config = cluster_config
+        self.shards = max(1, int(shards))
+        if cluster_config is not None:
+            self.shards = max(1, cluster_config.shards)
+        self.resolver = self._build_resolver(self.shards)
         self._rng = random.Random(seed)
         self._m_phase_domains = self.obs.counter("repro_scan_phase_domains_total")
         self._m_phase_seconds = self.obs.gauge("repro_scan_phase_virtual_seconds")
         self._m_records = self.obs.counter("repro_scan_records_total")
         self._m_progress = self.obs.gauge("repro_scan_progress_domains")
+
+    def _build_resolver(self, shards: int) -> RecursiveResolver | ResolverCluster:
+        """One resolver at ``shards=1``, else a routed cluster.
+
+        ``shards=1`` keeps the exact single-resolver object the scanner
+        always used — the differential suite's baseline — rather than a
+        one-shard cluster, so the sequential scan stays byte-identical
+        to every release before the cluster existed.
+        """
+        if shards <= 1 and self._cluster_config is None:
+            return RecursiveResolver(
+                fabric=self.wild.fabric,
+                profile=self.profile,
+                root_hints=self.wild.root_hints,
+                trust_anchors=self.wild.trust_anchors,
+                engine_config=self._engine_config,
+                obs=self.obs,
+            )
+        return ResolverCluster(
+            fabric=self.wild.fabric,
+            profile=self.profile,
+            root_hints=self.wild.root_hints,
+            trust_anchors=self.wild.trust_anchors,
+            config=self._cluster_config,
+            shards=shards,
+            engine_config=self._engine_config,
+            obs=self.obs,
+        )
 
     def scan(
         self,
@@ -179,6 +213,8 @@ class WildScanner:
 
         start_clock = self.wild.fabric.clock.now()
         start_sent = self.wild.fabric.stats.datagrams_sent
+        # Re-read resolver stats at the end: a cluster's ``stats`` is a
+        # fresh summed snapshot per access, not a live object.
         stats = self.resolver.stats
         start_coalesced = stats.coalesced + stats.coalesced_infra
         workers = max(1, int(workers))
@@ -267,6 +303,7 @@ class WildScanner:
 
         result.queries_sent = self.wild.fabric.stats.datagrams_sent - start_sent
         result.duration_virtual = self.wild.fabric.clock.now() - start_clock
+        stats = self.resolver.stats
         result.coalesced = (
             stats.coalesced + stats.coalesced_infra - start_coalesced
         )

@@ -25,6 +25,14 @@ from ..server.acl import Acl
 from ..server.authoritative import AuthoritativeServer
 from ..zones.builder import BuiltZone, ZoneBuilder
 from ..zones.mutations import ZoneMutation
+from .replicas import (
+    COM_REPLICA_POOL,
+    PARENT_REPLICA_POOL,
+    ROOT_REPLICA_POOL,
+    ReplicaSet,
+    ReplicaTopology,
+    register_replicas,
+)
 from .subdomains import ALL_CASES, TestbedCase
 
 ROOT_SERVER = "198.41.0.4"
@@ -67,14 +75,25 @@ class Testbed:
     parent_built: BuiltZone
     root_built: BuiltZone
     com_built: BuiltZone
+    #: tier name ("root" | "com" | "parent") -> deployed replica set;
+    #: empty for the classic single-server-per-tier build.
+    replicas: dict[str, ReplicaSet] = field(default_factory=dict)
 
 
-def _apex_records(builder: ZoneBuilder, ns_address: str) -> None:
+def _apex_records(builder: ZoneBuilder, ns_addresses: str | list[str]) -> None:
+    """Apex NS/A set; one ``ns{i}`` host per replica address."""
+    if isinstance(ns_addresses, str):
+        ns_addresses = [ns_addresses]
     origin = builder.origin
-    ns_name = Name.from_text("ns1", origin=origin)
-    builder.add(RRset.of(origin, RdataType.NS, NS(target=ns_name), ttl=300))
+    ns_names = [
+        Name.from_text(f"ns{i}", origin=origin)
+        for i in range(1, len(ns_addresses) + 1)
+    ]
+    for ns_name in ns_names:
+        builder.add(RRset.of(origin, RdataType.NS, NS(target=ns_name), ttl=300))
     builder.add(RRset.of(origin, RdataType.A, A(address="93.184.216.34"), ttl=300))
-    builder.add(RRset.of(ns_name, RdataType.A, A(address=ns_address), ttl=300))
+    for ns_name, address in zip(ns_names, ns_addresses):
+        builder.add(RRset.of(ns_name, RdataType.A, A(address=address), ttl=300))
     builder.ensure_soa()
 
 
@@ -90,10 +109,28 @@ def build_testbed(
     cases: tuple[TestbedCase, ...] = ALL_CASES,
     now: int | None = None,
     key_bits: int = 1024,
+    topology: ReplicaTopology | None = None,
 ) -> Testbed:
-    """Build and wire up the whole testbed; returns the deployment handle."""
+    """Build and wire up the whole testbed; returns the deployment handle.
+
+    ``topology`` replicates the root/``com``/parent tiers: each tier's
+    single authoritative server is exposed at several addresses behind
+    per-class latency links (see :mod:`repro.testbed.replicas`), the
+    zones publish one ``ns{i}``/glue pair per replica, and
+    ``root_hints`` lists every root replica.  ``None`` (the default)
+    builds the classic flat testbed, byte-for-byte unchanged.
+    """
     fabric = fabric or NetworkFabric()
     now = int(fabric.clock.now()) if now is None else now
+
+    if topology is None:
+        root_addrs = [ROOT_SERVER]
+        com_addrs = [COM_SERVER]
+        parent_addrs = [PARENT_SERVER]
+    else:
+        root_addrs = list(ROOT_REPLICA_POOL[: topology.root])
+        com_addrs = list(COM_REPLICA_POOL[: topology.tld])
+        parent_addrs = list(PARENT_REPLICA_POOL[: topology.sld])
 
     deployed: dict[str, DeployedCase] = {}
     child_delegations: list[tuple[Name, str, list[DS], TestbedCase]] = []
@@ -131,11 +168,13 @@ def build_testbed(
             case=case, zone_name=zone_name, server_address=address, built=built
         )
 
+    replicas: dict[str, ReplicaSet] = {}
+
     # -- parent zone -----------------------------------------------------------
     parent_builder = ZoneBuilder(
         PARENT_NAME, now=now, mutation=ZoneMutation(key_bits=key_bits), key_seed=3
     )
-    _apex_records(parent_builder, PARENT_SERVER)
+    _apex_records(parent_builder, parent_addrs)
     for zone_name, glue_address, ds_rdatas, _case in child_delegations:
         ns_name = Name.from_text("ns1", origin=zone_name)
         parent_builder.add(
@@ -147,55 +186,74 @@ def build_testbed(
     parent_built = parent_builder.build()
     parent_server = AuthoritativeServer(name="ns1.extended-dns-errors.com")
     parent_server.add_zone(parent_built.zone)
-    fabric.register(PARENT_SERVER, parent_server)
+    if topology is None:
+        fabric.register(PARENT_SERVER, parent_server)
+    else:
+        replicas["parent"] = register_replicas(
+            fabric, "parent", parent_addrs, parent_server
+        )
 
     # -- com --------------------------------------------------------------------
     com_builder = ZoneBuilder(
         COM_NAME, now=now, mutation=ZoneMutation(key_bits=key_bits), key_seed=2
     )
-    _apex_records(com_builder, COM_SERVER)
-    com_builder.add(
-        RRset.of(
-            PARENT_NAME,
-            RdataType.NS,
-            NS(target=Name.from_text("ns1", origin=PARENT_NAME)),
-            ttl=300,
+    _apex_records(com_builder, com_addrs)
+    for index, address in enumerate(parent_addrs, start=1):
+        ns_name = Name.from_text(f"ns{index}", origin=PARENT_NAME)
+        com_builder.add(
+            RRset.of(PARENT_NAME, RdataType.NS, NS(target=ns_name), ttl=300)
         )
-    )
-    com_builder.add(
-        _glue_rrset(Name.from_text("ns1", origin=PARENT_NAME), PARENT_SERVER)
-    )
+        com_builder.add(_glue_rrset(ns_name, address))
     for ds in parent_built.ds_rdatas:
         com_builder.add(RRset.of(PARENT_NAME, RdataType.DS, ds, ttl=300))
     com_built = com_builder.build()
     com_server = AuthoritativeServer(name="ns.com")
     com_server.add_zone(com_built.zone)
-    fabric.register(COM_SERVER, com_server)
+    if topology is None:
+        fabric.register(COM_SERVER, com_server)
+    else:
+        replicas["com"] = register_replicas(fabric, "com", com_addrs, com_server)
 
     # -- root ---------------------------------------------------------------------
     root_builder = ZoneBuilder(
         ROOT_NAME, now=now, mutation=ZoneMutation(key_bits=key_bits), key_seed=1
     )
-    _apex_records(root_builder, ROOT_SERVER)
-    com_ns = Name.from_text("ns.com.")
-    root_builder.add(RRset.of(COM_NAME, RdataType.NS, NS(target=com_ns), ttl=300))
-    root_builder.add(_glue_rrset(com_ns, COM_SERVER))
+    _apex_records(root_builder, root_addrs)
+    if topology is None:
+        # The flat build's historical delegation: a single "ns.com" host
+        # (kept verbatim so the unreplicated zone stays byte-identical).
+        com_ns = Name.from_text("ns.com.")
+        root_builder.add(
+            RRset.of(COM_NAME, RdataType.NS, NS(target=com_ns), ttl=300)
+        )
+        root_builder.add(_glue_rrset(com_ns, COM_SERVER))
+    else:
+        for index, address in enumerate(com_addrs, start=1):
+            com_ns = Name.from_text(f"ns{index}", origin=COM_NAME)
+            root_builder.add(
+                RRset.of(COM_NAME, RdataType.NS, NS(target=com_ns), ttl=300)
+            )
+            root_builder.add(_glue_rrset(com_ns, address))
     for ds in com_built.ds_rdatas:
         root_builder.add(RRset.of(COM_NAME, RdataType.DS, ds, ttl=300))
     root_built = root_builder.build()
     root_server = AuthoritativeServer(name="a.root-servers.net")
     root_server.add_zone(root_built.zone)
-    fabric.register(ROOT_SERVER, root_server)
+    if topology is None:
+        fabric.register(ROOT_SERVER, root_server)
+    else:
+        replicas["root"] = register_replicas(fabric, "root", root_addrs, root_server)
 
     assert root_built.ksk is not None
     trust_anchor = make_ds(ROOT_NAME, root_built.ksk.dnskey(), 2)
 
     return Testbed(
         fabric=fabric,
-        root_hints=[ROOT_SERVER],
+        root_hints=list(root_addrs),
         trust_anchors=[trust_anchor],
         cases=deployed,
         parent_built=parent_built,
         root_built=root_built,
         com_built=com_built,
+        replicas=replicas,
     )

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cluster import ResolverCluster
 from ..dns.rcode import Rcode
 from ..dns.types import RdataType
 from ..obs import Observability
@@ -93,8 +94,27 @@ def make_resolvers(
     testbed: Testbed,
     profiles: tuple[ResolverProfile, ...] = ALL_PROFILES,
     obs: "Observability | None" = None,
-) -> dict[str, RecursiveResolver]:
-    """One resolver per vendor profile, attached to the testbed fabric."""
+    shards: int = 1,
+) -> dict[str, "RecursiveResolver | ResolverCluster"]:
+    """One resolver per vendor profile, attached to the testbed fabric.
+
+    ``shards`` > 1 swaps each single resolver for a
+    :class:`~repro.cluster.ResolverCluster` of that many shards — the
+    shard-count differential suite runs the whole Table 4 matrix this
+    way and pins it byte-identical to the flat resolvers.
+    """
+    if shards > 1:
+        return {
+            profile.policy.name: ResolverCluster(
+                fabric=testbed.fabric,
+                profile=profile,
+                root_hints=testbed.root_hints,
+                trust_anchors=testbed.trust_anchors,
+                shards=shards,
+                obs=obs,
+            )
+            for profile in profiles
+        }
     return {
         profile.policy.name: RecursiveResolver(
             fabric=testbed.fabric,
@@ -111,10 +131,11 @@ def run_matrix(
     testbed: Testbed | None = None,
     profiles: tuple[ResolverProfile, ...] = ALL_PROFILES,
     obs: "Observability | None" = None,
+    shards: int = 1,
 ) -> MatrixResult:
     """Query all 63 cases through all profiles; the paper's core experiment."""
     testbed = testbed or build_testbed()
-    resolvers = make_resolvers(testbed, profiles, obs=obs)
+    resolvers = make_resolvers(testbed, profiles, obs=obs, shards=shards)
     result = MatrixResult(profile_names=tuple(p.policy.name for p in profiles))
     for deployed in testbed.cases.values():
         for name, resolver in resolvers.items():

@@ -37,6 +37,7 @@ import argparse
 import asyncio
 import sys
 
+from ..cluster import ResolverCluster
 from ..net.udp import UdpServer
 from ..obs import NdjsonSink, Observability
 from ..resolver.cache import default_cache_config
@@ -77,22 +78,35 @@ async def serve(args: argparse.Namespace) -> None:
         if not args.no_resilience:
             resilience = ResilienceConfig(client_deadline=args.deadline)
             cache_config = default_cache_config()
-        resolver = RecursiveResolver(
-            fabric=testbed.fabric, profile=profile,
-            root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
-            resilience=resilience, cache_config=cache_config,
-            obs=obs,
-        )
-        endpoint = resolver
+        frontend_config = None
         if not args.no_resilience:
-            endpoint = ResilientFrontend(
-                resolver,
-                FrontendConfig(
-                    client_rate=args.client_qps,
-                    client_burst=args.client_burst,
-                    max_inflight=args.max_inflight,
-                ),
+            frontend_config = FrontendConfig(
+                client_rate=args.client_qps,
+                client_burst=args.client_burst,
+                max_inflight=args.max_inflight,
             )
+        if args.shards > 1:
+            # N full resolver shards behind the consistent-hash router;
+            # the cluster speaks handle_datagram, so UdpServer can't tell.
+            endpoint = ResolverCluster(
+                fabric=testbed.fabric, profile=profile,
+                root_hints=testbed.root_hints,
+                trust_anchors=testbed.trust_anchors,
+                shards=args.shards,
+                resilience=resilience, cache_config=cache_config,
+                frontend_config=frontend_config,
+                obs=obs,
+            )
+        else:
+            resolver = RecursiveResolver(
+                fabric=testbed.fabric, profile=profile,
+                root_hints=testbed.root_hints, trust_anchors=testbed.trust_anchors,
+                resilience=resilience, cache_config=cache_config,
+                obs=obs,
+            )
+            endpoint = resolver
+            if frontend_config is not None:
+                endpoint = ResilientFrontend(resolver, frontend_config)
         server = UdpServer(endpoint=endpoint, host=args.host, port=args.port + index)
         await server.start()
         servers.append(server)
@@ -154,6 +168,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--port", type=int, default=5300, help="first UDP port")
     parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="serve each profile from an N-shard resolver"
+                             " cluster instead of a single resolver")
     parser.add_argument("--no-resilience", action="store_true",
                         help="serve bare resolvers: no breakers, deadlines,"
                              " serve-stale default, or overload shedding")

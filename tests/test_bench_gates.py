@@ -1,0 +1,148 @@
+"""Regression tests: the bench identity gates must fail *closed*.
+
+``python -m repro.bench`` exits non-zero when a differential identity
+check fails — but it used to exit 0 when the check never ran at all:
+an empty ``--workers`` ladder produced zero baseline comparisons and
+``all()`` over nothing reported success, and ``--serve-seeds 1`` made
+the across-seed determinism gate vacuously true.  These tests pin the
+fix (a gate with zero comparisons is a failing gate) and that a real
+divergence in the shard-scaling section still fails the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.bench as bench
+from repro.bench import BenchRun, bench_population, bench_report
+from repro.bench.__main__ import main
+from repro.load.bench import serve_bench_report
+
+
+def stub_run(categorization: dict, shards: int = 1) -> BenchRun:
+    return BenchRun(
+        mode="lanes",
+        workers=8,
+        shards=shards,
+        domains=len(categorization),
+        duration_virtual_s=1.0,
+        ttl_wait_s=0.0,
+        active_virtual_s=1.0,
+        domains_per_virtual_s=float(len(categorization)),
+        messages=10,
+        messages_per_domain=1.0,
+        cache_hit_rate=0.0,
+        infra_hit_rate=0.0,
+        coalesced=0,
+        coalesce_rate=0.0,
+        wall_s=0.0,
+        categorization=categorization,
+    )
+
+
+@pytest.fixture()
+def stubbed_bench(monkeypatch):
+    """Replace the expensive scan machinery with categorization stubs.
+
+    ``poison`` controls which (workers, shards) runs diverge from the
+    baseline categorization.
+    """
+    state = {"poison_shards": set(), "calls": []}
+
+    class FakePopulation:
+        domains: list = []
+
+    def fake_generate(config):
+        return FakePopulation()
+
+    def fake_run_one(population, workers, *, use_lanes=None, scanner_seed=7, shards=1):
+        state["calls"].append((workers, shards))
+        categorization = {"a.com": [0, [], [], ""]}
+        if shards in state["poison_shards"]:
+            categorization = {"a.com": [2, [22], [], ""]}
+        return stub_run(categorization, shards=shards)
+
+    monkeypatch.setattr(bench, "generate_population", fake_generate)
+    monkeypatch.setattr(bench, "run_one", fake_run_one)
+    return state
+
+
+class TestVacuousGates:
+    def test_empty_workers_ladder_fails_the_population_gate(self, stubbed_bench):
+        report = bench_population(60, workers_list=[])
+        assert report["comparison_runs"] == 0
+        assert report["categorization_identical"] is False
+
+    def test_empty_workers_cli_exits_nonzero(self, stubbed_bench, tmp_path, capsys):
+        code = main(
+            ["--scale", "60", "--workers", "", "--out", str(tmp_path / "b.json")]
+        )
+        assert code == 1
+        assert "zero baseline comparisons" in capsys.readouterr().err
+
+    def test_nonempty_ladder_still_passes(self, stubbed_bench, tmp_path):
+        code = main(
+            ["--scale", "60", "--workers", "8", "--out", str(tmp_path / "b.json")]
+        )
+        assert code == 0
+
+
+class TestShardIdentityGate:
+    def test_shard_divergence_fails_report_and_cli(
+        self, stubbed_bench, tmp_path, capsys
+    ):
+        stubbed_bench["poison_shards"].add(2)
+        report = bench_report([(60, [8])], shard_counts=[1, 2])
+        assert report["shard_scaling"]["categorization_identical"] is False
+        assert report["all_identical"] is False
+
+        code = main(
+            [
+                "--scale", "60", "--workers", "8", "--shards", "1,2",
+                "--out", str(tmp_path / "b.json"),
+            ]
+        )
+        assert code == 1
+        assert "diverges" in capsys.readouterr().err
+
+    def test_identical_shard_ladder_passes(self, stubbed_bench, tmp_path):
+        report = bench_report([(60, [8])], shard_counts=[1, 2, 8])
+        assert report["shard_scaling"]["comparison_runs"] == 3
+        assert report["all_identical"] is True
+        code = main(
+            [
+                "--scale", "60", "--workers", "8", "--shards", "1,2,8",
+                "--out", str(tmp_path / "b.json"),
+            ]
+        )
+        assert code == 0
+
+    def test_empty_shard_ladder_fails_closed(self, stubbed_bench):
+        report = bench_report([(60, [8])], shard_counts=[])
+        assert report["shard_scaling"]["comparison_runs"] == 0
+        assert report["all_identical"] is False
+
+
+class TestServeSeedGate:
+    def test_single_seed_is_not_deterministic_proof(self):
+        report = serve_bench_report(
+            scale=0.25,
+            workers=4,
+            jitter_seeds=(1,),
+            scenario_names=("steady",),
+            target_domains=300,
+        )
+        assert report["comparison_seeds"] == 0
+        assert report["deterministic"] is False
+
+    def test_two_seeds_compare_and_pass(self):
+        report = serve_bench_report(
+            scale=0.25,
+            workers=4,
+            jitter_seeds=(1, 20230524),
+            scenario_names=("steady",),
+            target_domains=300,
+        )
+        assert report["comparison_seeds"] == 1
+        assert report["deterministic"] is True
+        assert report["mismatched_seeds"] == []
