@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..cluster import ClusterConfig, ShardHealthConfig, seeded_single_crash
+from ..resolver.iterative import EngineConfig
 from ..scan.population import (
     NOMINAL_TOTAL_DOMAINS,
     Population,
@@ -258,10 +260,206 @@ def bench_shards(
     }
 
 
+def _run_failover_scan(
+    population: Population,
+    *,
+    workers: int,
+    shards: int,
+    jitter_seed: int,
+    drill_seed: int,
+    crash_after: float,
+    restart_after: float,
+    cooldown: float,
+) -> tuple[dict, dict]:
+    """One faulted cluster scan: seeded victim crash mid-scan.
+
+    Returns ``(categorization, facts)`` — the per-domain outcomes (to
+    compare against the fault-free baseline) and the drill facts the
+    failover contract checks (ejection, blackhole, rejoin, routing).
+    """
+    wild = WildInternet(population)
+    clock = wild.fabric.clock
+    scanner = WildScanner(
+        wild,
+        cluster_config=ClusterConfig(
+            shards=shards,
+            health=ShardHealthConfig(failure_threshold=3, cooldown=cooldown),
+        ),
+        engine_config=EngineConfig(rng_seed=jitter_seed),
+    )
+    cluster = scanner.resolver
+    probe_names = [domain.name for domain in population.domains[:256]]
+    pre_routing = cluster.routing_snapshot(probe_names)
+    plan = seeded_single_crash(
+        drill_seed,
+        shards,
+        clock=clock,
+        crash_after=crash_after,
+        restart_after=restart_after,
+    )
+    cluster.install_shard_chaos(plan.policy)
+    result = scanner.scan(workers=workers, use_lanes=True)
+    facts = {
+        "victim": plan.victim,
+        "ejections": cluster.health.stats.ejections,
+        "recoveries": cluster.health.stats.recoveries,
+        "probe_successes": cluster.health.stats.probe_successes,
+        "probe_failures": cluster.health.stats.probe_failures,
+        "victim_state": cluster.health.state_of(plan.victim).value,
+        "datagrams_while_ejected": cluster.datagrams_while_ejected(
+            plan.victim
+        ),
+        "failover_routed": cluster.cluster_stats.failover_total,
+        "routing_restored": (
+            cluster.routing_snapshot(probe_names) == pre_routing
+        ),
+        "l2_owner_flushed": (
+            cluster.l2.stats.owner_flushed if cluster.l2 is not None else 0
+        ),
+    }
+    return categorization_of(result), facts
+
+
+def bench_failover(
+    target_domains: int,
+    seed: int = DEFAULT_SEED,
+    workers: int = 8,
+    shards: int = 4,
+    jitter_seeds: Iterable[int] = (1, 20230524),
+    crash_after: float = 0.3,
+    restart_after: float = 0.9,
+    cooldown: float = 0.25,
+) -> dict:
+    """The scan-side failover drill: crash a shard mid-scan, twice.
+
+    A seeded victim shard crashes ``crash_after`` virtual seconds into
+    the scan and cold-restarts at ``restart_after``; the health monitor
+    must eject it, reroute its key range, blackhole it (zero datagrams
+    while ejected), and rejoin it via one half-open probe — all without
+    changing a single per-domain categorization versus the fault-free
+    sequential baseline.  The drill runs once per retry-jitter seed and
+    both runs must agree on every categorization and drill fact.
+
+    The default fault window is tuned to the scan's virtual timeline:
+    the whole crash-eject-restart-probe-rejoin sequence completes inside
+    the single-phase sweep (~5 s of virtual time even at the 200-domain
+    CI scale), *before* the two-phase stale/cached-error tail — a
+    rejoin that lands mid-``stale_prime`` would reroute a prime to a
+    ring successor and change a stale domain's categorization.
+    """
+    jitter_seeds = [int(s) for s in jitter_seeds]
+    config = population_config_for(target_domains, seed)
+    population = generate_population(config)
+    baseline = run_one(population, workers=1, use_lanes=False)
+
+    runs = []
+    for jitter_seed in jitter_seeds:
+        categorization, facts = _run_failover_scan(
+            population,
+            workers=workers,
+            shards=shards,
+            jitter_seed=jitter_seed,
+            drill_seed=seed,
+            crash_after=crash_after,
+            restart_after=restart_after,
+            cooldown=cooldown,
+        )
+        runs.append(
+            {
+                "jitter_seed": jitter_seed,
+                "categorization": categorization,
+                "facts": facts,
+            }
+        )
+
+    categorization_identical = len(runs) > 0 and all(
+        run["categorization"] == baseline.categorization for run in runs
+    )
+    reference = runs[0]
+    mismatched = [
+        run["jitter_seed"]
+        for run in runs[1:]
+        if (run["categorization"], run["facts"])
+        != (reference["categorization"], reference["facts"])
+    ]
+    deterministic = len(jitter_seeds) >= 2 and not mismatched
+    facts = reference["facts"]
+
+    contract = [
+        {
+            "check": "failover-categorization-identical",
+            "ok": categorization_identical,
+            "detail": (
+                "faulted cluster scans reproduce the fault-free "
+                "sequential categorization byte-for-byte"
+            ),
+        },
+        {
+            "check": "failover-ejection",
+            "ok": facts["ejections"] >= 1 and facts["failover_routed"] > 0,
+            "detail": (
+                f"victim shard {facts['victim']}: "
+                f"{facts['ejections']} ejection(s), "
+                f"{facts['failover_routed']} queries rerouted"
+            ),
+        },
+        {
+            "check": "failover-blackhole",
+            "ok": facts["datagrams_while_ejected"] == 0,
+            "detail": (
+                "datagrams reaching the ejected shard: "
+                f"{facts['datagrams_while_ejected']} (must be 0)"
+            ),
+        },
+        {
+            "check": "failover-rejoin",
+            "ok": (
+                facts["victim_state"] == "healthy"
+                and facts["probe_successes"] >= 1
+                and facts["recoveries"] >= 1
+            ),
+            "detail": (
+                f"victim {facts['victim_state']} after "
+                f"{facts['probe_successes']} successful probe(s)"
+            ),
+        },
+        {
+            "check": "failover-routing-restored",
+            "ok": bool(facts["routing_restored"]),
+            "detail": (
+                "post-recovery routing equals the pre-fault map: "
+                f"{facts['routing_restored']}"
+            ),
+        },
+    ]
+    return {
+        "target_domains": target_domains,
+        "population_scale": config.scale,
+        "actual_domains": len(population.domains),
+        "workers": workers,
+        "shards": shards,
+        "jitter_seeds": jitter_seeds,
+        "drill_seed": seed,
+        "crash_after": crash_after,
+        "restart_after": restart_after,
+        "cooldown": cooldown,
+        "facts": facts,
+        "contract": contract,
+        "comparison_runs": len(runs),
+        "categorization_identical": categorization_identical,
+        "deterministic": deterministic,
+        "mismatched_seeds": mismatched,
+        "failover_ok": (
+            deterministic and all(row["ok"] for row in contract)
+        ),
+    }
+
+
 def bench_report(
     scale_specs: Iterable[tuple[int, Iterable[int]]],
     seed: int = DEFAULT_SEED,
     shard_counts: Iterable[int] | None = None,
+    failover: bool = False,
 ) -> dict:
     """Full multi-population report (the ``BENCH_scan.json`` payload).
 
@@ -271,6 +469,9 @@ def bench_report(
     ``shard_counts`` adds the shard-count scaling section, run at the
     first population's target size; its identity verdict participates
     in ``all_identical`` (and therefore the CLI exit code).
+    ``failover`` adds the shard-failover drill section
+    (:func:`bench_failover`), whose categorization identity joins the
+    gate the same way.
     """
     specs = [(int(scale), [int(w) for w in workers]) for scale, workers in scale_specs]
     populations = [
@@ -291,6 +492,12 @@ def bench_report(
         )
         report["shard_scaling"] = shard_section
         verdicts.append(shard_section["categorization_identical"])
+    if failover:
+        failover_section = bench_failover(
+            specs[0][0] if specs else 1000, seed=seed
+        )
+        report["failover"] = failover_section
+        verdicts.append(failover_section["categorization_identical"])
     report["all_identical"] = bool(verdicts) and all(verdicts)
     return report
 

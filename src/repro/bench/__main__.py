@@ -4,12 +4,17 @@ Two modes:
 
 * default — the scan benchmark.  Writes ``BENCH_scan.json`` (or
   ``--out``) and exits non-zero when any concurrent run's per-domain
-  categorization diverges from the sequential baseline;
+  categorization diverges from the sequential baseline.  ``--shards``
+  adds the cluster scaling ladder and ``--failover`` the shard-failover
+  drill (a seeded victim crash mid-scan), both under the same identity
+  gate;
 * ``--serve`` — the serving benchmark.  Replays the five load scenarios
   (steady, flash crowd, stampede, outage+recovery, overload) through a
-  resilient frontend once per retry-jitter seed, writes
+  resilient frontend once per retry-jitter seed, then the
+  ``shard-outage`` cluster drill (its ``failover`` section), writes
   ``BENCH_serve.json``, and exits non-zero when phase reports are not
-  byte-identical across seeds or the degradation contract fails.
+  byte-identical across seeds or the degradation/failover contracts
+  fail.
 
 CI runs both on every PR (bench-smoke / serve-bench-smoke gates).
 """
@@ -42,6 +47,7 @@ def _serve_main(args: argparse.Namespace) -> int:
     out = args.out if args.out != "BENCH_scan.json" else "BENCH_serve.json"
     write_serve_report(report, out)
 
+    failover = report.get("failover")
     if args.json:
         import json
 
@@ -54,6 +60,17 @@ def _serve_main(args: argparse.Namespace) -> int:
         )
         for row in report["contract"]:
             print(f"  [{'ok' if row['ok'] else 'FAIL'}] {row['check']}: {row['detail']}")
+        if failover is not None:
+            print(
+                f"failover drill ({failover['scenario']}): "
+                f"{failover['queries_per_seed']} queries/seed, "
+                f"wall {failover['wall_s']}s"
+            )
+            for row in failover["contract"]:
+                print(
+                    f"  [{'ok' if row['ok'] else 'FAIL'}] "
+                    f"{row['check']}: {row['detail']}"
+                )
         print(f"report written to {out}")
 
     failed = False
@@ -75,6 +92,17 @@ def _serve_main(args: argparse.Namespace) -> int:
     if not report["contract_ok"]:
         print("FAIL: degradation contract violated", file=sys.stderr)
         failed = True
+    if failover is not None:
+        if not failover["deterministic"]:
+            print(
+                "FAIL: failover drill reports differ across retry-jitter "
+                f"seeds {failover['mismatched_seeds']}",
+                file=sys.stderr,
+            )
+            failed = True
+        if not failover["contract_ok"]:
+            print("FAIL: shard-failover contract violated", file=sys.stderr)
+            failed = True
     return 1 if failed else 0
 
 
@@ -132,6 +160,17 @@ def main(argv: list[str] | None = None) -> int:
             "categorization identity also gates the exit code"
         ),
     )
+    parser.add_argument(
+        "--failover",
+        action="store_true",
+        help=(
+            "add the shard-failover drill section: crash a seeded "
+            "victim shard mid-scan and require ejection, zero "
+            "datagrams while ejected, probe rejoin, restored routing, "
+            "and byte-identical categorization vs the fault-free "
+            "baseline (gates the exit code)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument(
         "--out", default="BENCH_scan.json", help="report path (default: BENCH_scan.json)"
@@ -157,7 +196,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.shards:
         shard_counts = [int(s) for s in args.shards.split(",") if s]
 
-    report = bench_report(scale_specs, seed=args.seed, shard_counts=shard_counts)
+    report = bench_report(
+        scale_specs,
+        seed=args.seed,
+        shard_counts=shard_counts,
+        failover=args.failover,
+    )
     write_report(report, args.out)
 
     if args.json:
@@ -197,12 +241,27 @@ def main(argv: list[str] | None = None) -> int:
                     f"{run['domains_per_virtual_s']}/vs, "
                     f"{run['messages']} messages{extra}"
                 )
+        if "failover" in report:
+            section = report["failover"]
+            print(
+                f"shard-failover drill at {section['target_domains']} "
+                f"domains, {section['shards']} shards, victim "
+                f"{section['facts']['victim']}:"
+            )
+            for row in section["contract"]:
+                print(
+                    f"  [{'ok' if row['ok'] else 'FAIL'}] "
+                    f"{row['check']}: {row['detail']}"
+                )
         print(f"report written to {args.out}")
 
+    failed = False
     if not report["all_identical"]:
         sections = list(report["populations"])
         if "shard_scaling" in report:
             sections.append(report["shard_scaling"])
+        if "failover" in report:
+            sections.append(report["failover"])
         if any(s["comparison_runs"] < 1 for s in sections):
             print(
                 "FAIL: identity gate ran zero baseline comparisons "
@@ -214,8 +273,15 @@ def main(argv: list[str] | None = None) -> int:
                 "FAIL: concurrent categorization diverges from the sequential baseline",
                 file=sys.stderr,
             )
-        return 1
-    return 0
+        failed = True
+    if "failover" in report and not report["failover"]["failover_ok"]:
+        print(
+            "FAIL: shard-failover drill contract violated "
+            "(or not byte-identical across jitter seeds)",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

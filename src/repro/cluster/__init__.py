@@ -7,14 +7,37 @@ an optional shared L2 read-through tier for infrastructure records.
 Shard count is provably invisible in scan output — see
 ``tests/test_cluster_differential.py`` and docs/ARCHITECTURE.md
 ("Cluster").
+
+The cluster is self-healing: a :class:`ShardHealthMonitor` ejects a
+shard from the routing ring after consecutive dispatch failures, its
+key range reroutes to ring successors (warm-started by the shared L2),
+and a single half-open probe after a virtual-time cooldown decides
+rejoin.  Faults are injected deterministically by a seeded
+:class:`ShardChaosPolicy` (crash / hang / restart-with-cold-cache), so
+every failover sequence replays byte-identically — see the
+``shard-outage`` drill in :mod:`repro.load.scenarios`.
 """
 
+from .chaos import (
+    SingleCrashPlan,
+    ShardChaosPolicy,
+    ShardChaosStats,
+    ShardFault,
+    ShardFaultKind,
+    seeded_single_crash,
+)
 from .cluster import (
     ClusterConfig,
     ClusterStats,
     L2Stats,
     ResolverCluster,
     SharedL2Cache,
+)
+from .health import (
+    ShardHealthConfig,
+    ShardHealthMonitor,
+    ShardHealthState,
+    ShardHealthStats,
 )
 from .ring import (
     DEFAULT_VNODES,
@@ -30,5 +53,15 @@ __all__ = [
     "L2Stats",
     "ResolverCluster",
     "SharedL2Cache",
+    "ShardChaosPolicy",
+    "ShardChaosStats",
+    "ShardFault",
+    "ShardFaultKind",
+    "ShardHealthConfig",
+    "ShardHealthMonitor",
+    "ShardHealthState",
+    "ShardHealthStats",
+    "SingleCrashPlan",
     "registered_domain_key",
+    "seeded_single_crash",
 ]

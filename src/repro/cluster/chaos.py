@@ -1,0 +1,226 @@
+"""Deterministic shard-level fault schedules for the resolver cluster.
+
+:mod:`repro.net.chaos` injects faults into the *network*; this module
+injects them into the *cluster itself*: whole shards crash, hang, and
+restart with cold caches, on the shared virtual clock, from a seeded
+schedule — the PR 1 discipline (one seeded RNG consumed in a fixed
+order, schedule replayed byte-identically) applied one layer up.
+
+Three fault shapes, mirroring how real shard processes die:
+
+* :func:`ShardChaosPolicy.crash` — the shard stops responding at a
+  virtual instant and stays dead until an explicit restart.  A crashed
+  shard receives *nothing*: the cluster's dispatch gate keeps its
+  datagram/query counters frozen, which is what the failover drill
+  pins at exactly zero while ejected.
+* :func:`ShardChaosPolicy.hang` — the shard is unresponsive for a
+  window ``[start, until)`` and comes back on its own (a GC pause, a
+  wedged event loop).  No restart, no cache loss.
+* :func:`ShardChaosPolicy.restart` — a dead shard comes back at a
+  virtual instant, optionally cold: the cluster flushes its L1 caches
+  *and* its previously published Shared-L2 entries (a restarted
+  process's old publications cannot be trusted), so the rejoined shard
+  re-fetches what it needs — warm-started by what the surviving shards
+  published in the meantime.
+
+The policy is purely declarative state: the cluster asks ``up(index)``
+before every dispatch and applies ``due_restarts()`` as virtual time
+passes.  Nothing here touches an RNG at decision time — the only
+randomness is the seeded victim pick in :func:`seeded_single_crash`,
+consumed once while *building* the schedule, so two runs with the same
+seed produce the same schedule and therefore the same failover
+sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..net.clock import Clock
+
+
+class ShardFaultKind(Enum):
+    CRASH = "crash"
+    HANG = "hang"
+    RESTART = "restart"
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One scheduled fault against one shard.
+
+    ``at`` (and ``until`` for hangs) are *absolute virtual-clock*
+    timestamps — schedules are installed against a running cluster whose
+    clock position is already deterministic, so absolute times replay
+    exactly.
+    """
+
+    kind: ShardFaultKind
+    shard: int
+    at: float
+    #: HANG only: the shard answers again from this instant.
+    until: float | None = None
+    #: RESTART only: flush the shard's caches and its L2 publications.
+    cold_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind is ShardFaultKind.HANG and self.until is None:
+            raise ValueError("a hang needs an `until` bound")
+
+
+@dataclass
+class ShardChaosStats:
+    crashes: int = 0
+    hangs: int = 0
+    restarts_applied: int = 0
+    blocked_dispatches: int = 0
+
+
+class ShardChaosPolicy:
+    """A seeded, replayable schedule of shard faults.
+
+    Faults may be scheduled up front (constructor) or appended while
+    the cluster runs (the load engine schedules each phase's fault at
+    the phase's deterministic virtual start time).  ``up()`` is a pure
+    function of (schedule, virtual now), so concurrent lanes — each
+    with its own virtual-time view — observe the fault exactly when
+    their own clock crosses it.
+    """
+
+    def __init__(self, seed: int = 0, faults: tuple[ShardFault, ...] = ()):
+        self.seed = int(seed)
+        #: The seeded RNG of the PR 1 discipline.  Schedule *builders*
+        #: (victim picks) consume it; decision time never does.
+        self.rng = random.Random(self.seed)
+        self._faults: list[ShardFault] = []
+        self._applied_restarts: set[int] = set()
+        self.stats = ShardChaosStats()
+        for fault in faults:
+            self._add(fault)
+
+    # -- schedule construction ----------------------------------------------
+
+    def _add(self, fault: ShardFault) -> ShardFault:
+        self._faults.append(fault)
+        if fault.kind is ShardFaultKind.CRASH:
+            self.stats.crashes += 1
+        elif fault.kind is ShardFaultKind.HANG:
+            self.stats.hangs += 1
+        return fault
+
+    def crash(self, shard: int, at: float) -> ShardFault:
+        """The shard stops answering at ``at`` until a later restart."""
+        return self._add(ShardFault(ShardFaultKind.CRASH, shard, at))
+
+    def hang(self, shard: int, start: float, until: float) -> ShardFault:
+        """The shard is unresponsive in ``[start, until)``, then returns."""
+        return self._add(
+            ShardFault(ShardFaultKind.HANG, shard, start, until=until)
+        )
+
+    def restart(
+        self, shard: int, at: float, *, cold_cache: bool = True
+    ) -> ShardFault:
+        """A crashed shard comes back at ``at`` (cold by default)."""
+        return self._add(
+            ShardFault(
+                ShardFaultKind.RESTART, shard, at, cold_cache=cold_cache
+            )
+        )
+
+    @property
+    def faults(self) -> tuple[ShardFault, ...]:
+        return tuple(self._faults)
+
+    # -- decision time -------------------------------------------------------
+
+    def up(self, shard: int, now: float) -> bool:
+        """Is ``shard`` able to answer at virtual time ``now``?
+
+        A shard is down while a hang window covers ``now``, or from a
+        crash's instant until a restart whose time has passed.  The
+        *schedule* decides — restarts count even before the cluster has
+        applied their cache flush, so ``up`` stays a pure function of
+        (schedule, now) regardless of bookkeeping order.
+        """
+        for fault in self._faults:
+            if fault.shard != shard:
+                continue
+            if fault.kind is ShardFaultKind.HANG:
+                if fault.at <= now < (fault.until or 0.0):
+                    return False
+            elif fault.kind is ShardFaultKind.CRASH and fault.at <= now:
+                restarted = any(
+                    other.kind is ShardFaultKind.RESTART
+                    and other.shard == shard
+                    and fault.at <= other.at <= now
+                    for other in self._faults
+                )
+                if not restarted:
+                    return False
+        return True
+
+    def note_blocked(self) -> None:
+        """The cluster gated a dispatch off a down shard (accounting)."""
+        self.stats.blocked_dispatches += 1
+
+    def due_restarts(self, now: float) -> list[ShardFault]:
+        """Restart faults due by ``now`` and not yet applied.
+
+        Each restart is handed out exactly once — the cluster performs
+        the cold-cache flush and the policy marks it applied.
+        """
+        due = []
+        for position, fault in enumerate(self._faults):
+            if (
+                fault.kind is ShardFaultKind.RESTART
+                and fault.at <= now
+                and position not in self._applied_restarts
+            ):
+                self._applied_restarts.add(position)
+                due.append(fault)
+                self.stats.restarts_applied += 1
+        return due
+
+
+@dataclass(frozen=True)
+class SingleCrashPlan:
+    """A seeded one-victim crash/restart schedule (the drill's shape)."""
+
+    victim: int
+    crash_at: float
+    restart_at: float
+    policy: ShardChaosPolicy = field(compare=False)
+
+
+def seeded_single_crash(
+    seed: int,
+    shard_count: int,
+    *,
+    clock: Clock,
+    crash_after: float,
+    restart_after: float,
+) -> SingleCrashPlan:
+    """Build the canonical drill schedule: one victim, crash, cold restart.
+
+    The victim is drawn from ``random.Random(seed)`` — the only RNG
+    consumption in this module — and the crash/restart instants are
+    offsets from the clock's *current* position, so the same seed at
+    the same virtual starting point replays the identical sequence.
+    """
+    if shard_count < 2:
+        raise ValueError("a crash drill needs at least two shards")
+    if restart_after <= crash_after:
+        raise ValueError("the restart must come after the crash")
+    policy = ShardChaosPolicy(seed)
+    victim = policy.rng.randrange(shard_count)
+    now = clock.now()
+    crash_at = now + crash_after
+    restart_at = now + restart_after
+    policy.crash(victim, crash_at)
+    policy.restart(victim, restart_at, cold_cache=True)
+    return SingleCrashPlan(
+        victim=victim, crash_at=crash_at, restart_at=restart_at, policy=policy
+    )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 from bisect import bisect_right
-from typing import Iterable
+from typing import Container, Iterable
 
 from ..dns.name import Name
 
@@ -95,14 +95,27 @@ class ConsistentHashRing:
         self._shards.discard(shard_id)
         self._points = [p for p in self._points if p[1] != shard_id]
 
-    def shard_for(self, key: str) -> str:
-        """The shard owning ``key``: first ring point clockwise of it."""
+    def shard_for(self, key: str, exclude: Container[str] = ()) -> str:
+        """The shard owning ``key``: first ring point clockwise of it.
+
+        ``exclude`` skips shards while walking clockwise — the failover
+        router uses it to reach a key's ring *successor* when its home
+        shard is unreachable but not (yet) ejected.  Excluding a shard
+        is provably equivalent to removing it (consistency property:
+        removal only moves the victim's keys, onto exactly these
+        successors); ``tests/test_cluster_ring.py`` pins the
+        equivalence.  Raises :class:`LookupError` when no eligible
+        shard remains.
+        """
         if not self._points:
             raise LookupError("ring has no shards")
-        index = bisect_right(self._points, (_point(key), "￿"))
-        if index == len(self._points):
-            index = 0  # wrap past the top of the ring
-        return self._points[index][1]
+        start = bisect_right(self._points, (_point(key), "￿"))
+        count = len(self._points)
+        for step in range(count):
+            shard_id = self._points[(start + step) % count][1]
+            if shard_id not in exclude:
+                return shard_id
+        raise LookupError("every shard on the ring is excluded")
 
     def distribution(self, keys: Iterable[str]) -> dict[str, int]:
         """Keys per shard (property tests and the imbalance gauge)."""

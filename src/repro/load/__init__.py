@@ -30,7 +30,9 @@ The pieces:
   renderer shared by ``python -m repro.bench --serve`` and
   ``python -m repro.tools.serve --drill``;
 * :mod:`repro.load.bench` — the two-jitter-seed benchmark runner that
-  writes ``BENCH_serve.json`` and enforces the degradation contract.
+  writes ``BENCH_serve.json`` and enforces the degradation contract,
+  plus the ``failover`` section replaying the ``shard-outage`` cluster
+  recovery drill under the same identity gate.
 
 Everything is deterministic: the *schedule* seed fixes the population,
 clients, arrival times, query mix and message IDs; the *jitter* seed
@@ -44,7 +46,9 @@ from __future__ import annotations
 from .arrivals import OnOffProcess, client_arrivals
 from .bench import (
     DEFAULT_JITTER_SEEDS,
+    FAILOVER_SCENARIO,
     SERVE_SCHEMA,
+    failover_bench_report,
     serve_bench_report,
     write_serve_report,
 )
@@ -62,6 +66,7 @@ from .scenarios import SCENARIO_ORDER, SCENARIOS, PhaseSpec, ScenarioSpec
 __all__ = [
     "DEFAULT_CLIENT_CLASSES",
     "DEFAULT_JITTER_SEEDS",
+    "FAILOVER_SCENARIO",
     "SERVE_SCHEMA",
     "SCENARIOS",
     "SCENARIO_ORDER",
@@ -75,6 +80,7 @@ __all__ = [
     "ZipfMix",
     "build_clients",
     "client_arrivals",
+    "failover_bench_report",
     "percentile",
     "render_phase_table",
     "serve_bench_report",

@@ -12,6 +12,14 @@ On top of the determinism gate the report carries a ``contract`` block
 re-checking the resilience guarantees the paper's degradation story
 rests on (see :mod:`repro.load.scenarios` for the scenario-by-scenario
 statement of each).
+
+``failover_bench_report`` applies the same double-run discipline to the
+``shard-outage`` cluster drill: the seeded victim crash, ejection,
+failover and cold-restart rejoin must replay byte-identically across
+retry-jitter seeds, and the failover contract (≥99% answered, zero
+datagrams to the ejected shard, probe rejoin, routing restored) must
+hold.  ``serve_bench_report`` embeds it as the ``failover`` section of
+``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -27,6 +35,9 @@ from .engine import LoadConfig, LoadEngine
 from .scenarios import SCENARIO_ORDER
 
 SERVE_SCHEMA = "repro-bench-serve/v1"
+
+#: The scenario the failover section replays (needs a sharded world).
+FAILOVER_SCENARIO = "shard-outage"
 
 #: The two retry-jitter seeds the determinism gate compares.
 DEFAULT_JITTER_SEEDS: tuple[int, ...] = (1, 20230524)
@@ -86,12 +97,132 @@ def _check_contract(scenarios: list[dict]) -> list[dict]:
     return checks
 
 
+def _check_failover_contract(phases: list[dict]) -> list[dict]:
+    """The shard-outage drill's guarantees; one row per check."""
+    rows = {phase["phase"]: phase for phase in phases}
+    checks: list[dict] = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        checks.append({"check": name, "ok": bool(ok), "detail": detail})
+
+    crash = rows.get("shard-crash", {})
+    recovery = rows.get("shard-recovery", {})
+    crash_answered = crash.get("answered_fraction", 0.0)
+    recovery_answered = recovery.get("answered_fraction", 0.0)
+    check(
+        "failover-answered",
+        crash_answered >= 0.99 and recovery_answered >= 0.99,
+        "in-window queries answered: "
+        f"{crash_answered:.1%} during the crash, "
+        f"{recovery_answered:.1%} during recovery (floor 99%)",
+    )
+    check(
+        "failover-ejection",
+        crash.get("ejections", 0) >= 1
+        and crash.get("victim_state") == "ejected"
+        and crash.get("failover_routed", 0) > 0,
+        f"victim shard {crash.get('victim')} "
+        f"{crash.get('victim_state', 'unknown')} after "
+        f"{crash.get('ejections', 0)} ejection(s); "
+        f"{crash.get('failover_routed', 0)} queries rerouted to successors",
+    )
+    check(
+        "failover-blackhole",
+        crash.get("victim_datagrams_in_phase", -1) == 0
+        and crash.get("datagrams_while_ejected", -1) == 0
+        and recovery.get("datagrams_while_ejected", -1) == 0,
+        "datagrams reaching the ejected shard: "
+        f"{crash.get('victim_datagrams_in_phase', '?')} in the crash "
+        f"phase, {recovery.get('datagrams_while_ejected', '?')} while "
+        "ejected overall (must be exactly 0)",
+    )
+    check(
+        "failover-rejoin",
+        recovery.get("victim_state") == "healthy"
+        and recovery.get("probe_successes", 0) >= 1,
+        f"victim {recovery.get('victim_state', 'unknown')} after "
+        f"{recovery.get('probe_successes', 0)} successful half-open "
+        f"probe(s) ({recovery.get('probe_failures', 0)} failed)",
+    )
+    check(
+        "failover-routing-restored",
+        bool(recovery.get("routing_restored")),
+        "post-recovery routing equals the pre-fault map: "
+        f"{recovery.get('routing_restored')}",
+    )
+    return checks
+
+
+def failover_bench_report(
+    scale: float = 1.0,
+    workers: int = 8,
+    jitter_seeds: tuple[int, ...] = DEFAULT_JITTER_SEEDS,
+    target_domains: int = 2000,
+    population=None,
+) -> dict:
+    """Run the shard-outage drill once per jitter seed and gate it.
+
+    Same discipline as :func:`serve_bench_report`: the schedule seed
+    (and with it the victim pick and fault instants) is fixed, only the
+    retry-jitter seed varies, and the drill is accepted only when every
+    phase report — ejection counters, blackhole tallies, routing
+    verdicts and all — is byte-identical across seeds.
+    """
+    wall_start = time.perf_counter()  # repro: allow[wall-clock]
+    guard = (
+        determinism_sanitizer()
+        if os.environ.get("REPRO_SANITIZER")
+        else nullcontext()
+    )
+    runs: list[dict] = []
+    with guard:
+        for seed in jitter_seeds:
+            config = LoadConfig(
+                target_domains=target_domains,
+                jitter_seed=seed,
+                workers=workers,
+                scale=scale,
+            )
+            engine = LoadEngine(config, population=population)
+            population = engine.population  # build once, share across seeds
+            runs.append(engine.run_scenario(FAILOVER_SCENARIO))
+    wall = time.perf_counter() - wall_start  # repro: allow[wall-clock]
+
+    reference = runs[0]
+    mismatched = [
+        seed
+        for seed, run in zip(jitter_seeds[1:], runs[1:])
+        if _canonical([run]) != _canonical([reference])
+    ]
+    deterministic = len(jitter_seeds) >= 2 and not mismatched
+    contract = _check_failover_contract(reference["phases"])
+    return {
+        "schema": "repro-bench-failover/v1",
+        "scenario": FAILOVER_SCENARIO,
+        "config": {
+            "scale": scale,
+            "workers": workers,
+            "target_domains": target_domains,
+            "jitter_seeds": list(jitter_seeds),
+        },
+        "queries_per_seed": sum(row["queries"] for row in reference["phases"]),
+        "deterministic": deterministic,
+        "comparison_seeds": max(0, len(jitter_seeds) - 1),
+        "mismatched_seeds": mismatched,
+        "contract": contract,
+        "contract_ok": all(row["ok"] for row in contract),
+        "phases": reference["phases"],
+        "wall_s": round(wall, 3),
+    }
+
+
 def serve_bench_report(
     scale: float = 1.0,
     workers: int = 8,
     jitter_seeds: tuple[int, ...] = DEFAULT_JITTER_SEEDS,
     scenario_names: tuple[str, ...] = SCENARIO_ORDER,
     target_domains: int = 2000,
+    include_failover: bool = True,
 ) -> dict:
     """Run the suite once per jitter seed and assemble the report."""
     wall_start = time.perf_counter()  # repro: allow[wall-clock]
@@ -126,7 +257,7 @@ def serve_bench_report(
     # of passing vacuously (--serve-seeds 1 used to exit 0 untested).
     deterministic = len(jitter_seeds) >= 2 and not mismatched
     contract = _check_contract(reference)
-    return {
+    report = {
         "schema": SERVE_SCHEMA,
         "config": {
             "scale": scale,
@@ -144,6 +275,15 @@ def serve_bench_report(
         "scenarios": reference,
         "wall_s": round(wall, 3),
     }
+    if include_failover:
+        report["failover"] = failover_bench_report(
+            scale=scale,
+            workers=workers,
+            jitter_seeds=jitter_seeds,
+            target_domains=target_domains,
+            population=population,
+        )
+    return report
 
 
 def write_serve_report(report: dict, path: str) -> None:

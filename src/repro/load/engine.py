@@ -29,7 +29,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..bench import DEFAULT_SEED, population_config_for
-from ..cluster import ResolverCluster
+from ..cluster import ResolverCluster, ShardChaosPolicy
 from ..dns.message import Message
 from ..dns.name import Name
 from ..dns.rcode import Rcode
@@ -52,7 +52,13 @@ from ..scan.wild import WildInternet
 from .arrivals import client_arrivals
 from .population import Client, ZipfMix, build_clients
 from .report import build_phase_report, counter_delta, counter_values
-from .scenarios import SCENARIO_ORDER, SCENARIOS, PhaseSpec, ScenarioSpec
+from .scenarios import (
+    SCENARIO_INDEX,
+    SCENARIO_ORDER,
+    SCENARIOS,
+    PhaseSpec,
+    ScenarioSpec,
+)
 
 #: Profiles that resolve to a cacheable NOERROR without validation —
 #: the hot set is drawn from these so the outage phase has stale data
@@ -127,7 +133,7 @@ class LoadEngine:
 
     # -- world construction --------------------------------------------------
 
-    def _build_world(self):
+    def _build_world(self, min_shards: int = 0):
         """Wild internet + datagram endpoint + its resolver-like core.
 
         Returns ``(wild, endpoint, resolver)``: the endpoint speaks
@@ -135,7 +141,10 @@ class LoadEngine:
         :class:`~repro.cluster.ResolverCluster` when ``config.shards``
         > 1) and the resolver half answers ``run_refreshes`` /
         ``open_breaker_keys`` / ``refresh_backlog`` for the phase loop.
+        ``min_shards`` lets a scenario force a real cluster (the
+        shard-outage drill) regardless of the engine config.
         """
+        shards = max(self.config.shards, min_shards)
         wild = WildInternet(self.population)
         obs = Observability(clock=wild.fabric.clock)
         frontend_config = FrontendConfig(
@@ -146,13 +155,13 @@ class LoadEngine:
             # measuring client-visible service time.
             inline_refreshes=False,
         )
-        if self.config.shards > 1:
+        if shards > 1:
             cluster = ResolverCluster(
                 fabric=wild.fabric,
                 profile=CLOUDFLARE,
                 root_hints=wild.root_hints,
                 trust_anchors=wild.trust_anchors,
-                shards=self.config.shards,
+                shards=shards,
                 validate=False,
                 engine_config=EngineConfig(rng_seed=self.config.jitter_seed),
                 resilience=ResilienceConfig(
@@ -302,10 +311,32 @@ class LoadEngine:
 
     def run_scenario(self, name: str) -> dict:
         spec: ScenarioSpec = SCENARIOS[name]
-        scenario_index = SCENARIO_ORDER.index(name)
-        wild, endpoint, resolver = self._build_world()
+        scenario_index = SCENARIO_INDEX[name]
+        wild, endpoint, resolver = self._build_world(min_shards=spec.shards)
         clock = wild.fabric.clock
         registry = endpoint.obs.registry
+
+        # Shard-fault drill wiring: the victim pick and fault instants
+        # are pure schedule-domain facts (they decide which queries get
+        # degraded, a client-visible outcome), so the policy is seeded
+        # from the *schedule* seed — the jitter seed must never reach
+        # it.  ``endpoint`` is the ResolverCluster whenever a phase
+        # carries a shard fault (spec.shards >= 2 forces it).
+        shard_policy = None
+        victim: int | None = None
+        if any(phase.shard_fault for phase in spec.phases):
+            if not isinstance(endpoint, ResolverCluster):
+                raise ValueError(
+                    f"scenario {name!r} injects shard faults but the "
+                    "world is not a cluster"
+                )
+            shard_policy = ShardChaosPolicy(
+                _derived_seed(
+                    self.config.schedule_seed, scenario_index, 0xC7A0
+                )
+            )
+            victim = shard_policy.rng.randrange(len(endpoint.shards))
+            endpoint.install_shard_chaos(shard_policy)
 
         hot_domains = self._hot_domains(wild)
         hot_positive = tuple(domain.name + "." for domain in hot_domains)
@@ -318,9 +349,20 @@ class LoadEngine:
         )
 
         rows = []
+        routing_probe = tuple(self._ranked[:256])
+        pre_fault_routing: tuple[int, ...] | None = None
+        victim_datagrams_before = 0
         for phase_index, phase in enumerate(spec.phases):
             if phase.advance_before:
                 clock.advance(phase.advance_before)
+            if phase.shard_fault == "crash":
+                pre_fault_routing = endpoint.routing_snapshot(routing_probe)
+                victim_datagrams_before = endpoint.frontends[
+                    victim
+                ].stats.datagrams
+                shard_policy.crash(victim, at=clock.now())
+            elif phase.shard_fault == "restart":
+                shard_policy.restart(victim, at=clock.now(), cold_cache=True)
             if phase.outage_seconds:
                 wild.fabric.install_chaos(
                     ChaosPolicy(
@@ -361,6 +403,60 @@ class LoadEngine:
             if phase.name == "recovery":
                 extras["breakers_closed"] = not resolver.open_breaker_keys()
                 extras["refresh_backlog"] = resolver.refresh_backlog()
+            if phase.name == "shard-crash":
+                classified = measured["classified"]
+                total = sum(classified.values())
+                answered = classified.get("fresh", 0) + classified.get(
+                    "stale", 0
+                )
+                extras["victim"] = victim
+                extras["answered_fraction"] = (
+                    round(answered / total, 6) if total else 0.0
+                )
+                extras["victim_state"] = endpoint.health.state_of(
+                    victim
+                ).value
+                extras["ejections"] = endpoint.health.stats.ejections
+                extras["failover_routed"] = (
+                    endpoint.cluster_stats.failover_total
+                )
+                extras["victim_datagrams_in_phase"] = (
+                    endpoint.frontends[victim].stats.datagrams
+                    - victim_datagrams_before
+                )
+                extras["datagrams_while_ejected"] = (
+                    endpoint.datagrams_while_ejected(victim)
+                )
+            if phase.name == "shard-recovery":
+                classified = measured["classified"]
+                total = sum(classified.values())
+                answered = classified.get("fresh", 0) + classified.get(
+                    "stale", 0
+                )
+                extras["answered_fraction"] = (
+                    round(answered / total, 6) if total else 0.0
+                )
+                extras["victim_state"] = endpoint.health.state_of(
+                    victim
+                ).value
+                extras["probe_successes"] = (
+                    endpoint.health.stats.probe_successes
+                )
+                extras["probe_failures"] = (
+                    endpoint.health.stats.probe_failures
+                )
+                extras["datagrams_while_ejected"] = (
+                    endpoint.datagrams_while_ejected(victim)
+                )
+                extras["l2_owner_flushed"] = (
+                    endpoint.l2.stats.owner_flushed
+                    if endpoint.l2 is not None
+                    else 0
+                )
+                extras["routing_restored"] = (
+                    endpoint.routing_snapshot(routing_probe)
+                    == pre_fault_routing
+                )
             rows.append(
                 build_phase_report(
                     scenario=name,

@@ -31,6 +31,18 @@ the reported phases begin.  Reported phases:
     cache-miss work also presses the in-flight cap.  Sheds must be
     REFUSED + Prohibited (18) while cache/stale hits keep flowing.
 
+One extra scenario lives outside the five-scenario suite:
+
+``shard-outage``
+    The cluster recovery drill (``serve --drill shard-outage`` and the
+    benchmark's ``failover`` section): a seeded victim shard crashes
+    mid-run, the health monitor ejects it from the hash ring, its key
+    range fails over to ring successors, and a cold restart plus one
+    half-open probe rejoins it — with ≥99% of in-window queries still
+    answered, zero datagrams reaching the ejected shard, and routing
+    restored to the pre-fault map.  Needs ``shards >= 2``, which is why
+    it is not part of the default (single-resolver) suite order.
+
 Phase durations interlock with three constants elsewhere: the wild
 zones' 300 s record TTL (expiry jumps are 400 s), the 86 400 s
 serve-stale window (everything expired stays stale-eligible), and the
@@ -61,6 +73,10 @@ class PhaseSpec:
     #: Install a chaos outage covering this phase's hot hosting servers
     #: for this many seconds (0 = no chaos action).
     outage_seconds: float = 0.0
+    #: Shard-level fault applied at this phase's start: ``"crash"``
+    #: kills the drill victim shard, ``"restart"`` brings it back with a
+    #: cold cache ("" = no shard fault).  Requires a sharded scenario.
+    shard_fault: str = ""
     #: Whether this phase appears in the report (warm phases do not).
     report: bool = True
 
@@ -72,6 +88,10 @@ class ScenarioSpec:
     name: str
     title: str
     phases: tuple[PhaseSpec, ...] = field(default_factory=tuple)
+    #: Minimum shard count this scenario needs (0 = run with whatever
+    #: the engine config says).  The shard-outage drill forces a real
+    #: cluster even when the suite otherwise runs single-resolver.
+    shards: int = 0
 
 
 def _warm() -> PhaseSpec:
@@ -149,6 +169,40 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             ),
         ),
         ScenarioSpec(
+            "shard-outage",
+            "Shard outage: crash, ejection, failover, cold-restart rejoin",
+            (
+                _warm(),
+                PhaseSpec(
+                    "baseline",
+                    duration=30.0,
+                    arrivals=OnOffProcess(rate=0.8, mean_on=6.0, mean_off=3.0),
+                ),
+                # The drill victim (a seeded pick from the schedule
+                # domain) crashes at this phase's first instant: its
+                # key range must detect-eject-reroute while ≥99% of
+                # queries keep getting answered.
+                PhaseSpec(
+                    "shard-crash",
+                    duration=60.0,
+                    arrivals=OnOffProcess(rate=1.0, mean_on=6.0, mean_off=3.0),
+                    hot_weight=0.5,
+                    shard_fault="crash",
+                ),
+                # Cold restart at this phase's start; the 30 s health
+                # cooldown elapses mid-phase, the single half-open probe
+                # succeeds, and routing returns to the pre-fault map.
+                PhaseSpec(
+                    "shard-recovery",
+                    duration=75.0,
+                    arrivals=OnOffProcess(rate=0.8, mean_on=6.0, mean_off=3.0),
+                    hot_weight=0.5,
+                    shard_fault="restart",
+                ),
+            ),
+            shards=4,
+        ),
+        ScenarioSpec(
             "overload",
             "Overload: offered load beyond the shed threshold",
             (
@@ -166,6 +220,9 @@ SCENARIOS: dict[str, ScenarioSpec] = {
 }
 
 #: Canonical suite order (also the order in ``BENCH_serve.json``).
+#: The ``shard-outage`` drill is not part of the five-scenario suite —
+#: it needs a sharded world — and rides in the benchmark's separate
+#: ``failover`` section instead.
 SCENARIO_ORDER: tuple[str, ...] = (
     "steady",
     "flash",
@@ -173,3 +230,16 @@ SCENARIO_ORDER: tuple[str, ...] = (
     "outage",
     "overload",
 )
+
+#: Deterministic per-scenario index for seed derivation: suite
+#: scenarios keep their suite position; extras (the drills) follow in
+#: sorted order so adding one never renumbers another's schedule.
+SCENARIO_INDEX: dict[str, int] = {
+    **{name: index for index, name in enumerate(SCENARIO_ORDER)},
+    **{
+        name: len(SCENARIO_ORDER) + offset
+        for offset, name in enumerate(
+            sorted(set(SCENARIOS) - set(SCENARIO_ORDER))
+        )
+    },
+}

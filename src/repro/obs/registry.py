@@ -127,6 +127,19 @@ METRICS: dict[str, MetricSpec] = {
     "repro_cluster_shards": MetricSpec(
         "gauge", "Shard count of the running resolver cluster"
     ),
+    "repro_cluster_ejections_total": MetricSpec(
+        "counter", "Shards ejected from the routing ring by health checks",
+        ("shard",),
+    ),
+    "repro_cluster_failover_routed_total": MetricSpec(
+        "counter",
+        "Queries routed away from a down or ejected shard to a successor",
+        ("shard",),  # shard: the one routed *away from*
+    ),
+    "repro_cluster_probe_total": MetricSpec(
+        "counter", "Half-open probes against ejected shards",
+        ("outcome",),  # outcome: ok | fail
+    ),
     # -- scanner -----------------------------------------------------------
     "repro_scan_phase_domains_total": MetricSpec(
         "counter", "Domains completed per scan phase", ("phase",)

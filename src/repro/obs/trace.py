@@ -92,7 +92,9 @@ class QueryTrace:
     start: float
     events: list[TraceEvent] = field(default_factory=list)
 
-    def add(self, clock: "Clock", kind: TraceEventKind, **attrs) -> TraceEvent:
+    def add(
+        self, clock: "Clock", kind: TraceEventKind, /, **attrs
+    ) -> TraceEvent:
         bad = RESERVED_ATTRS.intersection(attrs)
         if bad:
             raise ValueError(f"reserved trace attribute name(s): {sorted(bad)}")

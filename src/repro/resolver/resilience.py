@@ -419,6 +419,13 @@ class FrontendConfig:
     #: engine) turn this off and call ``resolver.run_refreshes()``
     #: themselves.
     inline_refreshes: bool = True
+    #: Virtual-seconds ceiling on one full-resolution serve; answers
+    #: slower than this count as deadline breaches in
+    #: :class:`FrontendStats` (and feed shard health when the frontend
+    #: sits behind a :class:`~repro.cluster.cluster.ResolverCluster`).
+    #: ``None`` — the default — disables breach accounting, so a
+    #: legitimately slow resolution can never perturb routing.
+    service_deadline: float | None = None
 
 
 #: The closed vocabulary of shed reasons, as exposed on the
@@ -440,6 +447,8 @@ class FrontendStats:
     inflight_sheds: int = 0
     handler_errors: int = 0
     inflight_peak: int = 0
+    #: Answered serves slower than ``FrontendConfig.service_deadline``.
+    deadline_breaches: int = 0
     #: reason -> count, same closed vocabulary as the metric label.
     shed_by_reason: dict = field(default_factory=dict)
 
@@ -458,6 +467,7 @@ class FrontendStats:
             "shed_truncated": self.shed_truncated,
             "handler_errors": self.handler_errors,
             "inflight_peak": self.inflight_peak,
+            "deadline_breaches": self.deadline_breaches,
             "shed_by_reason": {
                 reason: self.shed_by_reason.get(reason, 0)
                 for reason in SHED_REASONS
@@ -609,11 +619,15 @@ class ResilientFrontend:
         self._inflight += 1
         self.stats.inflight_peak = max(self.stats.inflight_peak, self._inflight)
         self._m_inflight.set(self._inflight)
+        started = self._clock.now()
         try:
             response = self.resolver.handle_query(query, source)
         finally:
             self._inflight -= 1
             self._m_inflight.set(self._inflight)
+        deadline = self.config.service_deadline
+        if deadline is not None and self._clock.now() - started > deadline:
+            self.stats.deadline_breaches += 1
         self.stats.answered += 1
         self._m_responses.labels(outcome="answered").inc()
         return response

@@ -25,10 +25,11 @@ shutdown (and ``--duration`` bounds the run, for smoke tests);
 ``--trace-log PATH`` streams every finished query trace as NDJSON.
 
 ``--drill SCENARIO`` skips the sockets entirely and replays one named
-load scenario (steady, flash, stampede, outage, overload) through the
-in-process resilience layer on the virtual clock, printing the same
-phase report the serving benchmark emits — a one-command way to watch
-the degradation behaviour without standing up the UDP testbed.
+load scenario (steady, flash, stampede, outage, overload, or the
+cluster recovery drill ``shard-outage``) through the in-process
+resilience layer on the virtual clock, printing the same phase report
+the serving benchmark emits — a one-command way to watch the
+degradation behaviour without standing up the UDP testbed.
 """
 
 from __future__ import annotations
@@ -139,12 +140,12 @@ async def serve(args: argparse.Namespace) -> None:
 
 def drill(args: argparse.Namespace) -> int:
     """Replay one load scenario in-process and print its phase report."""
-    from ..load import LoadConfig, LoadEngine, SCENARIO_ORDER, render_phase_table
+    from ..load import LoadConfig, LoadEngine, SCENARIOS, render_phase_table
 
-    if args.drill not in SCENARIO_ORDER:
+    if args.drill not in SCENARIOS:
         print(
             f"unknown scenario {args.drill!r}; pick one of: "
-            + ", ".join(SCENARIO_ORDER),
+            + ", ".join(SCENARIOS),
             file=sys.stderr,
         )
         return 2
@@ -193,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--drill", default="", metavar="SCENARIO",
                         help="replay one load scenario in-process instead of"
                              " serving UDP (steady, flash, stampede, outage,"
-                             " overload)")
+                             " overload, shard-outage)")
     parser.add_argument("--drill-scale", type=float, default=0.25,
                         help="client-population multiplier for --drill"
                              " (default 0.25)")

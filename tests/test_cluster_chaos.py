@@ -1,0 +1,123 @@
+"""Unit tests for seeded shard fault schedules: crash/hang/restart
+windows as pure functions of (schedule, virtual now), one-shot restart
+handout, and byte-identical replay of the seeded drill plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.chaos import (
+    ShardChaosPolicy,
+    ShardFault,
+    ShardFaultKind,
+    seeded_single_crash,
+)
+from repro.net.clock import SimulatedClock
+
+
+class TestFaultWindows:
+    def test_crash_is_down_until_restart(self):
+        policy = ShardChaosPolicy()
+        policy.crash(1, at=10.0)
+        policy.restart(1, at=50.0)
+        assert policy.up(1, 9.9)
+        assert not policy.up(1, 10.0)
+        assert not policy.up(1, 49.9)
+        assert policy.up(1, 50.0)
+        # Other shards never notice.
+        assert policy.up(0, 20.0)
+
+    def test_crash_without_restart_is_permanent(self):
+        policy = ShardChaosPolicy()
+        policy.crash(0, at=5.0)
+        assert not policy.up(0, 1e9)
+
+    def test_hang_window_recovers_on_its_own(self):
+        policy = ShardChaosPolicy()
+        policy.hang(2, start=10.0, until=20.0)
+        assert policy.up(2, 9.9)
+        assert not policy.up(2, 10.0)
+        assert not policy.up(2, 19.9)
+        assert policy.up(2, 20.0)
+        assert policy.stats.hangs == 1
+
+    def test_hang_requires_until(self):
+        with pytest.raises(ValueError):
+            ShardFault(ShardFaultKind.HANG, 0, 10.0)
+
+    def test_restart_before_crash_does_not_resurrect(self):
+        """Only a restart at-or-after the crash instant ends it."""
+        policy = ShardChaosPolicy()
+        policy.restart(0, at=5.0)
+        policy.crash(0, at=10.0)
+        assert not policy.up(0, 12.0)
+
+
+class TestRestartHandout:
+    def test_due_restarts_are_one_shot(self):
+        policy = ShardChaosPolicy()
+        policy.restart(1, at=30.0, cold_cache=True)
+        assert policy.due_restarts(29.9) == []
+        due = policy.due_restarts(30.0)
+        assert [fault.shard for fault in due] == [1]
+        assert due[0].cold_cache is True
+        assert policy.due_restarts(31.0) == []
+        assert policy.stats.restarts_applied == 1
+
+    def test_multiple_restarts_hand_out_independently(self):
+        policy = ShardChaosPolicy()
+        policy.restart(0, at=10.0)
+        policy.restart(1, at=20.0)
+        assert [f.shard for f in policy.due_restarts(15.0)] == [0]
+        assert [f.shard for f in policy.due_restarts(25.0)] == [1]
+
+
+class TestSeededPlan:
+    def test_same_seed_same_plan(self):
+        for seed in (0, 7, 20230524):
+            clock_a, clock_b = SimulatedClock(), SimulatedClock()
+            plan_a = seeded_single_crash(
+                seed, 8, clock=clock_a, crash_after=5.0, restart_after=45.0
+            )
+            plan_b = seeded_single_crash(
+                seed, 8, clock=clock_b, crash_after=5.0, restart_after=45.0
+            )
+            assert plan_a.victim == plan_b.victim
+            assert plan_a.crash_at == plan_b.crash_at
+            assert plan_a.crash_at == clock_a.now() + 5.0
+            assert plan_a.restart_at == plan_b.restart_at
+            assert plan_a.restart_at == clock_a.now() + 45.0
+            assert plan_a.policy.faults == plan_b.policy.faults
+
+    def test_plan_offsets_ride_the_clock(self):
+        clock = SimulatedClock()
+        clock.advance(100.0)
+        start = clock.now()
+        plan = seeded_single_crash(
+            1, 4, clock=clock, crash_after=2.0, restart_after=10.0
+        )
+        assert plan.crash_at == start + 2.0
+        assert plan.restart_at == start + 10.0
+        assert not plan.policy.up(plan.victim, start + 5.0)
+        assert plan.policy.up(plan.victim, start + 10.0)
+
+    def test_victim_varies_with_seed(self):
+        clock = SimulatedClock()
+        victims = {
+            seeded_single_crash(
+                seed, 8, clock=clock, crash_after=1.0, restart_after=2.0
+            ).victim
+            for seed in range(32)
+        }
+        assert len(victims) > 1
+
+    def test_plan_validation(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            seeded_single_crash(
+                1, 1, clock=clock, crash_after=1.0, restart_after=2.0
+            )
+        with pytest.raises(ValueError):
+            seeded_single_crash(
+                1, 4, clock=clock, crash_after=2.0, restart_after=2.0
+            )

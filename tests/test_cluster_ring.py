@@ -119,6 +119,42 @@ class TestConsistency:
         after = {key: ring.shard_for(key) for key in KEYSPACE[:1000]}
         assert before == after
 
+    @settings(max_examples=25, deadline=None)
+    @given(shard_id_sets)
+    def test_remove_then_add_restores_exact_mapping(self, ids):
+        """Ejection/rejoin symmetry: ``remove(shard)`` then
+        ``add(shard)`` restores the original key->shard mapping exactly
+        — the property the cluster's recovery path relies on to put a
+        rejoined shard's key range back where it was."""
+        ring = ConsistentHashRing(ids)
+        before = {key: ring.shard_for(key) for key in KEYSPACE}
+        for victim in ids:
+            ring.remove_shard(victim)
+            ring.add_shard(victim)
+            after = {key: ring.shard_for(key) for key in KEYSPACE}
+            assert after == before, f"rejoining {victim} changed routing"
+
+    @settings(max_examples=25, deadline=None)
+    @given(shard_id_sets)
+    def test_excluding_a_shard_equals_removing_it(self, ids):
+        """The failover router's exclusion walk is exactly removal:
+        ``shard_for(key, exclude={victim})`` agrees with a ring built
+        without the victim, for every key."""
+        ring = ConsistentHashRing(ids)
+        victim = ids[0]
+        without = ConsistentHashRing(
+            [shard_id for shard_id in ids if shard_id != victim]
+        )
+        for key in KEYSPACE[:1500]:
+            assert ring.shard_for(key, exclude={victim}) == (
+                without.shard_for(key)
+            )
+
+    def test_excluding_everything_raises(self):
+        ring = ConsistentHashRing(["s0", "s1"])
+        with pytest.raises(LookupError):
+            ring.shard_for("example.com", exclude={"s0", "s1"})
+
 
 class TestRegisteredDomainKey:
     def test_subdomains_share_a_key(self):

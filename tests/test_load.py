@@ -149,11 +149,23 @@ class TestScenarioCatalog:
         assert SCENARIO_ORDER == (
             "steady", "flash", "stampede", "outage", "overload"
         )
-        assert set(SCENARIOS) == set(SCENARIO_ORDER)
+        # The suite runs single-resolver; extra scenarios (the cluster
+        # drills) live outside the order but inside the catalog.
+        assert set(SCENARIO_ORDER) <= set(SCENARIOS)
+        assert set(SCENARIOS) - set(SCENARIO_ORDER) == {"shard-outage"}
 
     def test_every_scenario_reports_at_least_one_phase(self):
         for spec in SCENARIOS.values():
             assert any(phase.report for phase in spec.phases)
+
+    def test_scenario_indices_are_stable(self):
+        from repro.load.scenarios import SCENARIO_INDEX
+
+        for position, name in enumerate(SCENARIO_ORDER):
+            assert SCENARIO_INDEX[name] == position
+        # Extras follow the suite in sorted order, so adding one drill
+        # never renumbers another's seeded schedule.
+        assert SCENARIO_INDEX["shard-outage"] == len(SCENARIO_ORDER)
 
 
 class TestEngineEndToEnd:
@@ -211,3 +223,68 @@ class TestEngineEndToEnd:
         from repro.tools.serve import main
 
         assert main(["--drill", "nope"]) == 2
+
+
+class TestShardOutageDrill:
+    """The failover drill through the load engine and its benchmark
+    gate, at unit-test scale."""
+
+    def test_shard_outage_scenario_identical_across_jitter_seeds(self):
+        engine = LoadEngine(LoadConfig(**TINY))
+        other = LoadEngine(
+            LoadConfig(**TINY, jitter_seed=20230524),
+            population=engine.population,
+        )
+        run_a = engine.run_scenario("shard-outage")
+        run_b = other.run_scenario("shard-outage")
+        assert json.dumps(run_a, sort_keys=True) == json.dumps(
+            run_b, sort_keys=True
+        )
+        crash = next(
+            r for r in run_a["phases"] if r["phase"] == "shard-crash"
+        )
+        recovery = next(
+            r for r in run_a["phases"] if r["phase"] == "shard-recovery"
+        )
+        # The failover contract at this scale, too.
+        assert crash["victim_state"] == "ejected"
+        assert crash["ejections"] == 1
+        assert crash["answered_fraction"] >= 0.99
+        assert crash["victim_datagrams_in_phase"] == 0
+        assert crash["datagrams_while_ejected"] == 0
+        assert recovery["victim_state"] == "healthy"
+        assert recovery["probe_successes"] >= 1
+        assert recovery["datagrams_while_ejected"] == 0
+        assert recovery["routing_restored"] is True
+
+    def test_failover_bench_report_gates(self):
+        from repro.load import failover_bench_report
+
+        report = failover_bench_report(
+            scale=0.1, workers=2, target_domains=200
+        )
+        assert report["scenario"] == "shard-outage"
+        assert report["deterministic"] is True
+        assert report["mismatched_seeds"] == []
+        assert report["contract_ok"] is True
+        checks = {row["check"] for row in report["contract"]}
+        assert checks == {
+            "failover-answered",
+            "failover-ejection",
+            "failover-blackhole",
+            "failover-rejoin",
+            "failover-routing-restored",
+        }
+
+    def test_drill_cli_runs_shard_outage(self, capsys):
+        from repro.tools.serve import main
+
+        code = main([
+            "--drill", "shard-outage",
+            "--drill-scale", "0.1",
+            "--drill-domains", "200",
+            "--drill-workers", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shard-crash" in out and "shard-recovery" in out
