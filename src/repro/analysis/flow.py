@@ -159,6 +159,9 @@ class CallSite:
     constructs: tuple[str, ...] = ()
     #: The call happens under a try whose handler catches broadly.
     protected: bool = False
+    #: Exception names caught by enclosing *named* handlers — a callee's
+    #: ``raise X`` cannot escape through this site when ``X`` is listed.
+    caught: tuple[str, ...] = ()
 
 
 @dataclass
@@ -607,12 +610,14 @@ class Program:
                     if isinstance(node.func, ast.Attribute)
                     else node.func.id if isinstance(node.func, ast.Name) else ""
                 )
+                named = [frame for frame in frames if frame is not None]
                 site = CallSite(
                     node=node, line=node.lineno, name=name,
                     targets=tuple(sorted(targets)),
                     external=tuple(sorted(external)),
                     constructs=tuple(sorted(constructs)),
                     protected=any(frame is None for frame in frames),
+                    caught=tuple(sorted(frozenset().union(*named))) if named else (),
                 )
                 fn.calls.append(site)
                 fn.call_index[id(node)] = site
@@ -682,8 +687,14 @@ def _reachable(
     entries: list[FunctionInfo],
     *,
     unprotected_only: bool = False,
+    exc_name: str | None = None,
 ) -> dict[str, str | None]:
-    """BFS over call edges; returns fn qualname -> parent qualname."""
+    """BFS over call edges; returns fn qualname -> parent qualname.
+
+    With ``exc_name``, call sites whose enclosing named handlers catch
+    that exception also block the edge — the escape analysis for
+    ``raise X`` must not pass through a ``try: ... except X:`` caller.
+    """
     parents: dict[str, str | None] = {fn.qualname: None for fn in entries}
     queue = deque(fn.qualname for fn in entries)
     while queue:
@@ -693,6 +704,8 @@ def _reachable(
             continue  # the scheduler boundary: do not look inside
         for site in fn.calls:
             if unprotected_only and site.protected:
+                continue
+            if exc_name is not None and exc_name in site.caught:
                 continue
             for target in site.targets:
                 if target not in parents:
@@ -796,13 +809,30 @@ def check_never_raise(program: Program) -> Iterator[Finding]:
     entries = find_entries(program)
     if not entries:
         return
+    # The broad-only reachability bounds the candidate set; each raised
+    # exception name then gets its own pass where call sites under a
+    # handler *naming* that exception also block the edge, so a
+    # parse-or-refuse callee (`try: walk() except RefusedError:`) is
+    # credited without demanding a bare `except Exception`.
     parents = _reachable(program, entries, unprotected_only=True)
+    named_parents: dict[str | None, dict[str, str | None]] = {None: parents}
+
+    def parents_for(exc_name: str | None) -> dict[str, str | None]:
+        if exc_name not in named_parents:
+            named_parents[exc_name] = _reachable(
+                program, entries, unprotected_only=True, exc_name=exc_name
+            )
+        return named_parents[exc_name]
+
     for q in sorted(parents):
         fn = program.functions[q]
-        chain = _chain(program, parents, q)
         for site in fn.raises:
             if site.handled:
                 continue
+            escape_parents = parents_for(site.exc_name)
+            if q not in escape_parents:
+                continue
+            chain = _chain(program, escape_parents, q)
             label = site.exc_name or "bare raise"
             yield Finding(
                 rule=RULE_NEVER_RAISE,

@@ -24,6 +24,7 @@ from typing import Iterable
 
 from ..cluster import ClusterConfig, ShardHealthConfig, seeded_single_crash
 from ..resolver.iterative import EngineConfig
+from ..scan.figures import figure1_series, figure2_series, series_to_csv
 from ..scan.population import (
     NOMINAL_TOTAL_DOMAINS,
     Population,
@@ -455,11 +456,158 @@ def bench_failover(
     }
 
 
+#: Wall-clock speedup the rendered-response cache bundle must reach at
+#: its best ladder rung before the bench gate passes (enforced only at
+#: populations of :data:`RENDER_SPEEDUP_MIN_DOMAINS`+ domains, where
+#: wall-clock is dominated by scan work rather than setup).
+RENDER_SPEEDUP_FLOOR = 2.0
+RENDER_SPEEDUP_MIN_DOMAINS = 1000
+
+
+def _render_cache_scan(
+    population: Population,
+    *,
+    workers: int,
+    use_lanes: bool,
+    jitter_seed: int,
+    cache_on: bool,
+    batch: int,
+) -> tuple[float, dict, str, dict | None]:
+    """One arm of the render-cache A/B: returns wall seconds, the
+    per-domain categorization, the Figure 1/2 series as CSV text, and
+    (for the cache-on arm) the rendered-wire cache counters.
+
+    The off arm is the untouched seed byte path; the on arm enables the
+    whole bundle — rendered-response wire caches on every authoritative
+    tier, the engine's rendered-query memo, the fabric's paved
+    in-process fast path, and batched lane submission.
+    """
+    wild = WildInternet(population, render_cache=cache_on)
+    scanner = WildScanner(
+        wild,
+        engine_config=EngineConfig(
+            rng_seed=jitter_seed,
+            render_query_cache=cache_on,
+            paved_fabric=cache_on,
+        ),
+    )
+    wall_start = time.perf_counter()  # repro: allow[wall-clock]
+    result = scanner.scan(
+        workers=workers,
+        use_lanes=use_lanes,
+        batch=batch if cache_on else 1,
+        coarse=cache_on,
+    )
+    wall = time.perf_counter() - wall_start  # repro: allow[wall-clock]
+    gtld, cctld = figure1_series(result, population)
+    figures_csv = series_to_csv(gtld, cctld, figure2_series(result))
+    render = wild.render_cache_stats().snapshot() if cache_on else None
+    return wall, categorization_of(result), figures_csv, render
+
+
+def bench_render_cache(
+    target_domains: int,
+    seed: int = DEFAULT_SEED,
+    workers_list: Iterable[int] = (1, 8, 32),
+    jitter_seeds: Iterable[int] = (1, 20230524),
+    batch: int = 32,
+) -> dict:
+    """Rendered-response wire cache A/B ladder (the tentpole gate).
+
+    For each retry-jitter seed and each worker rung, the same population
+    is scanned twice — cache off (the seed byte path) and cache on (wire
+    caches + rendered-query memo + paved fabric + batched lanes) — and
+    the two arms must agree byte-for-byte on every per-domain
+    categorization *and* on the Figure 1 / Figure 2 aggregate series.
+    Identity is always a hard gate; the wall-clock speedup floor
+    (:data:`RENDER_SPEEDUP_FLOOR` at the best rung) is enforced only at
+    :data:`RENDER_SPEEDUP_MIN_DOMAINS`+ domains, because at the CI smoke
+    scale setup dominates and wall-clock is machine noise.
+    """
+    jitter_seeds = [int(s) for s in jitter_seeds]
+    workers_list = [int(w) for w in workers_list]
+    config = population_config_for(target_domains, seed)
+    population = generate_population(config)
+
+    rungs = []
+    reference = None
+    identical = True
+    figures_identical = True
+    for jitter_seed in jitter_seeds:
+        for workers in workers_list:
+            use_lanes = workers > 1
+            wall_off, cat_off, fig_off, _ = _render_cache_scan(
+                population,
+                workers=workers,
+                use_lanes=use_lanes,
+                jitter_seed=jitter_seed,
+                cache_on=False,
+                batch=batch,
+            )
+            wall_on, cat_on, fig_on, render = _render_cache_scan(
+                population,
+                workers=workers,
+                use_lanes=use_lanes,
+                jitter_seed=jitter_seed,
+                cache_on=True,
+                batch=batch,
+            )
+            if reference is None:
+                reference = cat_off
+            rung_identical = (
+                cat_on == cat_off and cat_off == reference
+            )
+            rung_figures = fig_on == fig_off
+            identical = identical and rung_identical
+            figures_identical = figures_identical and rung_figures
+            rungs.append(
+                {
+                    "jitter_seed": jitter_seed,
+                    "workers": workers,
+                    "mode": "lanes" if use_lanes else "sequential",
+                    "wall_off_s": round(wall_off, 3),
+                    "wall_on_s": round(wall_on, 3),
+                    "speedup": round(wall_off / max(wall_on, 1e-9), 2),
+                    "identical": rung_identical,
+                    "figures_identical": rung_figures,
+                    "render_cache": render,
+                }
+            )
+
+    best = max((rung["speedup"] for rung in rungs), default=0.0)
+    speed_enforced = target_domains >= RENDER_SPEEDUP_MIN_DOMAINS
+    speed_ok = best >= RENDER_SPEEDUP_FLOOR
+    comparisons = len(rungs)
+    identical = comparisons > 0 and identical
+    figures_identical = comparisons > 0 and figures_identical
+    return {
+        "target_domains": target_domains,
+        "population_scale": config.scale,
+        "actual_domains": len(population.domains),
+        "jitter_seeds": jitter_seeds,
+        "batch": batch,
+        "rungs": rungs,
+        "best_speedup": best,
+        "speedup_floor": RENDER_SPEEDUP_FLOOR,
+        "speedup_enforced": speed_enforced,
+        "speedup_ok": speed_ok,
+        "comparison_runs": comparisons,
+        "categorization_identical": identical,
+        "figures_identical": figures_identical,
+        "render_cache_ok": (
+            identical
+            and figures_identical
+            and (speed_ok or not speed_enforced)
+        ),
+    }
+
+
 def bench_report(
     scale_specs: Iterable[tuple[int, Iterable[int]]],
     seed: int = DEFAULT_SEED,
     shard_counts: Iterable[int] | None = None,
     failover: bool = False,
+    render_cache: bool = False,
 ) -> dict:
     """Full multi-population report (the ``BENCH_scan.json`` payload).
 
@@ -471,7 +619,11 @@ def bench_report(
     in ``all_identical`` (and therefore the CLI exit code).
     ``failover`` adds the shard-failover drill section
     (:func:`bench_failover`), whose categorization identity joins the
-    gate the same way.
+    gate the same way.  ``render_cache`` adds the rendered-response
+    wire-cache A/B ladder (:func:`bench_render_cache`); its
+    categorization *and* figure identity verdicts join ``all_identical``
+    (the wall-clock speedup floor gates separately via
+    ``render_cache_ok``).
     """
     specs = [(int(scale), [int(w) for w in workers]) for scale, workers in scale_specs]
     populations = [
@@ -498,6 +650,13 @@ def bench_report(
         )
         report["failover"] = failover_section
         verdicts.append(failover_section["categorization_identical"])
+    if render_cache:
+        render_section = bench_render_cache(
+            specs[0][0] if specs else 1000, seed=seed
+        )
+        report["render_cache"] = render_section
+        verdicts.append(render_section["categorization_identical"])
+        verdicts.append(render_section["figures_identical"])
     report["all_identical"] = bool(verdicts) and all(verdicts)
     return report
 

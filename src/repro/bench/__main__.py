@@ -5,9 +5,11 @@ Two modes:
 * default — the scan benchmark.  Writes ``BENCH_scan.json`` (or
   ``--out``) and exits non-zero when any concurrent run's per-domain
   categorization diverges from the sequential baseline.  ``--shards``
-  adds the cluster scaling ladder and ``--failover`` the shard-failover
-  drill (a seeded victim crash mid-scan), both under the same identity
-  gate;
+  adds the cluster scaling ladder, ``--failover`` the shard-failover
+  drill (a seeded victim crash mid-scan), and ``--render-cache`` the
+  rendered-response wire-cache A/B ladder (cache off vs on, byte-
+  identical records and Figure 1/2 aggregates, wall-clock speedup
+  floor), all under the same identity gate;
 * ``--serve`` — the serving benchmark.  Replays the five load scenarios
   (steady, flash crowd, stampede, outage+recovery, overload) through a
   resilient frontend once per retry-jitter seed, then the
@@ -171,6 +173,18 @@ def main(argv: list[str] | None = None) -> int:
             "baseline (gates the exit code)"
         ),
     )
+    parser.add_argument(
+        "--render-cache",
+        action="store_true",
+        help=(
+            "add the rendered-response wire-cache A/B ladder: each "
+            "worker rung scans cache-off vs cache-on at both "
+            "retry-jitter seeds and must agree byte-for-byte on every "
+            "per-domain categorization and the Figure 1/2 aggregates; "
+            "the wall-clock speedup floor is enforced at 1000+ domains "
+            "(gates the exit code)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument(
         "--out", default="BENCH_scan.json", help="report path (default: BENCH_scan.json)"
@@ -201,6 +215,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         shard_counts=shard_counts,
         failover=args.failover,
+        render_cache=args.render_cache,
     )
     write_report(report, args.out)
 
@@ -253,6 +268,31 @@ def main(argv: list[str] | None = None) -> int:
                     f"  [{'ok' if row['ok'] else 'FAIL'}] "
                     f"{row['check']}: {row['detail']}"
                 )
+        if "render_cache" in report:
+            section = report["render_cache"]
+            print(
+                f"render-cache A/B at {section['target_domains']} domains "
+                f"(batch {section['batch']}, seeds {section['jitter_seeds']}):"
+            )
+            for rung in section["rungs"]:
+                render = rung.get("render_cache") or {}
+                print(
+                    f"  seed {rung['jitter_seed']:>8} "
+                    f"{rung['workers']:>3} workers: "
+                    f"off {rung['wall_off_s']}s on {rung['wall_on_s']}s "
+                    f"({rung['speedup']}x), "
+                    f"identical={rung['identical']}, "
+                    f"figures={rung['figures_identical']}, "
+                    f"stores {render.get('stores', 0)}, "
+                    f"hits {render.get('hits', 0)}"
+                )
+            floor = section["speedup_floor"]
+            enforced = "enforced" if section["speedup_enforced"] else "advisory"
+            print(
+                f"  best speedup {section['best_speedup']}x "
+                f"(floor {floor}x, {enforced}): "
+                f"{'ok' if section['speedup_ok'] else 'BELOW FLOOR'}"
+            )
         print(f"report written to {args.out}")
 
     failed = False
@@ -262,6 +302,8 @@ def main(argv: list[str] | None = None) -> int:
             sections.append(report["shard_scaling"])
         if "failover" in report:
             sections.append(report["failover"])
+        if "render_cache" in report:
+            sections.append(report["render_cache"])
         if any(s["comparison_runs"] < 1 for s in sections):
             print(
                 "FAIL: identity gate ran zero baseline comparisons "
@@ -278,6 +320,13 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "FAIL: shard-failover drill contract violated "
             "(or not byte-identical across jitter seeds)",
+            file=sys.stderr,
+        )
+        failed = True
+    if "render_cache" in report and not report["render_cache"]["render_cache_ok"]:
+        print(
+            "FAIL: render-cache A/B gate violated (categorization/figure "
+            "divergence, or wall-clock speedup below the enforced floor)",
             file=sys.stderr,
         )
         failed = True

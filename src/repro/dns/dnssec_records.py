@@ -109,13 +109,23 @@ class DNSKEY(Rdata):
         return bool(self.flags & REVOKE_FLAG)
 
     def key_tag(self) -> int:
-        """RFC 4034 Appendix B key tag over the rdata."""
+        """RFC 4034 Appendix B key tag over the rdata.
+
+        Pure function of this immutable rdata, so the first computation
+        is memoized on the instance — validators recompute it for every
+        signature they check.
+        """
+        cached = getattr(self, "_key_tag", None)
+        if cached is not None:
+            return cached
         data = self.to_wire()
         total = 0
         for index, byte in enumerate(data):
             total += byte if index & 1 else byte << 8
         total += (total >> 16) & 0xFFFF
-        return total & 0xFFFF
+        tag = total & 0xFFFF
+        object.__setattr__(self, "_key_tag", tag)
+        return tag
 
     def write(self, writer: WireWriter, canonical: bool = False) -> None:
         writer.write_u16(self.flags)

@@ -106,10 +106,14 @@ class A(Rdata):
     address: str = "0.0.0.0"
 
     def __post_init__(self) -> None:
-        ipaddress.IPv4Address(self.address)  # validate
+        # Validation and the packed wire form share one parse; rdata is
+        # immutable, so the four bytes never go stale.
+        object.__setattr__(
+            self, "_packed", ipaddress.IPv4Address(self.address).packed
+        )
 
     def write(self, writer: WireWriter, canonical: bool = False) -> None:
-        writer.write_bytes(ipaddress.IPv4Address(self.address).packed)
+        writer.write_bytes(self._packed)
 
     @classmethod
     def read(cls, reader: WireReader, rdlength: int) -> "A":
@@ -130,11 +134,12 @@ class AAAA(Rdata):
     address: str = "::"
 
     def __post_init__(self) -> None:
-        packed = ipaddress.IPv6Address(self.address)
-        object.__setattr__(self, "address", str(packed))
+        parsed = ipaddress.IPv6Address(self.address)
+        object.__setattr__(self, "address", str(parsed))
+        object.__setattr__(self, "_packed", parsed.packed)
 
     def write(self, writer: WireWriter, canonical: bool = False) -> None:
-        writer.write_bytes(ipaddress.IPv6Address(self.address).packed)
+        writer.write_bytes(self._packed)
 
     @classmethod
     def read(cls, reader: WireReader, rdlength: int) -> "AAAA":

@@ -14,6 +14,7 @@ into the EDE codes of the paper's groups 6-7 and the wild scan's
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -97,6 +98,10 @@ class NetworkFabric:
         self._route_filter: Callable[[str], bool] | None = None
         self.stats = FabricStats()
         self.chaos: ChaosPolicy | None = None
+        # Per-thread slot for the paved fast path (see :meth:`send`):
+        # holds the endpoint-built response Message when the last paved
+        # send on this thread proved it parse-equivalent to the wire.
+        self._paved_tls = threading.local()
         if chaos is not None:
             self.install_chaos(chaos)
 
@@ -141,6 +146,12 @@ class NetworkFabric:
     def endpoints(self) -> list[tuple[str, int]]:
         return sorted(self._endpoints)
 
+    def registered_endpoints(self) -> list[Endpoint]:
+        """Every registered endpoint object, in address order — for
+        fleet-wide reconfiguration (e.g. attaching rendered-wire caches
+        to all authoritative servers on this fabric)."""
+        return [self._endpoints[key] for key in sorted(self._endpoints)]
+
     # -- delivery ----------------------------------------------------------------
 
     def send(
@@ -151,6 +162,7 @@ class NetworkFabric:
         port: int = DNS_PORT,
         timeout: float = 2.0,
         transport: str = "udp",
+        message: object | None = None,
     ) -> bytes:
         """Round-trip one datagram; raises Unreachable/Timeout on failure.
 
@@ -159,10 +171,24 @@ class NetworkFabric:
         otherwise identical — this fabric does not model TCP setup cost
         beyond one extra round-trip of latency.
 
+        ``message`` opts this send into the *paved* in-process fast
+        path: when the endpoint implements ``handle_paved(wire, source,
+        message)`` it receives the caller's already-parsed query (no
+        wire decode server-side) and may return the response Message
+        alongside the wire; the caller collects it via
+        :meth:`take_paved` and skips its own re-parse.  The wire, every
+        latency/loss/stats decision, and the bytes on the "network" are
+        identical to the plain path — only redundant codec work is
+        elided.  The fast path disables itself whenever a chaos policy
+        is installed (chaos mutates wires) or the endpoint lacks the
+        handler, falling back to ``handle_datagram``.
+
         Successful or not, the virtual clock advances: by the link latency
         on success, by ``timeout`` when the query goes unanswered.
         """
 
+        if message is not None:
+            self._paved_tls.response = None
         self.stats.datagrams_sent += 1
         if transport == "tcp":
             self.stats.tcp_queries += 1
@@ -222,6 +248,12 @@ class NetworkFabric:
                 if handler is not None:
                     return handler(wire, source)
                 return endpoint.handle_datagram(wire, source)
+            if message is not None and self.chaos is None:
+                paved = getattr(endpoint, "handle_paved", None)
+                if paved is not None:
+                    response, parsed = paved(wire, source, message)
+                    self._paved_tls.response = parsed
+                    return response
             return endpoint.handle_datagram(wire, source)
 
         response = deliver()
@@ -240,3 +272,16 @@ class NetworkFabric:
         self.stats.datagrams_delivered += 1
         self.stats.bytes_received += len(response)
         return response
+
+    def take_paved(self) -> object | None:
+        """Return and clear this thread's paved response Message.
+
+        None whenever the last paved :meth:`send` on this thread took
+        the plain wire path (chaos installed, endpoint without
+        ``handle_paved``, or equivalence unproven) — the caller must
+        then parse the returned wire as usual.
+        """
+        parsed = getattr(self._paved_tls, "response", None)
+        if parsed is not None:
+            self._paved_tls.response = None
+        return parsed

@@ -59,11 +59,20 @@ class _PoolAbort(BaseException):
 class VirtualLanePool:
     """Runs items through ``fn`` on N deterministic virtual-time lanes."""
 
-    def __init__(self, clock, workers: int):
+    def __init__(self, clock, workers: int, coarse: bool = False):
         if workers < 1:
             raise ValueError("need at least one lane")
         self._clock = clock
         self._workers = int(workers)
+        #: Coarse scheduling: ``lane_advance`` only accumulates lane
+        #: time instead of rescheduling, so the token changes hands at
+        #: item boundaries and predicate waits rather than at every
+        #: virtual-latency hop.  Lane times (and thus the makespan) are
+        #: unchanged — only *when* the scheduler compares them differs —
+        #: and scheduling stays a pure function of the workload; what it
+        #: gives up is the globally time-ordered interleaving.  Off by
+        #: default: the seed schedule, byte-for-byte.
+        self._coarse = bool(coarse)
         self._cv = threading.Condition()
         self._tls = threading.local()
         self._times: list[float] = []
@@ -143,6 +152,12 @@ class VirtualLanePool:
             return False
         if seconds < 0:
             raise ValueError("time only moves forward")
+        if self._coarse:
+            # Token already held; no other lane can observe _times
+            # mid-update because mutation only happens at scheduling
+            # points, and this is no longer one.
+            self._times[lane] += seconds
+            return True
         with self._cv:
             self._times[lane] += seconds
             self._yield_turn(lane)

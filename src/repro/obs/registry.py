@@ -47,6 +47,11 @@ METRICS: dict[str, MetricSpec] = {
         "counter", "Answers served without upstream work",
         ("profile", "kind"),  # kind: positive | negative | error
     ),
+    "repro_resolver_render_hits_total": MetricSpec(
+        "counter",
+        "Datagrams served from the rendered-wire cache (ID/TTL patched bytes)",
+        ("profile",),
+    ),
     "repro_resolver_stale_served_total": MetricSpec(
         "counter", "RFC 8767 stale answers served", ("profile", "kind")
     ),

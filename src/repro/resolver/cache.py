@@ -121,6 +121,19 @@ class ResolverCache:
         remaining = max(1, int(entry.expires_at - now))
         return entry.rrset.copy(ttl=remaining)
 
+    def positive_expiry(self, name: Name, rdtype: RdataType) -> float | None:
+        """The fractional expiry of a fresh positive entry, or None.
+
+        Read-only (no stats, no eviction): the rendered-wire cache uses
+        it to record the exact ``expires_at`` a hit was served against,
+        so per-hit TTL patches reproduce ``get_rrset``'s
+        ``max(1, int(expires_at - now))`` byte-for-byte.
+        """
+        entry = self._positive.get((name, int(rdtype)))
+        if entry is None or self._clock.now() >= entry.expires_at:
+            return None
+        return entry.expires_at
+
     def get_stale_rrset(self, name: Name, rdtype: RdataType) -> RRset | None:
         """Expired-but-retained entry for serve-stale, or None."""
         if not self.config.serve_stale:

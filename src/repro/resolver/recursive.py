@@ -31,6 +31,7 @@ from ..dnssec.trace import (
 from ..dnssec.validator import FetchResult, Validator
 from ..net.clock import Clock
 from ..net.fabric import NetworkFabric
+from ..dns.render import RenderedWireCache, wire_key
 from ..obs import NULL_OBS, Observability, TraceEventKind
 from .cache import STALE_TTL, CacheConfig, ResolverCache
 from .ede_policy import EdePolicy
@@ -70,6 +71,11 @@ class ResolverStats:
     #: Stale-while-revalidate: background refreshes attempted/completed.
     refreshes: int = 0
     refreshed_ok: int = 0
+    #: Rendered-wire cache outcomes on the datagram path: hits served
+    #: straight from patched bytes (zero Message work — these do NOT
+    #: also count as answer-cache hits), and responses stored.
+    render_hits: int = 0
+    render_stores: int = 0
 
 
 @dataclass
@@ -111,6 +117,7 @@ class RecursiveResolver:
         cache_config: CacheConfig | None = None,
         obs: Observability | None = None,
         l2: "SharedL2Cache | None" = None,
+        render_cache: bool = False,
     ):
         self.fabric = fabric
         self.profile = profile
@@ -123,6 +130,7 @@ class RecursiveResolver:
         self._m_responses = self.obs.counter("repro_resolver_responses_total")
         self._m_ede = self.obs.counter("repro_resolver_ede_total")
         self._m_cache_hits = self.obs.counter("repro_resolver_cache_hits_total")
+        self._m_render = self.obs.counter("repro_resolver_render_hits_total")
         self._m_stale = self.obs.counter("repro_resolver_stale_served_total")
         self._m_coalesced = self.obs.counter("repro_resolver_coalesced_total")
         self._m_infra = self.obs.counter("repro_resolver_infra_fetch_total")
@@ -170,6 +178,19 @@ class RecursiveResolver:
 
             self.reporter = ErrorReporter(self.clock)
         self.stats = ResolverStats()
+        #: Rendered-response wire cache for the datagram path (see
+        #: :mod:`repro.dns.render`): a repeat wire query whose answer is
+        #: still covered by the answer cache is served from stored bytes
+        #: with only the ID rewritten and answer TTLs re-derived from
+        #: the *same* fractional expiry ``get_rrset`` decrements against.
+        #: Off (None) by default — the seed byte path.
+        self.render_cache = RenderedWireCache(clock=self.clock) if render_cache else None
+        #: Per-lane render plan: what kind of answer-cache hit produced
+        #: the response being encoded, and the entry's fractional expiry.
+        #: Only responses derived from a cache hit are wire-cacheable —
+        #: every other path mutates state (stats, refresh queues) or
+        #: depends on upstream work.
+        self._render_tls = threading.local()
         self._infra_cache: dict[tuple[Name, Name, int], _InfraEntry] = {}
         self._infra_ttl = 300.0
         #: Optional cluster-shared L2 tier for infra fetch results (see
@@ -325,12 +346,75 @@ class RecursiveResolver:
     # -- fabric endpoint protocol (so a resolver can itself be hosted) ----------------
 
     def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        key = self.render_serve_key(wire)
+        if key is not None:
+            served = self.render_serve(key, wire)
+            if served is not None:
+                return served
         try:
             query = Message.from_wire(wire)
         except Exception:
             response = Message(rcode=Rcode.FORMERR, qr=True)
             return response.to_wire()
-        return self.handle_query(query, source).to_wire()
+        self.render_reset()
+        encoded = self.handle_query(query, source).to_wire()
+        if key is not None:
+            self.render_store(key, encoded)
+        return encoded
+
+    # -- rendered-wire cache hooks (shared with the resilient frontend) ---------------
+
+    def render_serve_key(self, wire: bytes) -> bytes | None:
+        """The render-cache key for an incoming wire, or None when the
+        cache is off or the datagram is too short to be a query."""
+        if self.render_cache is None:
+            return None
+        return wire_key(wire)
+
+    def render_serve(self, key: bytes, wire: bytes) -> bytes | None:
+        """A patched cached response, or None.  A hit counts as one
+        served query and one render hit — *not* an answer-cache hit
+        (the answer cache was never consulted), so cluster aggregates
+        keep counting each client query exactly once."""
+        served = self.render_cache.serve(key, wire)
+        if served is None:
+            return None
+        self.stats.queries += 1
+        self.stats.render_hits += 1
+        if self.obs.enabled:
+            self._m_render.labels(profile=self._obs_profile).inc()
+        return served
+
+    def render_reset(self) -> None:
+        """Clear the per-lane render plan before handling one datagram."""
+        if self.render_cache is not None:
+            self._render_tls.plan = None
+
+    def _render_note(self, kind: str, expires_at: float | None) -> None:
+        """Record that the outcome being built came from a cache hit."""
+        if self.render_cache is not None and expires_at is not None:
+            self._render_tls.plan = (kind, expires_at)
+
+    def render_store(self, key: bytes, encoded: bytes) -> None:
+        """Cache the encoded response iff this datagram's answer came
+        straight from the answer cache (the only byte-stable paths).
+        Positive hits decrement their answer TTLs against the entry's
+        fractional expiry; negative hits replay stored authority TTLs
+        verbatim; error hits carry no records.  The wire entry expires
+        exactly when the underlying cache entry does."""
+        plan = getattr(self._render_tls, "plan", None)
+        if plan is None:
+            return
+        kind, expires_at = plan
+        self._render_tls.plan = None
+        stored = self.render_cache.store(
+            key,
+            encoded,
+            expires_at=expires_at,
+            decrement_answers_until=expires_at if kind == "positive" else None,
+        )
+        if stored:
+            self.stats.render_stores += 1
 
     # -- resolution pipeline ------------------------------------------------------------
 
@@ -409,6 +493,7 @@ class RecursiveResolver:
             outcome.events.append(record)
             outcome.validation = ValidationTrace.insecure()
             self._note_cache_hit("error", record)
+            self._render_note("error", error.expires_at)
             return outcome
 
         cached = self.cache.get_rrset(qname, rdtype)
@@ -419,6 +504,7 @@ class RecursiveResolver:
             outcome.from_cache = True
             outcome.validation = ValidationTrace.insecure()
             self._note_cache_hit("positive")
+            self._render_note("positive", self.cache.positive_expiry(qname, rdtype))
             return outcome
         negative = self.cache.get_negative(qname, rdtype)
         if negative is not None:
@@ -428,6 +514,7 @@ class RecursiveResolver:
             outcome.from_cache = True
             outcome.validation = ValidationTrace.insecure()
             self._note_cache_hit("negative")
+            self._render_note("negative", negative.expires_at)
             return outcome
         return None
 

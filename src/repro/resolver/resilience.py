@@ -426,6 +426,12 @@ class FrontendConfig:
     #: ``None`` — the default — disables breach accounting, so a
     #: legitimately slow resolution can never perturb routing.
     service_deadline: float | None = None
+    #: Serve repeat wire queries from the resolver's rendered-response
+    #: cache (requires a resolver built with ``render_cache=True``).  A
+    #: render hit is answered *before* shed policy runs — it still
+    #: charges the client's token bucket, but cannot be refused; the
+    #: flag is off by default so the seed shed behaviour is untouched.
+    render_cache: bool = False
 
 
 #: The closed vocabulary of shed reasons, as exposed on the
@@ -449,6 +455,9 @@ class FrontendStats:
     inflight_peak: int = 0
     #: Answered serves slower than ``FrontendConfig.service_deadline``.
     deadline_breaches: int = 0
+    #: Datagrams answered straight from the rendered-wire cache (these
+    #: are also counted in ``answered``).
+    render_hits: int = 0
     #: reason -> count, same closed vocabulary as the metric label.
     shed_by_reason: dict = field(default_factory=dict)
 
@@ -468,6 +477,7 @@ class FrontendStats:
             "handler_errors": self.handler_errors,
             "inflight_peak": self.inflight_peak,
             "deadline_breaches": self.deadline_breaches,
+            "render_hits": self.render_hits,
             "shed_by_reason": {
                 reason: self.shed_by_reason.get(reason, 0)
                 for reason in SHED_REASONS
@@ -565,6 +575,24 @@ class ResilientFrontend:
     def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
         self.stats.datagrams += 1
         self._m_datagrams.inc()
+        key = self.resolver.render_serve_key(wire) if self.config.render_cache else None
+        if key is not None:
+            served = self.resolver.render_serve(key, wire)
+            if served is not None:
+                # Mirror the always-served cache-hit semantics: the
+                # client's bucket is charged (a hit is still a served
+                # answer) but the outcome cannot be a shed, and the
+                # post-answer refresh drain still runs below.
+                self._bucket(source).take()
+                self.stats.answered += 1
+                self.stats.render_hits += 1
+                self._m_responses.labels(outcome="answered").inc()
+                if self.config.inline_refreshes:
+                    try:
+                        self.resolver.run_refreshes()
+                    except Exception:
+                        self.stats.handler_errors += 1
+                return served
         try:
             query = Message.from_wire(wire)
         except Exception:
@@ -573,12 +601,16 @@ class ResilientFrontend:
             self._m_shed.labels(reason="garbage").inc()
             self._m_responses.labels(outcome="formerr").inc()
             return synthesize_header_response(wire, Rcode.FORMERR)
+        if key is not None:
+            self.resolver.render_reset()
         try:
             response = self._serve(query, source).to_wire()
         except Exception:
             self.stats.handler_errors += 1
             self._m_responses.labels(outcome="servfail").inc()
             return synthesize_header_response(wire, Rcode.SERVFAIL)
+        if key is not None:
+            self.resolver.render_store(key, response)
         # Stale-while-revalidate: the frontend spends a little post-answer
         # effort refreshing entries whose staleness was just papered over.
         # Isolated from the answer path — a refresh blow-up must never

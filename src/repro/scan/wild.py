@@ -29,6 +29,12 @@ from ..dns.message import Message
 from ..dns.name import Name
 from ..dns.rcode import Rcode
 from ..dns.rdata import A, CNAME, NS
+from ..dns.render import (
+    RenderCacheStats,
+    RenderedWireCache,
+    parse_equivalent,
+    wire_key,
+)
 from ..dns.rrset import RRset
 from ..dns.types import RdataType
 from ..dnssec.algorithms import Algorithm
@@ -154,23 +160,63 @@ class VirtualTldServer:
         self.axfr_allowed = axfr_allowed
         self._policy = SigningPolicy.window(now)
         self._optout: tuple[RRset, RRset | None] | None = None
+        #: Rendered-response wire cache (attached by
+        #: :meth:`WildInternet.enable_render_cache`); None keeps the
+        #: seed byte path.
+        self.render_cache: RenderedWireCache | None = None
+        #: DS RRSIG memo (same switch): signing is a pure function of
+        #: the delegation and the signing policy, so the per-query
+        #: ``sign_rrset`` for a child's DS set can be computed once.
+        self._ds_sig_cache: dict | None = None
         self.queries = 0
         self.transfers = 0
 
     # -- fabric endpoint ---------------------------------------------------------
 
     def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        key = wire_key(wire) if self.render_cache is not None else None
+        if key is not None:
+            served = self.render_cache.serve(key, wire)
+            if served is not None:
+                self.queries += 1
+                return served
         try:
             query = Message.from_wire(wire)
         except Exception:
             return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
+        return self._respond(query, key)[0]
+
+    def handle_paved(
+        self, wire: bytes, source: str, query: Message
+    ) -> tuple[bytes | None, Message | None]:
+        """Fabric fast path: parsed query in, parse-equivalent response
+        Message out (see :meth:`repro.net.fabric.NetworkFabric.send`)."""
+        key = wire_key(wire) if self.render_cache is not None else None
+        if key is not None:
+            served = self.render_cache.serve(key, wire)
+            if served is not None:
+                self.queries += 1
+                return served, None
+        return self._respond(query, key, paved=True)
+
+    def _respond(
+        self, query: Message, key, paved: bool = False
+    ) -> tuple[bytes | None, Message | None]:
         self.queries += 1
         if query.question and query.question[0].rdtype == RdataType.AXFR:
             response = query.make_response(recursion_available=False)
             response.rcode = Rcode.REFUSED  # AXFR needs TCP
-            return response.to_wire()
+            encoded = response.to_wire()
+            if paved and parse_equivalent(response, encoded):
+                return encoded, response
+            return encoded, None
         response = self.handle_query(query)
-        return response.to_wire()
+        encoded = response.to_wire()
+        if key is not None:
+            self.render_cache.store(key, encoded, expire_after_min_ttl=True)
+        if paved and parse_equivalent(response, encoded):
+            return encoded, response
+        return encoded, None
 
     def handle_stream(self, wire: bytes, source: str) -> bytes | None:
         try:
@@ -246,10 +292,7 @@ class VirtualTldServer:
                 )
                 response.answer.append(ds_rrset)
                 if dnssec_ok:
-                    sig = sign_rrset(ds_rrset, self.zsk, self.origin, self._policy)
-                    response.answer.append(
-                        RRset.of(child, RdataType.RRSIG, sig, ttl=300)
-                    )
+                    response.answer.append(self._ds_signature(child, ds_rrset))
             else:
                 self._add_negative(response, dnssec_ok)
             return response
@@ -267,8 +310,7 @@ class VirtualTldServer:
             )
             response.authority.append(ds_rrset)
             if dnssec_ok:
-                sig = sign_rrset(ds_rrset, self.zsk, self.origin, self._policy)
-                response.authority.append(RRset.of(child, RdataType.RRSIG, sig, ttl=300))
+                response.authority.append(self._ds_signature(child, ds_rrset))
         elif dnssec_ok:
             self._add_optout_denial(response)
         for owner, address in delegation.glue:
@@ -287,6 +329,17 @@ class VirtualTldServer:
         return response
 
     # -- helpers ---------------------------------------------------------------------
+
+    def _ds_signature(self, child: Name, ds_rrset: RRset) -> RRset:
+        """The RRSIG RRset covering a child's DS set, memoized when enabled."""
+        if self._ds_sig_cache is not None:
+            sig = self._ds_sig_cache.get(child)
+            if sig is None:
+                sig = sign_rrset(ds_rrset, self.zsk, self.origin, self._policy)
+                self._ds_sig_cache[child] = sig
+        else:
+            sig = sign_rrset(ds_rrset, self.zsk, self.origin, self._policy)
+        return RRset.of(child, RdataType.RRSIG, sig, ttl=300)
 
     def _child_zone_of(self, qname: Name) -> Name | None:
         """The registered-domain cut for ``qname`` (one label below TLD)."""
@@ -361,19 +414,55 @@ class HostingServer:
         self.wild = wild
         self.inner = AuthoritativeServer(name="hosting")
         self.max_cached_zones = max_cached_zones
+        #: Rendered-response wire cache (see :mod:`repro.dns.render`),
+        #: attached by :meth:`WildInternet.enable_render_cache`.  Safe
+        #: even across zone eviction: a rebuilt zone is deterministic,
+        #: so the cached bytes match what a rebuild would serve.
+        self.render_cache: RenderedWireCache | None = None
         self._materialized: dict[Name, bool] = {}
         self.zones_built = 0
 
     def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        key = wire_key(wire) if self.render_cache is not None else None
+        if key is not None:
+            served = self.render_cache.serve(key, wire)
+            if served is not None:
+                self.inner.stats.queries += 1
+                return served
         try:
             query = Message.from_wire(wire)
         except Exception:
             return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
+        return self._respond(query, source, key)[0]
+
+    def handle_paved(
+        self, wire: bytes, source: str, query: Message
+    ) -> tuple[bytes | None, Message | None]:
+        """Fabric fast path: parsed query in, parse-equivalent response
+        Message out (see :meth:`repro.net.fabric.NetworkFabric.send`)."""
+        key = wire_key(wire) if self.render_cache is not None else None
+        if key is not None:
+            served = self.render_cache.serve(key, wire)
+            if served is not None:
+                self.inner.stats.queries += 1
+                return served, None
+        return self._respond(query, source, key, paved=True)
+
+    def _respond(
+        self, query: Message, source: str, key, paved: bool = False
+    ) -> tuple[bytes | None, Message | None]:
         qname = query.question[0].name if query.question else None
         if qname is not None:
             self._ensure_zone(qname)
         response = self.inner.handle_query(query, source)
-        return response.to_wire() if response is not None else None
+        if response is None:
+            return None, None
+        encoded = response.to_wire()
+        if key is not None:
+            self.render_cache.store(key, encoded, expire_after_min_ttl=True)
+        if paved and parse_equivalent(response, encoded):
+            return encoded, response
+        return encoded, None
 
     def _ensure_zone(self, qname: Name) -> None:
         domain = self.wild.registered_domain_of(qname)
@@ -409,16 +498,35 @@ class StaleFlippingServer(HostingServer):
             query = Message.from_wire(wire)
         except Exception:
             return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
+        refused = self._flip(query)
+        if refused is not None:
+            return refused.to_wire()
+        return super().handle_datagram(wire, source)
+
+    def handle_paved(
+        self, wire: bytes, source: str, query: Message
+    ) -> tuple[bytes | None, Message | None]:
+        refused = self._flip(query)
+        if refused is not None:
+            encoded = refused.to_wire()
+            if parse_equivalent(refused, encoded):
+                return encoded, refused
+            return encoded, None
+        return super().handle_paved(wire, source, query)
+
+    def _flip(self, query: Message) -> Message | None:
+        """REFUSED response after the first query per zone, else None."""
         qname = query.question[0].name if query.question else None
         domain = self.wild.registered_domain_of(qname) if qname else None
-        if domain is not None:
-            apex = Name.from_text(domain.name + ".")
-            if apex in self._seen:
-                response = query.make_response(recursion_available=False)
-                response.rcode = Rcode.REFUSED
-                return response.to_wire()
-            self._seen.add(apex)
-        return super().handle_datagram(wire, source)
+        if domain is None:
+            return None
+        apex = Name.from_text(domain.name + ".")
+        if apex in self._seen:
+            response = query.make_response(recursion_available=False)
+            response.rcode = Rcode.REFUSED
+            return response
+        self._seen.add(apex)
+        return None
 
 
 class CnameLoopServer(HostingServer):
@@ -429,12 +537,30 @@ class CnameLoopServer(HostingServer):
             query = Message.from_wire(wire)
         except Exception:
             return Message(rcode=Rcode.FORMERR, qr=True).to_wire()
-        if not query.question:
+        looped = self._loop(query)
+        if looped is None:
             return super().handle_datagram(wire, source)
+        return looped.to_wire()
+
+    def handle_paved(
+        self, wire: bytes, source: str, query: Message
+    ) -> tuple[bytes | None, Message | None]:
+        looped = self._loop(query)
+        if looped is None:
+            return super().handle_paved(wire, source, query)
+        encoded = looped.to_wire()
+        if parse_equivalent(looped, encoded):
+            return encoded, looped
+        return encoded, None
+
+    def _loop(self, query: Message) -> Message | None:
+        """CNAME bounce for in-domain A queries, None to defer."""
+        if not query.question:
+            return None
         qname = query.question[0].name
         domain = self.wild.registered_domain_of(qname)
         if domain is None or query.question[0].rdtype != RdataType.A:
-            return super().handle_datagram(wire, source)
+            return None
         apex = Name.from_text(domain.name + ".")
         hop = qname.labels[0] if qname != apex else b""
         target = apex.prepend(b"loop-b" if hop == b"loop-a" else b"loop-a")
@@ -443,7 +569,7 @@ class CnameLoopServer(HostingServer):
         response.answer.append(
             RRset.of(qname, RdataType.CNAME, CNAME(target=target), ttl=60)
         )
-        return response.to_wire()
+        return response
 
 
 # ---------------------------------------------------------------------------
@@ -454,7 +580,12 @@ class CnameLoopServer(HostingServer):
 class WildInternet:
     """Builds and owns the fabric for one population."""
 
-    def __init__(self, population: Population, fabric: NetworkFabric | None = None):
+    def __init__(
+        self,
+        population: Population,
+        fabric: NetworkFabric | None = None,
+        render_cache: bool = False,
+    ):
         self.population = population
         self.fabric = fabric or NetworkFabric()
         self.now = int(self.fabric.clock.now())
@@ -479,7 +610,11 @@ class WildInternet:
             key_tag=12345, algorithm=WILD_ALGORITHM, digest_type=2,
             digest=hashlib.sha256(b"signed-lame").digest(),
         )
+        self.render_cache_enabled = False
+        self._render_caches: list[RenderedWireCache] = []
         self._deploy()
+        if render_cache:
+            self.enable_render_cache()
 
     # -- deployment -------------------------------------------------------------------
 
@@ -549,6 +684,7 @@ class WildInternet:
         self.root_built = root_builder.build()
         root_server = AuthoritativeServer(name="root")
         root_server.add_zone(self.root_built.zone)
+        self.root_server = root_server
         self.fabric.register(ROOT_SERVER, root_server)
         assert self.root_built.ksk is not None
         self.trust_anchors = [make_ds(Name.root(), self.root_built.ksk.dnskey(), 2)]
@@ -582,8 +718,47 @@ class WildInternet:
         self.fabric.register(
             NOTAUTH_HOST, BehaviorServer(inner=dummy, behavior=Behavior.NOTAUTH)
         )
-        self.fabric.register(STALE_HOST, StaleFlippingServer(self))
-        self.fabric.register(LOOP_HOST, CnameLoopServer(self))
+        self.stale_server = StaleFlippingServer(self)
+        self.loop_server = CnameLoopServer(self)
+        self.fabric.register(STALE_HOST, self.stale_server)
+        self.fabric.register(LOOP_HOST, self.loop_server)
+
+    # -- rendered-response cache ------------------------------------------------------
+
+    def enable_render_cache(self) -> None:
+        """Attach rendered-wire caches to every authoritative tier.
+
+        Safe because every wild-side answer is a pure function of the
+        query bytes: servers never read the clock while answering, the
+        stale/loop pathologies short-circuit *before* their cache hook,
+        and evicted hosting zones rebuild deterministically.  Also
+        memoizes the per-child DS signature on TLD servers and widens
+        the hosting zone cache — same switch, same determinism argument.
+        """
+        if self.render_cache_enabled:
+            return
+        self.render_cache_enabled = True
+        clock = self.fabric.clock
+
+        def attach(holder) -> None:
+            cache = RenderedWireCache(clock=clock)
+            holder.render_cache = cache
+            self._render_caches.append(cache)
+
+        attach(self.root_server)
+        for server in self.tld_servers.values():
+            attach(server)
+            server._ds_sig_cache = {}
+        for hosting in (*self.hosting_servers, self.stale_server, self.loop_server):
+            attach(hosting)
+            hosting.max_cached_zones = max(hosting.max_cached_zones, 4096)
+
+    def render_cache_stats(self) -> RenderCacheStats:
+        """Aggregate render-cache counters across every wild endpoint."""
+        total = RenderCacheStats()
+        for cache in self._render_caches:
+            total.add(cache.stats)
+        return total
 
     # -- domain machinery -----------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from ..dns.edns import Edns
 from ..dns.message import Message
 from ..dns.name import Name
 from ..dns.rcode import Rcode
+from ..dns.render import RenderedWireCache, parse_equivalent, wire_key
 from ..dns.rrset import RRset
 from ..dns.types import RdataType
 from ..zones.zone import LookupStatus, Zone
@@ -39,6 +40,7 @@ class AuthoritativeServer:
         acl: Acl | None = None,
         report_agent: Name | None = None,
         allow_transfer: Acl | None = None,
+        render_cache: RenderedWireCache | None = None,
     ):
         self.name = name
         self.acl = acl or Acl.any()
@@ -48,6 +50,13 @@ class AuthoritativeServer:
         #: Who may AXFR (RFC 5936). Registries default to nobody; the
         #: paper's .se/.nu/.ch/.li allow it.
         self.allow_transfer = allow_transfer or Acl.none()
+        #: Optional rendered-response wire cache (see
+        #: :mod:`repro.dns.render`): a repeat query is answered from the
+        #: stored wire with only the message ID patched — authoritative
+        #: answers carry the zone's static TTLs, so no decrement is
+        #: needed, and the entry expires after the smallest TTL it
+        #: contains.  None (the default) keeps the seed byte path.
+        self.render_cache = render_cache
         self._zones: dict[Name, Zone] = {}
         self.stats = ServerStats()
 
@@ -58,29 +67,79 @@ class AuthoritativeServer:
         return list(self._zones.values())
 
     def find_zone(self, qname: Name) -> Zone | None:
-        """Deepest zone this server is authoritative for above ``qname``."""
-        best: Zone | None = None
-        for origin, zone in self._zones.items():
-            if qname.is_subdomain_of(origin):
-                if best is None or origin.label_count() > best.origin.label_count():
-                    best = zone
-        return best
+        """Deepest zone this server is authoritative for above ``qname``.
+
+        Walks the qname's suffixes longest-first with dict lookups
+        (Name hashes and compares case-folded, the same relation
+        ``is_subdomain_of`` uses), so lookup cost tracks the qname's
+        label count instead of the number of hosted zones.
+        """
+        zones = self._zones
+        if not zones:
+            return None
+        labels = qname.labels
+        for start in range(len(labels)):
+            zone = zones.get(Name(labels[start:]))
+            if zone is not None:
+                return zone
+        return None
 
     # -- fabric endpoint protocol ------------------------------------------------
 
     def handle_datagram(self, wire: bytes, source: str) -> bytes | None:
+        key = self._render_key(wire, source)
+        if key is not None:
+            served = self.render_cache.serve(key, wire)
+            if served is not None:
+                self.stats.queries += 1
+                return served
         try:
             query = Message.from_wire(wire)
         except Exception:
             response = Message(rcode=Rcode.FORMERR, qr=True)
             return response.to_wire()
+        return self._respond(query, source, key)[0]
+
+    def handle_paved(
+        self, wire: bytes, source: str, query: Message
+    ) -> tuple[bytes | None, Message | None]:
+        """Fabric fast path: the caller's parsed query skips the wire
+        decode, and the response Message rides back whenever re-parsing
+        the encoded wire provably reproduces it (see
+        :meth:`repro.net.fabric.NetworkFabric.send`)."""
+        key = self._render_key(wire, source)
+        if key is not None:
+            served = self.render_cache.serve(key, wire)
+            if served is not None:
+                self.stats.queries += 1
+                return served, None
+        return self._respond(query, source, key, paved=True)
+
+    def _render_key(self, wire: bytes, source: str):
+        if self.render_cache is None:
+            return None
+        raw_key = wire_key(wire)
+        if raw_key is None:
+            return None
+        # ACL outcome is the only response input outside the query
+        # bytes, so it rides in the key.
+        return (raw_key, self.acl.allows(source))
+
+    def _respond(
+        self, query: Message, source: str, key, paved: bool = False
+    ) -> tuple[bytes | None, Message | None]:
         response = self.handle_query(query, source)
         if response is None:
-            return None
+            return None, None
         # RFC 6891: the response must fit the client's advertised UDP
         # payload (512 octets without EDNS); otherwise truncate + TC.
         max_size = query.edns.payload if query.edns is not None else 512
-        return response.to_wire(max_size=max(512, max_size))
+        encoded = response.to_wire(max_size=max(512, max_size))
+        if key is not None:
+            self.render_cache.store(key, encoded, expire_after_min_ttl=True)
+        if paved and parse_equivalent(response, encoded):
+            return encoded, response
+        return encoded, None
 
     def handle_stream(self, wire: bytes, source: str) -> bytes | None:
         """TCP semantics: same answer, no size limit, never truncated."""

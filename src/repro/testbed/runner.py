@@ -12,6 +12,7 @@ from ..cluster import ResolverCluster
 from ..dns.rcode import Rcode
 from ..dns.types import RdataType
 from ..obs import Observability
+from ..resolver.iterative import EngineConfig
 from ..resolver.profiles import ALL_PROFILES, ResolverProfile
 from ..resolver.recursive import RecursiveResolver
 from .expected import EXPECTED_TABLE4, PROFILE_ORDER
@@ -95,6 +96,7 @@ def make_resolvers(
     profiles: tuple[ResolverProfile, ...] = ALL_PROFILES,
     obs: "Observability | None" = None,
     shards: int = 1,
+    engine_config: "EngineConfig | None" = None,
 ) -> dict[str, "RecursiveResolver | ResolverCluster"]:
     """One resolver per vendor profile, attached to the testbed fabric.
 
@@ -111,6 +113,7 @@ def make_resolvers(
                 root_hints=testbed.root_hints,
                 trust_anchors=testbed.trust_anchors,
                 shards=shards,
+                engine_config=engine_config,
                 obs=obs,
             )
             for profile in profiles
@@ -121,10 +124,35 @@ def make_resolvers(
             profile=profile,
             root_hints=testbed.root_hints,
             trust_anchors=testbed.trust_anchors,
+            engine_config=engine_config,
             obs=obs,
         )
         for profile in profiles
     }
+
+
+def enable_render_caches(testbed: Testbed) -> int:
+    """Attach a rendered-response wire cache to every authoritative
+    endpoint on the testbed fabric; returns how many were fitted.
+
+    Behaviour-quirk servers (REFUSED-for-everything, dropped OPT, …) are
+    standalone endpoint classes without a ``render_cache`` slot and keep
+    the plain byte path — only :class:`AuthoritativeServer` instances
+    (and subclasses) are cached.  Idempotent: already-fitted servers are
+    skipped.
+    """
+    from ..dns.render import RenderedWireCache
+    from ..server.authoritative import AuthoritativeServer
+
+    fitted = 0
+    for endpoint in testbed.fabric.registered_endpoints():
+        if (
+            isinstance(endpoint, AuthoritativeServer)
+            and endpoint.render_cache is None
+        ):
+            endpoint.render_cache = RenderedWireCache(clock=testbed.fabric.clock)
+            fitted += 1
+    return fitted
 
 
 def run_matrix(
@@ -132,10 +160,24 @@ def run_matrix(
     profiles: tuple[ResolverProfile, ...] = ALL_PROFILES,
     obs: "Observability | None" = None,
     shards: int = 1,
+    engine_config: "EngineConfig | None" = None,
+    render_cache: bool = False,
 ) -> MatrixResult:
-    """Query all 63 cases through all profiles; the paper's core experiment."""
+    """Query all 63 cases through all profiles; the paper's core experiment.
+
+    ``render_cache`` fits every authoritative server on the testbed
+    fabric with a rendered-response wire cache before driving the
+    matrix; pair it with an ``engine_config`` enabling
+    ``render_query_cache``/``paved_fabric`` to run the full zero-copy
+    bundle — the differential suite pins the resulting 63×7 matrix
+    byte-identical to the plain byte path.
+    """
     testbed = testbed or build_testbed()
-    resolvers = make_resolvers(testbed, profiles, obs=obs, shards=shards)
+    if render_cache:
+        enable_render_caches(testbed)
+    resolvers = make_resolvers(
+        testbed, profiles, obs=obs, shards=shards, engine_config=engine_config
+    )
     result = MatrixResult(profile_names=tuple(p.policy.name for p in profiles))
     for deployed in testbed.cases.values():
         for name, resolver in resolvers.items():

@@ -15,6 +15,18 @@ def risky() -> None:
     raise RuntimeError("boom")  # protected at the call site: must NOT flag
 
 
+class RefuseError(Exception):
+    pass
+
+
+def walker(wire: bytes) -> int:
+    raise RefuseError("cannot map")  # name-caught at the call site: must NOT flag
+
+
+def mismatch() -> None:
+    raise KeyError("wrong class")  # line 27: handler name differs, MUST flag
+
+
 class ResilientFrontend:
     def handle_datagram(self, wire: bytes, source: str) -> bytes:
         payload = decode(wire)
@@ -22,4 +34,12 @@ class ResilientFrontend:
             risky()
         except Exception:
             return b""
+        try:
+            walker(wire)
+        except RefuseError:
+            pass
+        try:
+            mismatch()
+        except RefuseError:
+            pass
         return payload

@@ -98,11 +98,15 @@ def test_jitter_rng_into_client_visible_sink():
 def test_unhandled_raise_found_protected_raise_not():
     findings = flow_findings(FIXTURES / "raise_pkg", [RULE_NEVER_RAISE])
     assert [(f.path.rsplit("/", 1)[-1], f.line) for f in findings] == [
-        ("server.py", 10)
+        ("server.py", 10),
+        ("server.py", 27),
     ]
     assert "ParseError" in findings[0].message
-    # risky()'s RuntimeError is called under `except Exception` in the
-    # frontend, so its raise site (line 15) must not be reported.
+    assert "KeyError" in findings[1].message
+    # risky()'s RuntimeError is called under `except Exception` and
+    # walker()'s RefuseError under a handler *naming* it, so neither
+    # raise site is reported; mismatch()'s KeyError does not match the
+    # RefuseError handler around its call and must still flag.
 
 
 def test_inline_suppression_silences_flow_finding(tmp_path):
@@ -117,7 +121,10 @@ def test_inline_suppression_silences_flow_finding(tmp_path):
         )
     )
     findings = flow_findings(pkg, [RULE_NEVER_RAISE])
-    assert findings == []
+    # Only the unsuppressed KeyError finding remains.
+    assert [(f.path.rsplit("/", 1)[-1], f.line) for f in findings] == [
+        ("server.py", 27)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -126,12 +133,12 @@ def test_inline_suppression_silences_flow_finding(tmp_path):
 
 
 def test_baseline_entry_suppresses_and_staleness_is_reported(tmp_path):
-    [finding] = flow_findings(FIXTURES / "raise_pkg", [RULE_NEVER_RAISE])
-    assert finding.key  # flow findings always carry a baseline key
+    found = flow_findings(FIXTURES / "raise_pkg", [RULE_NEVER_RAISE])
+    assert found and all(f.key for f in found)  # findings always carry keys
     baseline = tmp_path / "baseline.json"
     baseline.write_text(json.dumps({
         "entries": [
-            {"key": finding.key, "reason": "fixture: intentional"},
+            *({"key": f.key, "reason": "fixture: intentional"} for f in found),
             {"key": "never-raise::ghost.module.fn::raise:Boom", "reason": "gone"},
         ]
     }))

@@ -1,14 +1,25 @@
 """Robustness fuzzing: hostile inputs must raise DnsError, never crash."""
 
+import struct
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.dns.exceptions import DnsError
 from repro.dns.message import Message
 from repro.dns.name import Name
-from repro.dns.rdata import Rdata
+from repro.dns.rdata import A, CNAME, Rdata
+from repro.dns.render import (
+    HEADER_LENGTH,
+    RenderRefused,
+    RenderedWireCache,
+    response_ttl_offsets,
+    wire_key,
+)
+from repro.dns.rrset import RRset
 from repro.dns.types import RdataType
 from repro.dns.wire import WireReader
+from repro.net.clock import SimulatedClock
 from repro.resolver.error_reporting import ReportChannelOption, decode_report_qname
 from repro.scan.extratext import parse_network_error
 from repro.server.behaviors import make_simple_authority
@@ -228,6 +239,139 @@ class TestMemoryviewBoundary:
             left : left + len(wire)
         ]
         assert Message.from_wire(view).to_wire() == wire
+
+
+def _compressed_response(msg_id: int = 800) -> tuple[Message, Message]:
+    """A response whose wire is dense with compression pointers: four
+    records sharing name suffixes, a CNAME whose target compresses into
+    the question, plus the OPT pseudo-record."""
+    query = Message.make_query("www.pointer.test.", RdataType.A, msg_id=msg_id)
+    response = query.make_response()
+    www = Name.from_text("www.pointer.test.")
+    apex = Name.from_text("pointer.test.")
+    response.answer.append(
+        RRset.of(www, RdataType.CNAME, CNAME(target=apex), ttl=120)
+    )
+    response.answer.append(
+        RRset.of(apex, RdataType.A, A(address="192.0.2.80"), ttl=240)
+    )
+    response.authority.append(
+        RRset.of(
+            Name.from_text("deep.sub.pointer.test."),
+            RdataType.A,
+            A(address="192.0.2.81"),
+            ttl=360,
+        )
+    )
+    response.add_ede(22, "offsets under pressure")
+    return query, response
+
+
+class TestRenderOffsetRobustness:
+    """The wire cache's offset walker feeds in-place byte patching, so a
+    wrong offset is silent corruption.  These pin the ID-rewrite and
+    TTL-patch offsets under compression pointers and OPT-bearing
+    responses, and that anything unmappable is refused, never mis-cached
+    (the parse-or-refuse contract)."""
+
+    def test_compressed_wire_offsets_hit_every_ttl_and_nothing_else(self):
+        _query, response = _compressed_response()
+        wire = response.to_wire()
+        assert b"\xc0" in wire  # compression pointers really present
+        offsets = response_ttl_offsets(wire)
+        assert len(offsets) == 3  # 2 answers + 1 authority, OPT excluded
+        patched = bytearray(wire)
+        for offset in offsets:
+            struct.pack_into(">I", patched, offset, 7)
+        reparsed = Message.from_wire(bytes(patched))
+        original = Message.from_wire(wire)
+        assert all(r.ttl == 7 for r in reparsed.answer + reparsed.authority)
+        assert [r.name for r in reparsed.section_rrsets()] == [
+            r.name for r in original.section_rrsets()
+        ]
+        # The OPT survived untouched: EDE and extended-RCODE bits intact.
+        assert [e.info_code for e in reparsed.extended_errors] == [22]
+        assert reparsed.rcode == original.rcode
+
+    def test_served_hit_patches_only_id_and_ttls(self):
+        clock = SimulatedClock()
+        cache = RenderedWireCache(clock=clock)
+        query, response = _compressed_response()
+        wire = response.to_wire()
+        key = wire_key(query.to_wire())
+        expiry = clock.now() + 120.5
+        assert cache.store(key, wire, expires_at=expiry, decrement_answers_until=expiry)
+        clock.advance(30.0)
+        hit_query = Message.make_query(
+            "www.pointer.test.", RdataType.A, msg_id=0xBEEF
+        )
+        served = cache.serve(key, hit_query.to_wire())
+        assert served is not None
+        expected_ttl = max(1, int(expiry - clock.now()))
+        ancount = struct.unpack_from(">H", wire, 6)[0]
+        patched_at = {0, 1}
+        for offset in response_ttl_offsets(wire)[:ancount]:
+            patched_at.update(range(offset, offset + 4))
+            assert struct.unpack_from(">I", served, offset)[0] == expected_ttl
+        assert served[0:2] == (0xBEEF).to_bytes(2, "big")
+        for index, byte in enumerate(served):
+            if index not in patched_at:
+                assert byte == wire[index], f"corrupted byte at offset {index}"
+
+    @given(st.binary(max_size=320))
+    def test_offset_walker_never_crashes_and_stays_in_bounds(self, data):
+        try:
+            offsets = response_ttl_offsets(data)
+        except RenderRefused:
+            return
+        for offset in offsets:
+            assert HEADER_LENGTH <= offset
+            assert offset + 4 <= len(data)
+        assert wire_key(data) is None or len(data) > HEADER_LENGTH
+
+    @given(
+        flips=st.lists(
+            st.tuples(
+                st.integers(min_value=2, max_value=200),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_mutated_wires_parse_or_refuse_never_corrupt(self, flips):
+        """Mutate a real response wire, then try to cache it: either the
+        walker refuses (store returns False, nothing cached) or the
+        served hit differs from the stored bytes *only* at the message
+        ID and the walker's own TTL offsets."""
+        _query, response = _compressed_response()
+        mutated = bytearray(response.to_wire())
+        for index, value in flips:
+            if index < len(mutated):
+                mutated[index] = value
+        mutated = bytes(mutated)
+
+        clock = SimulatedClock()
+        cache = RenderedWireCache(clock=clock)
+        expiry = clock.now() + 90.25
+        stored = cache.store(
+            b"fuzz-key", mutated, expires_at=expiry, decrement_answers_until=expiry
+        )
+        if not stored:
+            assert cache.stats.refusals == 1
+            assert len(cache) == 0
+            return
+        clock.advance(1.5)
+        probe = Message.make_query("probe.test.", RdataType.A, msg_id=0x1234)
+        served = cache.serve(b"fuzz-key", probe.to_wire())
+        assert served is not None
+        ancount = struct.unpack_from(">H", mutated, 6)[0]
+        allowed = {0, 1}
+        for offset in response_ttl_offsets(mutated)[:ancount]:
+            allowed.update(range(offset, offset + 4))
+        diff = [i for i in range(len(served)) if served[i] != mutated[i]]
+        assert all(index in allowed for index in diff)
 
 
 class TestMessageRoundTripInvariant:

@@ -1,0 +1,386 @@
+"""Rendered-response wire cache: keys, patching, expiry, paved path.
+
+The cache's whole contract is byte-level: a hit must be
+indistinguishable from re-encoding the answer — the message ID comes
+from the incoming query and every decrementing TTL is recomputed with
+the exact ``max(1, int(expires_at - now))`` formula the answer cache
+uses.  The properties here pin that contract under random TTL/advance
+schedules, prove the key can never alias two queries that may legally
+receive different answers (DO/CD bits included), and pin the
+exactly-once stats accounting for render hits through a
+:class:`~repro.cluster.ResolverCluster`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import population_config_for
+from repro.cluster import ClusterConfig, ResolverCluster
+from repro.dns.edns import Edns
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.rdata import A, SOA
+from repro.dns.render import (
+    HEADER_LENGTH,
+    RenderedWireCache,
+    parse_equivalent,
+    response_ttl_offsets,
+    wire_key,
+)
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.net.clock import SimulatedClock
+from repro.resolver.profiles import CLOUDFLARE
+from repro.scan.population import generate_population
+from repro.scan.wild import WildInternet
+
+
+def make_response(
+    qname: str = "cache.test.",
+    *,
+    msg_id: int = 1000,
+    answer_ttls: tuple[int, ...] = (300,),
+    authority_ttl: int | None = None,
+    want_dnssec: bool = False,
+) -> tuple[Message, Message]:
+    """(query, response) pair with one answer RRset per requested TTL."""
+    query = Message.make_query(qname, RdataType.A, msg_id=msg_id, want_dnssec=want_dnssec)
+    response = query.make_response()
+    name = Name.from_text(qname)
+    for index, ttl in enumerate(answer_ttls):
+        response.answer.append(
+            RRset.of(name, RdataType.A, A(address=f"192.0.2.{index + 1}"), ttl=ttl)
+        )
+    if authority_ttl is not None:
+        response.authority.append(
+            RRset.of(
+                Name.from_text("test."),
+                RdataType.SOA,
+                SOA(mname=Name.from_text("ns.test."), rname=Name.from_text("h.test.")),
+                ttl=authority_ttl,
+            )
+        )
+    return query, response
+
+
+class TestWireKey:
+    def test_short_datagram_has_no_key(self):
+        assert wire_key(b"\x00" * HEADER_LENGTH) is None
+        assert wire_key(b"") is None
+
+    def test_message_id_is_excluded(self):
+        a = Message.make_query("key.test.", RdataType.A, msg_id=1).to_wire()
+        b = Message.make_query("key.test.", RdataType.A, msg_id=65535).to_wire()
+        assert a != b
+        assert wire_key(a) == wire_key(b)
+
+    def test_do_bit_never_aliases(self):
+        plain = Message.make_query("do.test.", RdataType.A, msg_id=7).to_wire()
+        do = Message.make_query(
+            "do.test.", RdataType.A, msg_id=7, want_dnssec=True
+        ).to_wire()
+        assert wire_key(plain) != wire_key(do)
+
+    def test_cd_bit_never_aliases(self):
+        query = Message.make_query("cd.test.", RdataType.A, msg_id=7)
+        plain = query.to_wire()
+        query.cd = True
+        assert wire_key(plain) != wire_key(query.to_wire())
+
+    @given(
+        qname=st.sampled_from(["a.test.", "b.test.", "sub.a.test."]),
+        rdtype=st.sampled_from([RdataType.A, RdataType.AAAA, RdataType.TXT]),
+        dnssec_ok=st.booleans(),
+        cd=st.booleans(),
+        msg_id=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_key_is_everything_but_the_id(self, qname, rdtype, dnssec_ok, cd, msg_id):
+        """Two queries alias iff their wires agree beyond the ID — so
+        qname, qtype, DO, and CD can never collide onto one entry."""
+        query = Message.make_query(qname, rdtype, msg_id=msg_id, want_dnssec=dnssec_ok)
+        query.cd = cd
+        wire = query.to_wire()
+        assert wire_key(wire) == bytes(wire[2:])
+
+
+class TestTtlPatching:
+    @given(
+        ttls=st.lists(
+            st.integers(min_value=1, max_value=86400), min_size=1, max_size=3
+        ),
+        fraction=st.floats(min_value=0.0, max_value=0.999),
+        advance=st.floats(min_value=0.0, max_value=86400.0),
+        hit_id=st.integers(min_value=0, max_value=0xFFFF),
+        authority_ttl=st.none() | st.integers(min_value=1, max_value=3600),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_served_bytes_reencode_the_decremented_answer(
+        self, ttls, fraction, advance, hit_id, authority_ttl
+    ):
+        """A hit is byte-identical to re-encoding the response with the
+        answer TTLs set to ``max(1, int(expires_at - now))`` and the ID
+        taken from the incoming query — the modulo-ID identity."""
+        clock = SimulatedClock()
+        cache = RenderedWireCache(clock=clock)
+        query, response = make_response(
+            answer_ttls=tuple(ttls), authority_ttl=authority_ttl
+        )
+        stored = response.to_wire()
+        expires_at = clock.now() + min(ttls) + fraction
+        key = wire_key(query.to_wire())
+        assert cache.store(
+            key, stored, expires_at=expires_at, decrement_answers_until=expires_at
+        )
+
+        clock.advance(min(advance, min(ttls) + fraction - 1e-6))
+        hit_query = Message.make_query("cache.test.", RdataType.A, msg_id=hit_id)
+        served = cache.serve(key, hit_query.to_wire())
+        assert served is not None
+
+        expected_ttl = max(1, int(expires_at - clock.now()))
+        _q, expected = make_response(
+            msg_id=hit_id,
+            answer_ttls=(expected_ttl,) * len(ttls),
+            authority_ttl=authority_ttl,
+        )
+        assert served == expected.to_wire()
+
+        reparsed = Message.from_wire(served)
+        assert reparsed.id == hit_id
+        assert all(rrset.ttl == expected_ttl for rrset in reparsed.answer)
+        if authority_ttl is not None:
+            # Authority TTLs replay verbatim, like the negative cache.
+            assert reparsed.authority[0].ttl == authority_ttl
+
+    def test_ttl_floor_is_one(self):
+        clock = SimulatedClock()
+        cache = RenderedWireCache(clock=clock)
+        query, response = make_response(answer_ttls=(10,))
+        key = wire_key(query.to_wire())
+        # Entry outlives the fractional answer expiry on purpose.
+        start = clock.now()
+        cache.store(
+            key,
+            response.to_wire(),
+            expires_at=start + 100.0,
+            decrement_answers_until=start + 10.5,
+        )
+        clock.advance(10.4)
+        served = cache.serve(key, query.to_wire())
+        assert served is not None
+        assert Message.from_wire(served).answer[0].ttl == 1
+
+
+class TestExpiry:
+    @given(
+        ttl=st.integers(min_value=1, max_value=600),
+        advances=st.lists(
+            st.floats(min_value=0.01, max_value=400.0), min_size=1, max_size=8
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_never_served_at_or_past_expiry(self, ttl, advances):
+        """Under any advance schedule, a serve at ``now >= expires_at``
+        misses (and drops the entry) — never returns stale bytes."""
+        clock = SimulatedClock()
+        cache = RenderedWireCache(clock=clock)
+        query, response = make_response(answer_ttls=(ttl,))
+        key = wire_key(query.to_wire())
+        start = clock.now()
+        assert cache.store(key, response.to_wire(), expire_after_min_ttl=True)
+        expires_at = start + float(ttl)
+
+        for advance in advances:
+            clock.advance(advance)
+            served = cache.serve(key, query.to_wire())
+            if clock.now() >= expires_at:
+                assert served is None
+                assert len(cache) == 0
+            else:
+                assert served is not None
+
+    def test_expiry_boundary_is_closed(self):
+        """Exactly at ``expires_at`` the entry is already dead."""
+        clock = SimulatedClock()
+        cache = RenderedWireCache(clock=clock)
+        query, response = make_response(answer_ttls=(30,))
+        key = wire_key(query.to_wire())
+        cache.store(key, response.to_wire(), expires_at=clock.now() + 30.0)
+        clock.advance(30.0)
+        assert cache.serve(key, query.to_wire()) is None
+        assert cache.stats.expired == 1
+
+
+class TestParseEquivalent:
+    def test_simple_response_is_equivalent_and_reparses(self):
+        _query, response = make_response(answer_ttls=(300,), authority_ttl=60)
+        wire = response.to_wire()
+        assert parse_equivalent(response, wire)
+        assert Message.from_wire(wire).to_wire() == wire
+
+    def test_truncated_encode_refused(self):
+        # Force truncation: the tiny budget drops the sections and sets
+        # TC on the wire while ``response.tc`` stays False.
+        query = Message.make_query("big.test.", RdataType.A, msg_id=5)
+        big = query.make_response()
+        for index in range(40):
+            name = Name.from_text(f"a{index}.big.test.")
+            big.answer.append(
+                RRset.of(name, RdataType.A, A(address=f"192.0.2.{index + 1}"))
+            )
+        truncated = big.to_wire(max_size=512)
+        assert len(truncated) <= 512
+        assert not parse_equivalent(big, truncated)
+        assert parse_equivalent(big, big.to_wire())
+
+    def test_edns_options_refused(self):
+        _query, response = make_response()
+        response.add_ede(22, "not proven to round-trip")
+        assert not parse_equivalent(response, response.to_wire())
+
+    def test_duplicate_rrset_key_refused(self):
+        """The parser folds same-(name,type,class) rows with min-TTL, so
+        a response carrying the duplicate is not parse-stable."""
+        _query, response = make_response(answer_ttls=(300,))
+        response.answer.append(response.answer[0].copy(ttl=5))
+        assert not parse_equivalent(response, response.to_wire())
+
+    def test_extended_rcode_without_opt_refused(self):
+        query = Message.make_query("x.test.", RdataType.A, msg_id=3, use_edns=False)
+        response = query.make_response()
+        response.rcode = Rcode.BADVERS  # 16: needs OPT extended bits
+        assert not parse_equivalent(response, response.to_wire())
+        response.edns = Edns()
+        assert parse_equivalent(response, response.to_wire())
+
+    def test_empty_rrset_refused(self):
+        _query, response = make_response(answer_ttls=(300,))
+        response.answer.append(RRset(Name.from_text("ghost.test."), RdataType.A))
+        assert not parse_equivalent(response, response.to_wire())
+
+
+class TestPavedFabric:
+    """The in-process fast path must change bytes for nobody."""
+
+    @pytest.fixture()
+    def universe(self):
+        population = generate_population(population_config_for(40))
+        return WildInternet(population), population
+
+    def test_paved_send_matches_plain_send(self, universe):
+        wild, population = universe
+        wild.enable_render_cache()
+        server_ip = wild.root_hints[0]
+        query = Message.make_query(".", RdataType.NS, msg_id=77)
+        wire = query.to_wire()
+
+        plain = wild.fabric.send(server_ip, wire, source="198.51.100.9")
+        paved = wild.fabric.send(
+            server_ip, wire, source="198.51.100.9", message=query
+        )
+        assert paved == plain
+
+        parsed = wild.fabric.take_paved()
+        if parsed is not None:
+            # The handed-back Message re-encodes to the exact wire.
+            assert parsed.to_wire() == paved
+        # The slot is one-shot: a second take returns nothing.
+        assert wild.fabric.take_paved() is None
+
+    def test_plain_send_never_populates_the_slot(self, universe):
+        wild, _population = universe
+        server_ip = wild.root_hints[0]
+        wire = Message.make_query(".", RdataType.NS, msg_id=78).to_wire()
+        wild.fabric.send(server_ip, wire, source="198.51.100.9")
+        assert wild.fabric.take_paved() is None
+
+
+class TestClusterRenderExactlyOnce:
+    """Regression: a render hit is one served query and one render hit in
+    the cluster's summed stats — it must NOT also count as an
+    answer-cache hit (the answer cache was never consulted)."""
+
+    @pytest.fixture(scope="class")
+    def served(self):
+        population = generate_population(population_config_for(40))
+        wild = WildInternet(population)
+        cluster = ResolverCluster(
+            fabric=wild.fabric,
+            profile=CLOUDFLARE,
+            root_hints=wild.root_hints,
+            trust_anchors=wild.trust_anchors,
+            config=ClusterConfig(shards=2, render_cache=True),
+        )
+        qname = population.domains[0].name
+        responses = []
+        checkpoints = []
+        for msg_id in (11, 12, 13):
+            wire = Message.make_query(qname, RdataType.A, msg_id=msg_id).to_wire()
+            responses.append(cluster.handle_datagram(wire, "203.0.113.5"))
+            cache = cluster.cache_stats()
+            checkpoints.append(
+                (
+                    cluster.stats.queries,
+                    cluster.stats.render_hits,
+                    cluster.stats.render_stores,
+                    # Every flavour of answer-cache hit: a render hit
+                    # must not move any of them.
+                    cache.hits
+                    + cache.stale_hits
+                    + cache.negative_hits
+                    + cache.error_hits,
+                )
+            )
+        return responses, checkpoints
+
+    def test_three_datagrams_three_queries(self, served):
+        _responses, checkpoints = served
+        assert [row[0] for row in checkpoints] == [1, 2, 3]
+
+    def test_third_datagram_is_the_render_hit(self, served):
+        _responses, checkpoints = served
+        # 1st: cold resolution (nothing wire-cacheable), 2nd: answer-cache
+        # hit that seeds the wire cache, 3rd: served from patched bytes.
+        assert [row[1] for row in checkpoints] == [0, 0, 1]
+        assert checkpoints[1][2] == 1  # stored exactly once, on the 2nd
+
+    def test_render_hit_is_not_an_answer_cache_hit(self, served):
+        _responses, checkpoints = served
+        # The answer cache moved on the 2nd datagram and not on the 3rd.
+        assert checkpoints[1][3] > checkpoints[0][3]
+        assert checkpoints[2][3] == checkpoints[1][3]
+
+    def test_render_hit_bytes_match_the_cached_answer(self, served):
+        """No virtual time passes between the seeding hit and the render
+        hit, so the patched bytes must equal the answer-cache response
+        modulo the two message-ID octets."""
+        responses, _checkpoints = served
+        assert responses[2][2:] == responses[1][2:]
+        assert Message.from_wire(responses[2]).id == 13
+        assert Message.from_wire(responses[1]).id == 12
+
+
+def test_offsets_patch_exactly_the_ttl_fields():
+    """Sanity anchor for the fuzz suite: rewriting every reported offset
+    changes each record's TTL and nothing else."""
+    _query, response = make_response(answer_ttls=(300, 200), authority_ttl=60)
+    wire = response.to_wire()
+    offsets = response_ttl_offsets(wire)
+    # 2 answer records + 1 authority SOA; the OPT's TTL field is never
+    # reported (it holds the extended RCODE, not a TTL).
+    assert len(offsets) == 3
+    patched = bytearray(wire)
+    for offset in offsets:
+        struct.pack_into(">I", patched, offset, 7)
+    reparsed = Message.from_wire(bytes(patched))
+    assert all(rrset.ttl == 7 for rrset in reparsed.answer)
+    assert all(rrset.ttl == 7 for rrset in reparsed.authority)
+    # Everything but the TTLs survives untouched.
+    original = Message.from_wire(wire)
+    assert reparsed.id == original.id
+    assert [r.name for r in reparsed.answer] == [r.name for r in original.answer]

@@ -1,0 +1,126 @@
+"""Wire-cache differential gate: the rendered-response cache must be
+byte-invisible.
+
+The tentpole claim is that turning on the zero-copy serving bundle —
+rendered-response wire caches on every authoritative tier, the engine's
+rendered-query memo, the fabric's paved in-process fast path, and
+batched lane submission — changes *nothing observable*: every
+per-domain scan record, the Figure 1/2 aggregates, and all 63×7 matrix
+cells stay byte-identical to the seed byte path, through 1 and 2
+resolver shards and under both retry-jitter seeds.  Every run here has
+the runtime determinism sanitizer armed, like the shard-count
+differential suite this one is modelled on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import determinism_sanitizer
+from repro.bench import categorization_of, population_config_for
+from repro.cluster import ClusterConfig
+from repro.resolver.iterative import EngineConfig
+from repro.scan.figures import figure1_series, figure2_series, series_to_csv
+from repro.scan.population import generate_population
+from repro.scan.scanner import WildScanner
+from repro.scan.wild import WildInternet
+from repro.testbed.runner import run_matrix
+
+#: Same retry-jitter pair as the cluster differential and serving gates.
+JITTER_SEEDS = (1, 20230524)
+SHARD_COUNTS = (1, 2)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_population(population_config_for(1000))
+
+
+@pytest.fixture(scope="module")
+def baseline(population):
+    """The cache-off sequential scan every cached run is compared to."""
+    wild = WildInternet(population)
+    scanner = WildScanner(wild)
+    with determinism_sanitizer():
+        result = scanner.scan(use_lanes=False)
+    return result
+
+
+def scan_cached(population, *, shards: int, jitter_seed: int, workers: int = 8):
+    """Fresh universe with the full cache-on bundle; sanitizer armed."""
+    wild = WildInternet(population, render_cache=True)
+    engine = EngineConfig(
+        rng_seed=jitter_seed, render_query_cache=True, paved_fabric=True
+    )
+    kwargs = {}
+    if shards > 1:
+        kwargs["cluster_config"] = ClusterConfig(shards=shards, render_cache=True)
+    scanner = WildScanner(wild, engine_config=engine, **kwargs)
+    with determinism_sanitizer():
+        result = scanner.scan(workers=workers, use_lanes=True, batch=8, coarse=True)
+    return scanner, wild, result
+
+
+class TestScanDifferential:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("jitter_seed", JITTER_SEEDS)
+    def test_records_identical_cache_on_vs_off(
+        self, population, baseline, shards, jitter_seed
+    ):
+        _scanner, _wild, result = scan_cached(
+            population, shards=shards, jitter_seed=jitter_seed
+        )
+        assert categorization_of(result) == categorization_of(baseline)
+
+    def test_aggregates_identical(self, population, baseline):
+        """Figure 1/2 series and the EDE group histogram, not just the
+        raw records."""
+        _scanner, _wild, result = scan_cached(population, shards=1, jitter_seed=1)
+        assert result.by_code() == baseline.by_code()
+        base_gtld, base_cctld = figure1_series(baseline, population)
+        got_gtld, got_cctld = figure1_series(result, population)
+        assert series_to_csv(got_gtld, got_cctld) == series_to_csv(
+            base_gtld, base_cctld
+        )
+        assert series_to_csv(figure2_series(result)) == series_to_csv(
+            figure2_series(baseline)
+        )
+
+    def test_cache_actually_engaged(self, population):
+        """The identity above is not vacuous: the authoritative tiers
+        really did store rendered wires on the cached arm."""
+        _scanner, wild, _result = scan_cached(population, shards=1, jitter_seed=1)
+        stats = wild.render_cache_stats()
+        assert stats.stores > 0
+        # Parse-or-refuse never silently corrupts: refused wires are
+        # counted, not cached.
+        assert stats.refusals >= 0
+
+
+class TestMatrixDifferential:
+    @pytest.fixture(scope="class")
+    def cached_testbed(self):
+        from repro.testbed.infra import build_testbed
+
+        return build_testbed()
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_table4_matrix_identical(self, matrix, cached_testbed, shards):
+        """All 63×7 cells byte-identical with the bundle on."""
+        with determinism_sanitizer():
+            cached = run_matrix(
+                cached_testbed,
+                shards=shards,
+                engine_config=EngineConfig(
+                    render_query_cache=True, paved_fabric=True
+                ),
+                render_cache=True,
+            )
+        assert set(cached.cells) == set(matrix.cells)
+        for key, cell in matrix.cells.items():
+            got = cached.cells[key]
+            assert (got.rcode, got.ede_codes, got.extra_texts) == (
+                cell.rcode,
+                cell.ede_codes,
+                cell.extra_texts,
+            ), f"cell {key} diverged with the render cache on ({shards} shard(s))"
